@@ -1,0 +1,385 @@
+// Benchmarks regenerating each table/figure of the paper plus
+// microbenchmarks of the core substrates. The experiment benches report
+// headline reproduction metrics (throughput under SLO, latencies) via
+// b.ReportMetric; run them with:
+//
+//	go test -bench=. -benchmem
+//
+// For paper-grade sweeps use cmd/jordsim with -scale full instead; the
+// benches here run at reduced scale so the whole suite stays in minutes.
+package jord_test
+
+import (
+	"testing"
+
+	"jord"
+	"jord/internal/experiments"
+	"jord/internal/mem/btree"
+	"jord/internal/mem/va"
+	"jord/internal/mem/vmatable"
+	"jord/internal/metrics"
+	"jord/internal/privlib"
+	"jord/internal/sim/engine"
+	"jord/internal/sim/topo"
+	"jord/internal/vlb"
+)
+
+// benchScale keeps experiment benches short; one iteration is one full
+// (reduced) experiment.
+var benchScale = experiments.Scale{Name: "bench", Warmup: 150, Measure: 1200, MaxPoints: 4}
+
+// BenchmarkTable4 regenerates Table 4 (VMA/PD operation latencies) and
+// reports the simulator-side numbers.
+func BenchmarkTable4(b *testing.B) {
+	var last *experiments.Table4Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.SimNS, metricName(row.Operation)+"_sim_ns")
+	}
+}
+
+// metricName makes a string safe for b.ReportMetric units (no spaces).
+func metricName(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			out = append(out, '_')
+		} else {
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// fig9Bench sweeps one workload's Figure 9 panel and reports
+// throughput-under-SLO per system.
+func fig9Bench(b *testing.B, workload string) {
+	var last *experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig9(benchScale, workload, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, s := range last.Panels[0].Series {
+		b.ReportMetric(s.TputUnderSLO/1e6, s.System.String()+"_MRPS_under_SLO")
+	}
+	b.ReportMetric(last.Panels[0].SLONS/1000, "SLO_us")
+}
+
+func BenchmarkFig9Hipster(b *testing.B) { fig9Bench(b, "hipster") }
+func BenchmarkFig9Hotel(b *testing.B)   { fig9Bench(b, "hotel") }
+func BenchmarkFig9Media(b *testing.B)   { fig9Bench(b, "media") }
+func BenchmarkFig9Social(b *testing.B)  { fig9Bench(b, "social") }
+
+// BenchmarkFig10 regenerates the service-time CDF and reports each
+// workload's p75 (the paper's "75% below ~5 us" marker).
+func BenchmarkFig10(b *testing.B) {
+	var last *experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig10(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, wl := range last.Workloads {
+		b.ReportMetric(float64(wl.P75NS)/1000, wl.Workload+"_p75_us")
+		b.ReportMetric(float64(wl.MaxNS)/1000, wl.Workload+"_max_us")
+	}
+}
+
+// BenchmarkFig11 regenerates the selected-function breakdown and reports
+// the Jord-vs-NightCore service ratio averaged over the eight functions.
+func BenchmarkFig11(b *testing.B) {
+	var last *experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig11(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	var jordSum, ncSum float64
+	for _, bar := range last.Bars {
+		if bar.System == experiments.Jord {
+			jordSum += bar.ServiceNS
+		} else {
+			ncSum += bar.ServiceNS
+		}
+	}
+	if ncSum > 0 {
+		// Paper §6.1: Jord achieves ~48% less service time than NightCore.
+		b.ReportMetric(100*(1-jordSum/ncSum), "service_reduction_pct")
+	}
+}
+
+// BenchmarkFig12 regenerates the VLB sizing study and reports the
+// throughput ratio of small-to-large VLBs.
+func BenchmarkFig12(b *testing.B) {
+	var last *experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig12(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, panel := range last.Panels {
+		base := panel.Series[len(panel.Series)-1].TputUnderSLO
+		if base <= 0 {
+			continue
+		}
+		for _, s := range panel.Series {
+			b.ReportMetric(s.TputUnderSLO/base, panel.VLBKind+"_"+itoa(s.Entries)+"entry_rel")
+		}
+	}
+}
+
+// BenchmarkFig13 regenerates the plain-list-vs-B-tree comparison.
+func BenchmarkFig13(b *testing.B) {
+	var last *experiments.Fig13Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig13(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, panel := range last.Panels {
+		if panel.Series[0].TputUnderSLO > 0 {
+			b.ReportMetric(panel.Series[1].TputUnderSLO/panel.Series[0].TputUnderSLO,
+				panel.Workload+"_bt_over_jord")
+		}
+	}
+}
+
+// BenchmarkFig14 regenerates the scalability study and reports the
+// dual-socket dispatch latency.
+func BenchmarkFig14(b *testing.B) {
+	var last *experiments.Fig14Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig14(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.DispatchNS/1000, metricName(row.Scale)+"_dispatch_us")
+	}
+}
+
+// BenchmarkOverheads regenerates the §6.2 overhead accounting.
+func BenchmarkOverheads(b *testing.B) {
+	var last *experiments.OverheadsResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunOverheads(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.OverheadFraction*100, row.Workload+"_overhead_pct")
+	}
+}
+
+// BenchmarkMotivation regenerates the §2.2 OS-vs-Jord comparison.
+func BenchmarkMotivation(b *testing.B) {
+	var last *experiments.MotivationResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunMotivation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.Ratio, metricName(row.Operation)+"_os_over_jord")
+	}
+}
+
+// BenchmarkDispatchPolicies regenerates the dispatch-policy ablation.
+func BenchmarkDispatchPolicies(b *testing.B) {
+	var last *experiments.DispatchAblationResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunDispatchAblation(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.TputUnderSLO/1e6, metricName(row.Policy.String())+"_MRPS")
+	}
+}
+
+// BenchmarkMPK regenerates the §2.2 MPK comparison.
+func BenchmarkMPK(b *testing.B) {
+	var last *experiments.MPKComparisonResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunMPKComparison(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.TputUnderSLO/1e6, metricName(row.System)+"_MRPS")
+	}
+}
+
+// BenchmarkCluster regenerates the multi-server scaling study.
+func BenchmarkCluster(b *testing.B) {
+	var last *experiments.ClusterResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunCluster(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.MeasuredMRPS, metricName(row.Label)+"servers_MRPS")
+	}
+}
+
+// --- Substrate microbenchmarks (host performance of the library itself) ---
+
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := engine.New()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(engine.Time(i%64), func() {})
+	}
+	b.ResetTimer()
+	e.Run(engine.MaxTime)
+}
+
+func BenchmarkEngineProcSwitch(b *testing.B) {
+	e := engine.New()
+	e.Spawn("p", func(p *engine.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Delay(1)
+		}
+	})
+	b.ResetTimer()
+	e.Run(engine.MaxTime)
+	e.Shutdown()
+}
+
+func BenchmarkVAEncodeDecode(b *testing.B) {
+	enc := va.Default()
+	for i := 0; i < b.N; i++ {
+		c := i % 26
+		addr := enc.Encode(c, uint64(i)%enc.MaxIndex(c))
+		if _, ok := enc.Decode(addr); !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+func BenchmarkVMATableLookup(b *testing.B) {
+	tbl, err := vmatable.New(va.Default(), 0x4000_0000_0000, vmatable.DefaultTableBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vte := &vmatable.VTE{Bound: 4096, Offs: 0x1000}
+	vte.SetPerm(1, vmatable.PermRW)
+	if err := tbl.Insert(5, 3, vte); err != nil {
+		b.Fatal(err)
+	}
+	addr := tbl.Enc.Encode(5, 3) + 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, fault := tbl.Translate(addr, 1, vmatable.PermR); fault != vmatable.FaultNone {
+			b.Fatal(fault)
+		}
+	}
+}
+
+func BenchmarkBTreeLookup(b *testing.B) {
+	tr := btree.New()
+	for i := 0; i < 10000; i++ {
+		if _, err := tr.Insert(btree.Entry{Base: uint64(i) * 128, Bound: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := tr.Lookup(uint64(i%10000) * 128); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkPrivLibMmapMunmap(b *testing.B) {
+	lib, err := privlib.Boot(topo.MustMachine(topo.QFlex32()), vlb.DefaultConfig(), privlib.PlainList)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pd, _, err := lib.Cget(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr, _, err := lib.Mmap(0, pd, 256, vmatable.PermRW)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := lib.Munmap(0, pd, addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h metrics.Histogram
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i%1_000_000 + 1))
+	}
+	if h.Count() == 0 {
+		b.Fatal("no samples")
+	}
+}
+
+func BenchmarkEndToEndInvocation(b *testing.B) {
+	cfg := jord.DefaultConfig()
+	sys, err := jord.NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	fn := sys.MustRegister("bench", func(c *jord.Ctx) error {
+		c.ExecNS(500)
+		return nil
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := sys.RunOnce(fn, 8); r == nil {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,122 @@
+// Command jordbench runs custom load sweeps and emits TSV, for plotting
+// or regression tracking beyond the fixed paper figures.
+//
+// Usage:
+//
+//	jordbench -workload hotel -system jord -loads 1,2,4,6 [-measure 5000]
+//
+// Loads are in MRPS. Systems: jord | jordni | jordbt | nightcore.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"jord"
+	"jord/internal/experiments"
+)
+
+// runSampled measures each load point over several independent seeds and
+// prints means with 95% confidence intervals.
+func runSampled(workload, system, loads string, warmup, measure, seed uint64, trials int) {
+	kind, err := parseSystem(system)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := experiments.Scale{Name: "bench", Warmup: warmup, Measure: measure, MaxPoints: 1}
+	fmt.Println("workload\tsystem\tload_mrps\ttrials\tp99_us\tp99_ci_us\tmeasured_mrps\tmeasured_ci")
+	for _, tok := range strings.Split(loads, ",") {
+		mrps, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			log.Fatalf("bad load %q: %v", tok, err)
+		}
+		p, err := experiments.RunSampledPoint(kind, workload, mrps*1e6, sc, trials, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\t%s\t%.3f\t%d\t%.2f\t%.2f\t%.3f\t%.3f\n",
+			workload, system, mrps, trials,
+			p.P99NS.Mean/1000, p.P99NS.CI95/1000,
+			p.TputMRPS.Mean, p.TputMRPS.CI95)
+	}
+}
+
+func parseSystem(name string) (experiments.SystemKind, error) {
+	switch name {
+	case "jord":
+		return experiments.Jord, nil
+	case "jordni":
+		return experiments.JordNI, nil
+	case "jordbt":
+		return experiments.JordBT, nil
+	case "nightcore":
+		return experiments.NightCore, nil
+	default:
+		return 0, fmt.Errorf("unknown system %q", name)
+	}
+}
+
+func main() {
+	var (
+		workload = flag.String("workload", "hipster", "hipster|hotel|media|social")
+		system   = flag.String("system", "jord", "jord|jordni|jordbt|nightcore")
+		loads    = flag.String("loads", "1,2,4,8", "comma-separated offered loads in MRPS")
+		warmup   = flag.Uint64("warmup", 300, "warmup requests")
+		measure  = flag.Uint64("measure", 3000, "measured requests")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		trials   = flag.Int("trials", 1, "independent trials per point (SimFlex-style sampling; >1 adds 95% CIs)")
+	)
+	flag.Parse()
+
+	if *trials > 1 {
+		runSampled(*workload, *system, *loads, *warmup, *measure, *seed, *trials)
+		return
+	}
+
+	fmt.Println("workload\tsystem\tload_mrps\tmeasured_mrps\tp50_us\tp99_us\tp999_us\tmean_service_us\toverhead_frac")
+	for _, tok := range strings.Split(*loads, ",") {
+		mrps, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			log.Fatalf("bad load %q: %v", tok, err)
+		}
+		cfg := jord.DefaultConfig()
+		cfg.Seed = *seed
+		switch *system {
+		case "jord":
+			cfg.Variant = jord.VariantPlainList
+		case "jordni":
+			cfg.Variant = jord.VariantNoIsolation
+		case "jordbt":
+			cfg.Variant = jord.VariantBTree
+		case "nightcore":
+			cfg.NightCore = true
+		default:
+			log.Fatalf("unknown system %q", *system)
+		}
+		sys, err := jord.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := jord.BuildWorkload(*workload, sys, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := sys.RunLoad(jord.LoadSpec{
+			RPS:     mrps * 1e6,
+			Warmup:  *warmup,
+			Measure: *measure,
+			Root:    w.Selector(),
+		})
+		freq := sys.M.Cfg.FreqGHz
+		fmt.Printf("%s\t%s\t%.3f\t%.3f\t%.2f\t%.2f\t%.2f\t%.2f\t%.3f\n",
+			*workload, *system, mrps, res.MeasuredRPS(freq)/1e6,
+			float64(res.Latency.Percentile(50))/1000,
+			float64(res.Latency.Percentile(99))/1000,
+			float64(res.Latency.Percentile(99.9))/1000,
+			res.MeanServiceNS()/1000,
+			res.OverheadFraction())
+	}
+}

@@ -1,0 +1,80 @@
+package jord_test
+
+import (
+	"fmt"
+
+	"jord"
+)
+
+// Example shows the Listing 1 programming model end to end: registering
+// functions, invoking them with zero-copy ArgBufs, and the isolation a
+// protection domain provides.
+func Example() {
+	sys, err := jord.NewSystem(jord.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+
+	var leakedHeap uint64
+	tgt := sys.MustRegister("Tgt", func(c *jord.Ctx) error {
+		leakedHeap = c.HeapVA() // leak our private heap's address
+		c.ExecNS(400)
+		return nil
+	})
+	src := sys.MustRegister("Src", func(c *jord.Ctx) error {
+		// Synchronous nested invocation with a 2-cache-block ArgBuf.
+		if err := c.Call(tgt, 2); err != nil {
+			return err
+		}
+		// The callee is gone; forging its heap address must fault.
+		if err := c.Load(leakedHeap); err != nil {
+			fmt.Println("forged access:", err != nil)
+		}
+		// Our own allocations work.
+		buf, err := c.Mmap(4096, jord.PermRW)
+		if err != nil {
+			return err
+		}
+		fmt.Println("own mmap ok:", buf != 0)
+		return c.Munmap(buf)
+	})
+
+	req := sys.RunOnce(src, 8)
+	fmt.Println("completed:", req != nil && req.Trace.Exec > 0)
+	// Output:
+	// forged access: true
+	// own mmap ok: true
+	// completed: true
+}
+
+// ExampleNewCluster runs a two-server deployment: the front-end spreads
+// external requests, and saturated servers forward nested work to peers
+// over the network (§3.3).
+func ExampleNewCluster() {
+	cfg := jord.DefaultClusterConfig()
+	cfg.Servers = 2
+	cluster, err := jord.NewCluster(cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+
+	fn, err := cluster.RegisterAll("work", func(c *jord.Ctx) error {
+		c.ExecNS(1000)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	res := cluster.RunLoad(jord.LoadSpec{
+		RPS: 1_000_000, Warmup: 50, Measure: 500,
+		Root: func() (jord.FuncID, int) { return fn, 8 },
+	})
+	fmt.Println("completed:", res.Completed)
+	fmt.Println("both servers used:",
+		cluster.Servers[0].Res.Completed > 0 && cluster.Servers[1].Res.Completed > 0)
+	// Output:
+	// completed: 500
+	// both servers used: true
+}

@@ -1,0 +1,87 @@
+// Pipeline builds a four-stage data-processing chain (ingest -> parse ->
+// enrich -> store) where each stage hands a sizeable buffer to the next,
+// and contrasts Jord's zero-copy permission transfers with the NightCore
+// baseline's serialize/copy/pipe path — the data-flow overhead of §2.1
+// made concrete. Run it with:
+//
+//	go run ./examples/pipeline [-kb 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"jord"
+)
+
+func main() {
+	kb := flag.Int("kb", 16, "payload handed between stages (KiB)")
+	flag.Parse()
+	blocks := *kb * 1024 / 64
+
+	fmt.Printf("four-stage pipeline, %d KiB handed stage-to-stage\n\n", *kb)
+	fmt.Printf("%-12s %16s %16s %14s\n", "system", "latency (us)", "data-path (us)", "throughput*")
+	jordLat, jordComm, jordTput := run(false, blocks)
+	ncLat, ncComm, ncTput := run(true, blocks)
+	fmt.Printf("%-12s %16.2f %16.2f %11.2f MRPS\n", "jord", jordLat, jordComm, jordTput)
+	fmt.Printf("%-12s %16.2f %16.2f %11.2f MRPS\n", "nightcore", ncLat, ncComm, ncTput)
+	fmt.Printf("\n  latency advantage:   %.1fx\n", ncLat/jordLat)
+	fmt.Printf("  data-path advantage: %.1fx\n", ncComm/jordComm)
+	fmt.Println("\n*saturation throughput of the 32-core worker at this payload size.")
+	fmt.Println("Jord's stages exchange the buffer by pmove-ing one VMA's permission")
+	fmt.Println("(16 ns) plus cache-coherent pulls of only the lines actually read;")
+	fmt.Println("NightCore serializes, copies through SysV shm, and crosses a pipe")
+	fmt.Println("per hop.")
+}
+
+// run builds the pipeline on a fresh system and returns the single-request
+// latency, its data-path (comm) share, and the saturation throughput.
+func run(nightcore bool, blocks int) (latUS, commUS, tputMRPS float64) {
+	build := func() (*jord.System, jord.FuncID) {
+		cfg := jord.DefaultConfig()
+		cfg.NightCore = nightcore
+		sys, err := jord.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store := sys.MustRegister("store", func(c *jord.Ctx) error {
+			c.ExecNS(700)
+			return nil
+		})
+		enrich := sys.MustRegister("enrich", func(c *jord.Ctx) error {
+			c.ExecNS(900)
+			return c.Call(store, blocks)
+		})
+		parse := sys.MustRegister("parse", func(c *jord.Ctx) error {
+			c.ExecNS(1200)
+			return c.Call(enrich, blocks)
+		})
+		ingest := sys.MustRegister("ingest", func(c *jord.Ctx) error {
+			c.ExecNS(500)
+			return c.Call(parse, blocks)
+		})
+		return sys, ingest
+	}
+
+	// Single-request latency on an idle system.
+	sys, ingest := build()
+	req := sys.RunOnce(ingest, blocks)
+	if req == nil {
+		log.Fatal("pipeline request did not complete")
+	}
+	freq := sys.M.Cfg.FreqGHz
+	latUS = float64(sys.Eng.Now()-req.Arrival) / freq / 1000
+	commUS = float64(req.Trace.Comm) / freq / 1000
+	sys.Close()
+
+	// Saturation throughput under heavy offered load.
+	sys2, ingest2 := build()
+	res := sys2.RunLoad(jord.LoadSpec{
+		RPS: 40e6, Warmup: 300, Measure: 3000,
+		Root: func() (jord.FuncID, int) { return ingest2, blocks },
+	})
+	tputMRPS = res.MeasuredRPS(freq) / 1e6
+	sys2.Close()
+	return latUS, commUS, tputMRPS
+}

@@ -1,0 +1,78 @@
+// Quickstart mirrors the paper's Listing 1: a source function that
+// invokes two target functions — one asynchronously, one synchronously —
+// shares data with them zero-copy through ArgBufs, and allocates a
+// scratch VMA with POSIX-style mmap/munmap. Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jord"
+)
+
+func main() {
+	sys, err := jord.NewSystem(jord.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Tgt1 and Tgt2 are ordinary short-running functions.
+	tgt1 := sys.MustRegister("Tgt1", func(c *jord.Ctx) error {
+		c.ExecNS(400) // process r1->in, produce r1->out
+		return nil
+	})
+	tgt2 := sys.MustRegister("Tgt2", func(c *jord.Ctx) error {
+		c.ExecNS(650)
+		return nil
+	})
+
+	// SrcFunc follows Listing 1: async(Tgt1), call(Tgt2), wait, then a
+	// dynamic VMA allocation for the output post-processing.
+	src := sys.MustRegister("SrcFunc", func(c *jord.Ctx) error {
+		c.ExecNS(300) // pre(req->in1), pre(req->in2)
+
+		// int c = jord::async(Tgt1, r1);
+		cookie, err := c.Async(tgt1, 2)
+		if err != nil {
+			return err
+		}
+		// if ((r = jord::call(Tgt2, r2))) return r;
+		if err := c.Call(tgt2, 2); err != nil {
+			return err
+		}
+		// if ((r = jord::wait(c))) return r;
+		if err := c.Wait(cookie); err != nil {
+			return err
+		}
+
+		// void *buf = mmap(0, 0x1000, PROT_RW, 0, 0, 0);
+		buf, err := c.Mmap(0x1000, jord.PermRW)
+		if err != nil {
+			return err
+		}
+		c.ExecNS(250) // req->out = post(buf, r1->out, r2->out)
+		// munmap(buf, 0x1000);
+		return c.Munmap(buf)
+	})
+
+	req := sys.RunOnce(src, 8)
+	if req == nil || req.Trace.Exec == 0 {
+		log.Fatal("request did not complete")
+	}
+
+	freq := sys.M.Cfg.FreqGHz
+	ns := func(cycles int64) float64 { return float64(cycles) / freq }
+	fmt.Println("SrcFunc completed through Jord's single-address-space runtime")
+	fmt.Printf("  execution   %8.0f ns\n", ns(int64(req.Trace.Exec)))
+	fmt.Printf("  isolation   %8.0f ns  (PD lifecycle + permission transfers)\n", ns(int64(req.Trace.Isolation)))
+	fmt.Printf("  allocation  %8.0f ns  (stack/heap/ArgBuf VMAs)\n", ns(int64(req.Trace.Alloc)))
+	fmt.Printf("  dispatch    %8.0f ns  (JBSQ orchestrator)\n", ns(int64(req.Trace.Dispatch)))
+	fmt.Printf("  zero-copy   %8.0f ns  (ArgBuf coherence transfers)\n", ns(int64(req.Trace.Comm)))
+	fmt.Println("\nAll three functions ran in isolated protection domains; the two")
+	fmt.Println("nested invocations shared their ArgBufs by permission transfer,")
+	fmt.Println("with no data copies and no OS involvement.")
+}

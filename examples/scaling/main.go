@@ -1,0 +1,65 @@
+// Scaling walks the machine configurations of the paper's §6.3 — 16 to
+// 256 cores and a dual-socket system — and shows how dispatch latency
+// explodes when a single orchestrator manages every executor across a
+// socket boundary, and how per-socket orchestrators (the paper's design
+// implication) flatten it. Run it with:
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jord"
+)
+
+func main() {
+	type point struct {
+		name string
+		cfg  jord.MachineConfig
+	}
+	points := []point{
+		{"16-core", jord.MachineScale(16)},
+		{"64-core", jord.MachineScale(64)},
+		{"256-core", jord.MachineScale(256)},
+		{"2-socket (2x128)", jord.MachineDualSocket256()},
+	}
+
+	fmt.Printf("%-18s %22s %22s\n", "machine", "single orchestrator", "per-socket orchestrators")
+	fmt.Printf("%-18s %22s %22s\n", "", "mean dispatch (us)", "mean dispatch (us)")
+	for _, pt := range points {
+		single := measure(pt.cfg, true)
+		multi := measure(pt.cfg, false)
+		fmt.Printf("%-18s %22.3f %22.3f\n", pt.name, single/1000, multi/1000)
+	}
+	fmt.Println("\nThe single-orchestrator dispatch latency grows with mesh distance")
+	fmt.Println("and jumps across the socket boundary (260 ns per crossing, paid")
+	fmt.Println("many times per JBSQ scan); per-socket orchestrators keep every")
+	fmt.Println("probe on-die, which is the paper's design implication for")
+	fmt.Println("multi-socket and chiplet systems.")
+}
+
+func measure(machine jord.MachineConfig, singleOrch bool) float64 {
+	cfg := jord.DefaultConfig()
+	cfg.Machine = machine
+	if singleOrch {
+		cfg.NumOrchestrators = 1
+		cfg.PerSocketOrchestrators = false
+	}
+	sys, err := jord.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := jord.BuildWorkload("hipster", sys, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := sys.RunLoad(jord.LoadSpec{
+		RPS:     30_000, // light load: measure distance, not queueing
+		Warmup:  100,
+		Measure: 1000,
+		Root:    w.Selector(),
+	})
+	return res.DispatchNS.Mean()
+}

@@ -1,0 +1,66 @@
+// Socialnet deploys the DeathStarBench-style social-network workload on a
+// 32-core Jord worker server, drives it with an open-loop Poisson load,
+// and reports the latency profile and the per-function service-time
+// breakdown — a miniature of the paper's Figures 9-11 for one workload.
+// Run it with:
+//
+//	go run ./examples/socialnet [-mrps 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"jord"
+)
+
+func main() {
+	mrps := flag.Float64("mrps", 0.5, "offered load in millions of requests/second")
+	flag.Parse()
+
+	sys, err := jord.NewSystem(jord.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := jord.BuildWorkload("social", sys, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("social network on %d cores (%d orchestrators, %d executors), %.2f MRPS offered\n",
+		sys.M.Cfg.TotalCores(), len(sys.Orchs), len(sys.Execs), *mrps)
+
+	res := sys.RunLoad(jord.LoadSpec{
+		RPS:     *mrps * 1e6,
+		Warmup:  500,
+		Measure: 5000,
+		Root:    w.Selector(),
+	})
+
+	freq := sys.M.Cfg.FreqGHz
+	fmt.Printf("\ncompleted %d requests at %.2f MRPS\n", res.Completed, res.MeasuredRPS(freq)/1e6)
+	fmt.Printf("request latency: p50 %6.1f us   p99 %6.1f us   p99.9 %6.1f us\n",
+		float64(res.Latency.Percentile(50))/1000,
+		float64(res.Latency.Percentile(99))/1000,
+		float64(res.Latency.Percentile(99.9))/1000)
+	fmt.Printf("service time:    p50 %6.1f us   p99 %6.1f us   max   %6.1f us\n",
+		float64(res.ServiceTime.Percentile(50))/1000,
+		float64(res.ServiceTime.Percentile(99))/1000,
+		float64(res.ServiceTime.Max())/1000)
+
+	fmt.Printf("\nper-function breakdown (ns/invocation):\n")
+	fmt.Printf("%-28s %8s %10s %10s %8s %8s %8s\n",
+		"function", "count", "exec", "isolation", "alloc", "dispatch", "comm")
+	for fn := jord.FuncID(0); int(fn) < 32; fn++ {
+		fs, ok := res.PerFunc[fn]
+		if !ok || fs.Count == 0 {
+			continue
+		}
+		bd := res.MeanBreakdown(fn, freq)
+		fmt.Printf("%-28s %8d %10.0f %10.0f %8.0f %8.0f %8.0f\n",
+			fs.Name, fs.Count, bd.Exec, bd.Isolation, bd.Alloc, bd.Dispatch, bd.Comm)
+	}
+	fmt.Printf("\noverall overhead fraction (isolation+dispatch over busy time): %.1f%%\n",
+		res.OverheadFraction()*100)
+}

@@ -1,0 +1,3 @@
+module jord
+
+go 1.24

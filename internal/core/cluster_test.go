@@ -1,0 +1,207 @@
+package core
+
+import (
+	"testing"
+
+	"jord/internal/sim/topo"
+)
+
+func newCluster(t *testing.T, mutate ...func(*ClusterConfig)) *Cluster {
+	t.Helper()
+	cfg := DefaultClusterConfig()
+	cfg.Seed = 21
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestClusterBasicRun(t *testing.T) {
+	c := newCluster(t)
+	child, err := c.RegisterAll("child", func(x *Ctx) error { x.ExecNS(300); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := c.RegisterAll("root", func(x *Ctx) error {
+		x.ExecNS(600)
+		return x.Call(child, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.RunLoad(LoadSpec{
+		RPS: 2_000_000, Warmup: 100, Measure: 2000,
+		Root: func() (FuncID, int) { return root, 8 },
+	})
+	if res.Completed != 2000 {
+		t.Fatalf("completed = %d, want 2000", res.Completed)
+	}
+	if res.Latency.Percentile(99) <= 0 {
+		t.Fatal("no latencies")
+	}
+	// The front-end spreads load: every server completed work.
+	for i, s := range c.Servers {
+		if s.Res.Completed == 0 {
+			t.Errorf("server %d completed nothing", i)
+		}
+	}
+}
+
+func TestClusterScalesBeyondOneServer(t *testing.T) {
+	// Offered load ~2x one server's capacity must complete fine on four
+	// servers.
+	run := func(servers int) (completed uint64, p99 int64) {
+		c := newCluster(t, func(cfg *ClusterConfig) { cfg.Servers = servers })
+		fn, err := c.RegisterAll("work", func(x *Ctx) error { x.ExecNS(2500); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := c.RunLoad(LoadSpec{
+			RPS: 15_000_000, Warmup: 300, Measure: 3000,
+			Root:              func() (FuncID, int) { return fn, 8 },
+			MaxVirtualSeconds: 0.05,
+		})
+		return res.Completed, res.Latency.Percentile(99)
+	}
+	c1, p1 := run(1)
+	c4, p4 := run(4)
+	if c4 != 3000 {
+		t.Fatalf("4-server cluster completed %d/3000", c4)
+	}
+	// One server at 15 MRPS of 2.5us work is far past saturation: either
+	// it cannot finish the window in time or its tail explodes.
+	if c1 == 3000 && p1 < 4*p4 {
+		t.Fatalf("single server should be saturated: completed=%d p99=%d (cluster %d)", c1, p1, p4)
+	}
+}
+
+func TestClusterSpilloverForwardsInternals(t *testing.T) {
+	// Two servers; the workload's fan-out floods the executors of the
+	// origin server so internal requests spill over the network.
+	c := newCluster(t, func(cfg *ClusterConfig) {
+		cfg.Servers = 2
+		cfg.SpillQueueThreshold = 1 // spill aggressively
+	})
+	leaf, err := c.RegisterAll("leaf", func(x *Ctx) error { x.ExecNS(2000); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan, err := c.RegisterAll("fan", func(x *Ctx) error {
+		cookies := make([]Cookie, 0, 40)
+		for i := 0; i < 40; i++ {
+			ck, err := x.Async(leaf, 2)
+			if err != nil {
+				return err
+			}
+			cookies = append(cookies, ck)
+		}
+		for _, ck := range cookies {
+			if err := x.Wait(ck); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.RunLoad(LoadSpec{
+		RPS: 100_000, Warmup: 20, Measure: 300,
+		Root: func() (FuncID, int) { return fan, 8 },
+	})
+	if res.Completed != 300 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if c.Forwarded == 0 {
+		t.Fatal("no internal requests were forwarded despite saturation")
+	}
+	// Failed must be zero: forwarding preserves results and status.
+	if res.Failed != 0 {
+		t.Fatalf("forwarded requests failed: %d", res.Failed)
+	}
+}
+
+func TestClusterForwardingPaysNetworkLatency(t *testing.T) {
+	// A forwarded child's parent observes at least one network RTT.
+	mk := func(spill bool) float64 {
+		c := newCluster(t, func(cfg *ClusterConfig) {
+			cfg.Servers = 2
+			cfg.PerServer.Machine = topo.Scale(16) // few executors: easy to saturate
+			if spill {
+				cfg.SpillQueueThreshold = 1
+			} else {
+				cfg.SpillQueueThreshold = 0
+			}
+			cfg.NetworkRTTNS = 50_000 // exaggerate for visibility
+		})
+		leaf, _ := c.RegisterAll("leaf", func(x *Ctx) error { x.ExecNS(3000); return nil })
+		fan, _ := c.RegisterAll("fan", func(x *Ctx) error {
+			cookies := make([]Cookie, 0, 20)
+			for i := 0; i < 20; i++ {
+				ck, err := x.Async(leaf, 2)
+				if err != nil {
+					return err
+				}
+				cookies = append(cookies, ck)
+			}
+			for _, ck := range cookies {
+				if err := x.Wait(ck); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		res := c.RunLoad(LoadSpec{
+			RPS: 30_000, Warmup: 5, Measure: 60,
+			Root:              func() (FuncID, int) { return fan, 8 },
+			MaxVirtualSeconds: 0.1,
+		})
+		if spill && c.Forwarded == 0 {
+			t.Fatal("expected forwarding")
+		}
+		return float64(res.Latency.Percentile(99))
+	}
+	local := mk(false)
+	spilled := mk(true)
+	if spilled < local+25_000 {
+		t.Fatalf("forwarded p99 %.0f ns should exceed local %.0f by ~RTT", spilled, local)
+	}
+}
+
+func TestClusterResourceHygiene(t *testing.T) {
+	// After a run with forwarding, no server leaks PDs beyond in-flight
+	// slack, and VMA populations stay bounded.
+	c := newCluster(t, func(cfg *ClusterConfig) {
+		cfg.Servers = 2
+		cfg.SpillQueueThreshold = 2
+	})
+	leaf, _ := c.RegisterAll("leaf", func(x *Ctx) error { x.ExecNS(1000); return nil })
+	fan, _ := c.RegisterAll("fan", func(x *Ctx) error {
+		for i := 0; i < 10; i++ {
+			if err := x.Call(leaf, 2); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	res := c.RunLoad(LoadSpec{
+		RPS: 500_000, Warmup: 50, Measure: 500,
+		Root: func() (FuncID, int) { return fan, 8 },
+	})
+	if res.Completed != 500 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	for i, s := range c.Servers {
+		if live := s.Lib.LivePDs(); live > len(s.Execs) {
+			t.Errorf("server %d: %d live PDs after run", i, live)
+		}
+		if inUse := s.Lib.Phys.InUse(); inUse > 3+len(s.funcs)+len(s.Execs)*12 {
+			t.Errorf("server %d: %d chunks in use after run", i, inUse)
+		}
+	}
+}

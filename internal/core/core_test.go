@@ -1,0 +1,385 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"jord/internal/mem/vmatable"
+	"jord/internal/privlib"
+)
+
+func newSys(t *testing.T, mutate ...func(*Config)) *System {
+	t.Helper()
+	cfg := DefaultConfig()
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestTopologyAssignment(t *testing.T) {
+	s := newSys(t)
+	if len(s.Orchs) != 4 {
+		t.Fatalf("orchestrators = %d, want 4 on 32 cores", len(s.Orchs))
+	}
+	if len(s.Execs) != 28 {
+		t.Fatalf("executors = %d, want 28", len(s.Execs))
+	}
+	// Every executor belongs to exactly one group, and groups are balanced.
+	seen := map[*Executor]bool{}
+	for _, o := range s.Orchs {
+		if len(o.group) != 7 {
+			t.Errorf("group size = %d, want 7", len(o.group))
+		}
+		for _, e := range o.group {
+			if seen[e] {
+				t.Fatal("executor in two groups")
+			}
+			seen[e] = true
+			if e.orch != o {
+				t.Fatal("executor orch backlink wrong")
+			}
+		}
+	}
+	if len(seen) != 28 {
+		t.Fatalf("grouped executors = %d, want 28", len(seen))
+	}
+}
+
+func TestSingleInvocationCompletes(t *testing.T) {
+	s := newSys(t)
+	ran := false
+	fn := s.MustRegister("noop", func(c *Ctx) error {
+		ran = true
+		c.ExecNS(1000)
+		return nil
+	})
+	r := s.RunOnce(fn, 4)
+	if r == nil || !r.done {
+		t.Fatal("request did not complete")
+	}
+	if !ran {
+		t.Fatal("function body did not run")
+	}
+	if r.status != nil {
+		t.Fatalf("status = %v", r.status)
+	}
+	if r.Trace.Exec < s.nsToCycles(1000) {
+		t.Fatalf("exec trace = %d cycles, want >= 4000", r.Trace.Exec)
+	}
+	if r.Trace.Isolation <= 0 || r.Trace.Dispatch <= 0 {
+		t.Fatalf("missing overhead accounting: isol=%d disp=%d",
+			r.Trace.Isolation, r.Trace.Dispatch)
+	}
+}
+
+func TestInvocationCleansUpResources(t *testing.T) {
+	s := newSys(t)
+	fn := s.MustRegister("noop", func(c *Ctx) error { return nil })
+	before := s.Lib.Phys.InUse()
+	livePDs := s.Lib.LivePDs()
+	for i := 0; i < 5; i++ {
+		s.RunOnce(fn, 4)
+	}
+	if got := s.Lib.Phys.InUse(); got != before {
+		t.Fatalf("leaked chunks: %d -> %d", before, got)
+	}
+	if got := s.Lib.LivePDs(); got != livePDs {
+		t.Fatalf("leaked PDs: %d -> %d", livePDs, got)
+	}
+	if s.Table() != nil && s.Table().Live() != tableLiveBaseline(s) {
+		t.Fatalf("leaked VTEs: %d live", s.Table().Live())
+	}
+}
+
+// Table exposes the VMA table for leak checks.
+func (s *System) Table() *vmatable.Table { return s.Lib.Table }
+
+func tableLiveBaseline(s *System) int {
+	// Boot VMAs (table, privlib heap, privlib code) plus one code VMA per
+	// registered function.
+	return 3 + len(s.funcs)
+}
+
+func TestNestedSyncCall(t *testing.T) {
+	s := newSys(t)
+	var order []string
+	child := s.MustRegister("child", func(c *Ctx) error {
+		order = append(order, "child")
+		c.ExecNS(500)
+		return nil
+	})
+	parent := s.MustRegister("parent", func(c *Ctx) error {
+		order = append(order, "parent-pre")
+		if err := c.Call(child, 2); err != nil {
+			return err
+		}
+		order = append(order, "parent-post")
+		return nil
+	})
+	r := s.RunOnce(parent, 4)
+	if !r.done || r.status != nil {
+		t.Fatalf("done=%v status=%v", r.done, r.status)
+	}
+	want := []string{"parent-pre", "child", "parent-post"}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAsyncFanout(t *testing.T) {
+	s := newSys(t)
+	var completed int
+	child := s.MustRegister("child", func(c *Ctx) error {
+		c.ExecNS(2000)
+		completed++
+		return nil
+	})
+	parent := s.MustRegister("parent", func(c *Ctx) error {
+		var cookies []Cookie
+		for i := 0; i < 8; i++ {
+			ck, err := c.Async(child, 1)
+			if err != nil {
+				return err
+			}
+			cookies = append(cookies, ck)
+		}
+		for _, ck := range cookies {
+			if err := c.Wait(ck); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	start := s.Eng.Now()
+	r := s.RunOnce(parent, 4)
+	if !r.done || r.status != nil {
+		t.Fatalf("done=%v status=%v", r.done, r.status)
+	}
+	if completed != 8 {
+		t.Fatalf("children completed = %d, want 8", completed)
+	}
+	// Async children run in parallel on other executors: wall time must be
+	// far below 8x the child exec time.
+	wall := s.cyclesToNS(s.Eng.Now() - start)
+	if wall > 8*2000 {
+		t.Fatalf("fanout wall time %.0f ns suggests serial execution", wall)
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	s := newSys(t)
+	const depth = 6
+	ids := make([]FuncID, depth)
+	for i := depth - 1; i >= 0; i-- {
+		i := i
+		ids[i] = s.MustRegister(fmt.Sprintf("level%d", i), func(c *Ctx) error {
+			c.ExecNS(100)
+			if i+1 < depth {
+				return c.Call(ids[i+1], 1)
+			}
+			return nil
+		})
+	}
+	r := s.RunOnce(ids[0], 2)
+	if !r.done || r.status != nil {
+		t.Fatalf("deep nesting failed: %v", r.status)
+	}
+}
+
+func TestChildErrorPropagates(t *testing.T) {
+	s := newSys(t)
+	sentinel := errors.New("boom")
+	child := s.MustRegister("failing", func(c *Ctx) error { return sentinel })
+	parent := s.MustRegister("parent", func(c *Ctx) error {
+		return c.Call(child, 1)
+	})
+	r := s.RunOnce(parent, 2)
+	if !errors.Is(r.status, sentinel) {
+		t.Fatalf("status = %v, want sentinel", r.status)
+	}
+}
+
+func TestIsolationBetweenInvocations(t *testing.T) {
+	// A live victim function leaks its heap address; a concurrently
+	// running attacker forges it. The access must fault (§3.1): the
+	// victim's VMA is alive but granted only to the victim's PD.
+	s := newSys(t)
+	var victimHeap uint64
+	var probeErr error
+	probe := s.MustRegister("attacker", func(c *Ctx) error {
+		probeErr = c.Load(victimHeap)
+		return nil
+	})
+	victim := s.MustRegister("victim", func(c *Ctx) error {
+		victimHeap = c.cont.heapVA
+		// Invoke the attacker while our heap is still mapped.
+		return c.Call(probe, 1)
+	})
+	r := s.RunOnce(victim, 1)
+	if !r.done || r.status != nil {
+		t.Fatalf("victim failed: %v", r.status)
+	}
+	var f *privlib.Fault
+	if !errors.As(probeErr, &f) {
+		t.Fatalf("cross-PD access: %v, want fault", probeErr)
+	}
+	if f.Kind != vmatable.FaultPermission {
+		t.Fatalf("fault kind = %v, want permission", f.Kind)
+	}
+}
+
+func TestOwnVMAAccessible(t *testing.T) {
+	s := newSys(t)
+	fn := s.MustRegister("self", func(c *Ctx) error {
+		if err := c.Store(c.cont.heapVA); err != nil {
+			return fmt.Errorf("own heap: %w", err)
+		}
+		if err := c.Load(c.cont.stackVA); err != nil {
+			return fmt.Errorf("own stack: %w", err)
+		}
+		va, err := c.Mmap(256, vmatable.PermRW)
+		if err != nil {
+			return err
+		}
+		if err := c.Store(va); err != nil {
+			return fmt.Errorf("own mmap: %w", err)
+		}
+		return c.Munmap(va)
+	})
+	r := s.RunOnce(fn, 1)
+	if r.status != nil {
+		t.Fatal(r.status)
+	}
+}
+
+func TestNoIsolationVariantRuns(t *testing.T) {
+	s := newSys(t, func(c *Config) { c.Variant = privlib.NoIsolation })
+	fn := s.MustRegister("noop", func(c *Ctx) error { c.ExecNS(500); return nil })
+	r := s.RunOnce(fn, 4)
+	if !r.done || r.status != nil {
+		t.Fatalf("JordNI run failed: %v", r.status)
+	}
+	// Isolation overhead must be near zero (only mmap/munmap remain).
+	jni := r.Trace.Isolation
+
+	s2 := newSys(t)
+	fn2 := s2.MustRegister("noop", func(c *Ctx) error { c.ExecNS(500); return nil })
+	r2 := s2.RunOnce(fn2, 4)
+	if jni >= r2.Trace.Isolation {
+		t.Fatalf("JordNI isolation %d should be < Jord %d", jni, r2.Trace.Isolation)
+	}
+}
+
+func TestLoadRunProducesLatencies(t *testing.T) {
+	s := newSys(t, func(c *Config) { c.Seed = 7 })
+	fn := s.MustRegister("work", func(c *Ctx) error { c.ExecNS(2000); return nil })
+	res := s.RunLoad(LoadSpec{
+		RPS:     1_000_000,
+		Warmup:  200,
+		Measure: 2000,
+		Root:    func() (FuncID, int) { return fn, 15 },
+	})
+	if res.Completed != 2000 {
+		t.Fatalf("completed = %d, want 2000", res.Completed)
+	}
+	p50 := res.Latency.Percentile(50)
+	p99 := res.Latency.Percentile(99)
+	if p50 < 2000 {
+		t.Fatalf("p50 = %d ns, below pure exec time", p50)
+	}
+	if p99 < p50 {
+		t.Fatal("p99 < p50")
+	}
+	// At 1 MRPS over 30 executors with 2us functions, utilization ~7%:
+	// latency must be close to service time, far from SLO blowup.
+	if p99 > 50_000 {
+		t.Fatalf("p99 = %d ns at light load, expected < 50us", p99)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (uint64, int64) {
+		cfg := DefaultConfig()
+		cfg.Seed = 42
+		s, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		child := s.MustRegister("c", func(c *Ctx) error { c.ExecNS(300); return nil })
+		fn := s.MustRegister("p", func(c *Ctx) error {
+			c.ExecNS(800)
+			return c.Call(child, 2)
+		})
+		res := s.RunLoad(LoadSpec{
+			RPS: 2_000_000, Warmup: 100, Measure: 500,
+			Root: func() (FuncID, int) { return fn, 15 },
+		})
+		return res.Completed, res.Latency.Percentile(99)
+	}
+	c1, p1 := run()
+	c2, p2 := run()
+	if c1 != c2 || p1 != p2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", c1, p1, c2, p2)
+	}
+}
+
+func TestOverloadSaturates(t *testing.T) {
+	s := newSys(t)
+	fn := s.MustRegister("slow", func(c *Ctx) error { c.ExecNS(10_000); return nil })
+	// 30 executors x 10us => ~3 MRPS capacity; offer 6 MRPS.
+	res := s.RunLoad(LoadSpec{
+		RPS: 6_000_000, Warmup: 500, Measure: 3000,
+		Root: func() (FuncID, int) { return fn, 4 },
+	})
+	if res.Completed != 3000 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	// Queueing must blow the tail far past service time.
+	if p99 := res.Latency.Percentile(99); p99 < 100_000 {
+		t.Fatalf("p99 = %d ns under 2x overload, expected queueing blowup", p99)
+	}
+}
+
+func TestBreakdownAccounting(t *testing.T) {
+	s := newSys(t)
+	child := s.MustRegister("child", func(c *Ctx) error { c.ExecNS(1000); return nil })
+	fn := s.MustRegister("root", func(c *Ctx) error {
+		c.ExecNS(1000)
+		return c.Call(child, 4)
+	})
+	res := s.RunLoad(LoadSpec{
+		RPS: 500_000, Warmup: 100, Measure: 1000,
+		Root: func() (FuncID, int) { return fn, 15 },
+	})
+	bd := res.MeanBreakdown(fn, s.M.Cfg.FreqGHz)
+	if bd.Exec < 1000 {
+		t.Fatalf("root exec = %.0f ns, want >= 1000", bd.Exec)
+	}
+	if bd.Isolation <= 0 || bd.Alloc <= 0 || bd.Dispatch <= 0 || bd.Comm <= 0 {
+		t.Fatalf("breakdown has zeros: %+v", bd)
+	}
+	if bd.Service < bd.Exec+bd.Isolation {
+		t.Fatalf("service %.0f < exec+isol %.0f", bd.Service, bd.Exec+bd.Isolation)
+	}
+	// Paper §6.2: isolation overhead per invocation is well below 1 us
+	// (their number: < 120 ns; ours also counts nested-call transfers).
+	if bd.Isolation > 500 {
+		t.Fatalf("isolation = %.0f ns per invocation, want well under 1us", bd.Isolation)
+	}
+	if cbd := res.MeanBreakdown(child, s.M.Cfg.FreqGHz); cbd.Exec < 1000 {
+		t.Fatalf("child exec = %.0f ns", cbd.Exec)
+	}
+}

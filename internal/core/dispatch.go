@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"jord/internal/sim/engine"
+)
+
+// DispatchPolicy is the orchestrator's executor-selection strategy. The
+// paper adopts JBSQ "inspired by state-of-the-art key-value stores" and
+// leaves a policy comparison to future work (§3.3); the alternatives make
+// that comparison runnable.
+type DispatchPolicy int
+
+const (
+	// DispatchJBSQ is Join-Bounded-Shortest-Queue: probe every executor's
+	// queue length, pick the shortest, refuse to exceed the bound.
+	DispatchJBSQ DispatchPolicy = iota
+	// DispatchRoundRobin sends requests to executors in turn, probing
+	// nothing. Cheapest dispatch, worst tail under skewed service times.
+	DispatchRoundRobin
+	// DispatchRandom picks a uniformly random executor, probing nothing.
+	DispatchRandom
+	// DispatchJSQ is unbounded Join-Shortest-Queue: JBSQ's probing cost
+	// without its admission bound.
+	DispatchJSQ
+)
+
+func (p DispatchPolicy) String() string {
+	switch p {
+	case DispatchJBSQ:
+		return "jbsq"
+	case DispatchRoundRobin:
+		return "round-robin"
+	case DispatchRandom:
+		return "random"
+	case DispatchJSQ:
+		return "jsq"
+	default:
+		return fmt.Sprintf("DispatchPolicy(%d)", int(p))
+	}
+}
+
+// ParseDispatchPolicy maps a CLI name to a policy.
+func ParseDispatchPolicy(name string) (DispatchPolicy, error) {
+	switch name {
+	case "jbsq", "":
+		return DispatchJBSQ, nil
+	case "round-robin", "rr":
+		return DispatchRoundRobin, nil
+	case "random":
+		return DispatchRandom, nil
+	case "jsq":
+		return DispatchJSQ, nil
+	default:
+		return 0, fmt.Errorf("core: unknown dispatch policy %q", name)
+	}
+}
+
+// pick selects the target executor under the configured policy and
+// returns the probing cost. A nil executor means "no admissible target;
+// retry when capacity frees" (only JBSQ refuses admission).
+func (o *Orchestrator) pick(bypassBound bool) (*Executor, engine.Time) {
+	switch o.sys.Cfg.Dispatch {
+	case DispatchRoundRobin:
+		o.rr++
+		e := o.group[o.rr%len(o.group)]
+		// One queue-tail write, no probing.
+		return e, o.sys.M.Cfg.Instr(probeInstr)
+	case DispatchRandom:
+		e := o.group[o.sys.rng.IntN(len(o.group))]
+		return e, o.sys.M.Cfg.Instr(probeInstr + 4) // RNG + index math
+	case DispatchJSQ:
+		e, cost := o.jbsq(true) // probe everyone, ignore the bound
+		return e, cost
+	default: // DispatchJBSQ
+		return o.jbsq(bypassBound)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+)
+
+func newNC(t *testing.T) *System {
+	t.Helper()
+	return newSys(t, func(c *Config) { c.NightCore = true })
+}
+
+func TestNightCoreRuns(t *testing.T) {
+	s := newNC(t)
+	child := s.MustRegister("child", func(c *Ctx) error { c.ExecNS(500); return nil })
+	fn := s.MustRegister("root", func(c *Ctx) error {
+		c.ExecNS(1000)
+		return c.Call(child, 4)
+	})
+	r := s.RunOnce(fn, 15)
+	if !r.done || r.status != nil {
+		t.Fatalf("NightCore run failed: %v", r.status)
+	}
+	if r.Trace.Isolation != 0 {
+		t.Fatalf("NightCore charged isolation: %d", r.Trace.Isolation)
+	}
+	if r.Trace.Comm <= 0 {
+		t.Fatal("NightCore charged no pipe cost")
+	}
+}
+
+func TestNightCorePipeOverheadDwarfsJord(t *testing.T) {
+	// §6.1/§6.2: NightCore's per-invocation pipe+copy overhead is
+	// microseconds; Jord's isolation overhead is nanoseconds.
+	build := func(nc bool) (pipeOrIsolNS, latencyNS float64) {
+		s := newSys(t, func(c *Config) { c.NightCore = nc; c.Seed = 3 })
+		child := s.MustRegister("child", func(c *Ctx) error { c.ExecNS(500); return nil })
+		fn := s.MustRegister("root", func(c *Ctx) error {
+			c.ExecNS(1000)
+			return c.Call(child, 4)
+		})
+		res := s.RunLoad(LoadSpec{
+			RPS: 200_000, Warmup: 100, Measure: 500,
+			Root: func() (FuncID, int) { return fn, 15 },
+		})
+		bd := res.MeanBreakdown(fn, s.M.Cfg.FreqGHz)
+		if nc {
+			return bd.Comm, res.P99LatencyNS()
+		}
+		return bd.Isolation, res.P99LatencyNS()
+	}
+	jordIsol, jordP99 := build(false)
+	ncPipe, ncP99 := build(true)
+	if ncPipe < 10*jordIsol {
+		t.Fatalf("NightCore pipe overhead %.0f ns should dwarf Jord isolation %.0f ns",
+			ncPipe, jordIsol)
+	}
+	if ncPipe < 3000 {
+		t.Fatalf("NightCore per-invocation overhead %.0f ns, want microseconds", ncPipe)
+	}
+	if ncP99 <= jordP99 {
+		t.Fatalf("NightCore p99 %.0f ns should exceed Jord %.0f ns", ncP99, jordP99)
+	}
+}
+
+func TestNightCoreInsecureByDesign(t *testing.T) {
+	// The enhanced baseline trades isolation for speed (the paper's point):
+	// forged loads do not fault.
+	s := newNC(t)
+	fn := s.MustRegister("forger", func(c *Ctx) error {
+		return c.Load(0xdeadbeef)
+	})
+	r := s.RunOnce(fn, 1)
+	if r.status != nil {
+		t.Fatalf("NightCore faulted on a forged address: %v", r.status)
+	}
+}

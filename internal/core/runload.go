@@ -1,0 +1,144 @@
+package core
+
+import (
+	"jord/internal/sim/engine"
+)
+
+// RootSelector picks the next external request's root function and ArgBuf
+// payload size (in cache blocks). Implementations draw from the workload's
+// function mix.
+type RootSelector func() (FuncID, int)
+
+// LoadSpec configures one open-loop measurement run (wrk2-style, §5):
+// Poisson arrivals at RPS, Warmup unmeasured requests, then Measure
+// measured ones. Generation continues (unmeasured) until every measured
+// request completes, so queue pressure persists through the window.
+type LoadSpec struct {
+	RPS     float64
+	Warmup  uint64
+	Measure uint64
+	Root    RootSelector
+
+	// MaxVirtualSeconds caps the run against pathological overload
+	// (default 5 virtual seconds).
+	MaxVirtualSeconds float64
+}
+
+// RunLoad drives the system with spec and returns the collected results.
+// It owns the engine lifecycle: after RunLoad returns, the system must not
+// be reused.
+func (s *System) RunLoad(spec LoadSpec) *Results {
+	if spec.Measure == 0 {
+		spec.Measure = 1
+	}
+	if spec.MaxVirtualSeconds == 0 {
+		spec.MaxVirtualSeconds = 5
+	}
+	s.warmup = spec.Warmup
+	s.measureN = spec.Measure
+	s.stopWhenDone = true
+
+	cyclesPerSec := s.M.Cfg.FreqGHz * 1e9
+	meanGap := cyclesPerSec / spec.RPS
+
+	s.Eng.Spawn("loadgen", func(p *engine.Proc) {
+		for {
+			gap := engine.Time(s.rng.ExpFloat64()*meanGap + 0.5)
+			p.Delay(gap)
+			fn, blocks := spec.Root()
+			s.Inject(fn, blocks)
+		}
+	})
+
+	limit := engine.Time(spec.MaxVirtualSeconds * cyclesPerSec)
+	s.Eng.Run(limit)
+	s.Eng.Shutdown()
+	return &s.Res
+}
+
+// RunOnce executes a single external request to completion with an
+// otherwise idle system and returns it (for functional tests, examples,
+// and trace dumps).
+func (s *System) RunOnce(fn FuncID, blocks int) *Request {
+	var req *Request
+	s.Eng.Spawn("oneshot", func(p *engine.Proc) {
+		req = s.Inject(fn, blocks)
+	})
+	// Run until the request completes or the event queue drains.
+	for i := 0; i < 1<<20; i++ {
+		if s.Eng.Run(engine.MaxTime) == 0 {
+			break
+		}
+		if req != nil && req.done {
+			break
+		}
+	}
+	return req
+}
+
+// Drain finishes outstanding work (used after RunOnce sequences).
+func (s *System) Drain() {
+	s.Eng.Run(engine.MaxTime)
+}
+
+// Close tears down the engine's procs.
+func (s *System) Close() { s.Eng.Shutdown() }
+
+// MeanServiceNS returns the mean recorded service time in ns.
+func (r *Results) MeanServiceNS() float64 { return r.ServiceTime.Mean() }
+
+// P99LatencyNS returns the measured external p99 latency in ns.
+func (r *Results) P99LatencyNS() float64 { return float64(r.Latency.Percentile(99)) }
+
+// MeasuredRPS returns the achieved completion rate over the measurement
+// window.
+func (r *Results) MeasuredRPS(freqGHz float64) float64 {
+	if r.Completed == 0 || r.LastComplete <= r.FirstArrival {
+		return 0
+	}
+	seconds := float64(r.LastComplete-r.FirstArrival) / (freqGHz * 1e9)
+	return float64(r.Completed) / seconds
+}
+
+// Breakdown is a per-invocation mean breakdown in nanoseconds.
+type Breakdown struct {
+	Exec      float64
+	Isolation float64
+	Alloc     float64
+	Dispatch  float64
+	Comm      float64
+	Service   float64
+}
+
+// MeanBreakdown returns the average per-invocation breakdown across all
+// measured invocations of fn.
+func (r *Results) MeanBreakdown(fn FuncID, freqGHz float64) Breakdown {
+	fs := r.PerFunc[fn]
+	if fs == nil || fs.Count == 0 {
+		return Breakdown{}
+	}
+	n := float64(fs.Count) * freqGHz // cycles -> ns, per invocation
+	return Breakdown{
+		Exec:      float64(fs.Exec) / n,
+		Isolation: float64(fs.Isolation) / n,
+		Alloc:     float64(fs.Alloc) / n,
+		Dispatch:  float64(fs.Dispatch) / n,
+		Comm:      float64(fs.Comm) / n,
+		Service:   float64(fs.Service) / n,
+	}
+}
+
+// OverheadFraction returns (isolation+dispatch) over the full busy time
+// (service + dispatch) across all measured invocations — the §6.2
+// overhead metric.
+func (r *Results) OverheadFraction() float64 {
+	var over, total engine.Time
+	for _, fs := range r.PerFunc {
+		over += fs.Isolation + fs.Dispatch
+		total += fs.Service + fs.Dispatch
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(over) / float64(total)
+}

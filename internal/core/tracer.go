@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"jord/internal/sim/engine"
+	"jord/internal/sim/topo"
+)
+
+// EventKind classifies runtime trace events along the Figure 4 flow.
+type EventKind int
+
+const (
+	EvArrive EventKind = iota
+	EvStage            // orchestrator stages the ArgBuf
+	EvDispatch
+	EvDequeue
+	EvPDInit  // cget + stack/heap + code/ArgBuf permissions
+	EvEnter   // ccall
+	EvExecute // a compute segment ran
+	EvSubmit  // nested request submitted
+	EvSuspend // cexit
+	EvResume  // center
+	EvTeardown
+	EvComplete
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvArrive:
+		return "arrive"
+	case EvStage:
+		return "stage-argbuf"
+	case EvDispatch:
+		return "dispatch"
+	case EvDequeue:
+		return "dequeue"
+	case EvPDInit:
+		return "pd-init"
+	case EvEnter:
+		return "ccall"
+	case EvExecute:
+		return "execute"
+	case EvSubmit:
+		return "submit-nested"
+	case EvSuspend:
+		return "cexit"
+	case EvResume:
+		return "center"
+	case EvTeardown:
+		return "teardown"
+	case EvComplete:
+		return "complete"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one timestamped runtime event.
+type TraceEvent struct {
+	At   engine.Time
+	Kind EventKind
+	Req  uint64 // request ID
+	Fn   string
+	Core topo.CoreID
+	Note string
+}
+
+// Tracer collects a timeline of runtime events. Attach one with
+// System.SetTracer; tracing is off (nil) by default and costs nothing.
+type Tracer struct {
+	Events []TraceEvent
+	// Limit caps the number of recorded events (0 = unlimited).
+	Limit int
+}
+
+// SetTracer installs tr (nil disables tracing).
+func (s *System) SetTracer(tr *Tracer) { s.tracer = tr }
+
+// trace records an event if tracing is enabled.
+func (s *System) trace(kind EventKind, r *Request, core topo.CoreID, note string) {
+	tr := s.tracer
+	if tr == nil {
+		return
+	}
+	if tr.Limit > 0 && len(tr.Events) >= tr.Limit {
+		return
+	}
+	name := ""
+	if r != nil {
+		name = s.funcDef(r.Fn).Name
+	}
+	var id uint64
+	if r != nil {
+		id = r.ID
+	}
+	tr.Events = append(tr.Events, TraceEvent{
+		At: s.Eng.Now(), Kind: kind, Req: id, Fn: name, Core: core, Note: note,
+	})
+}
+
+// Render formats the timeline, with time in ns relative to the first
+// event.
+func (tr *Tracer) Render(freqGHz float64) string {
+	if len(tr.Events) == 0 {
+		return "(no events)\n"
+	}
+	var b strings.Builder
+	t0 := tr.Events[0].At
+	fmt.Fprintf(&b, "%10s  %-14s %6s %6s  %-24s %s\n",
+		"t (ns)", "event", "req", "core", "function", "")
+	for _, ev := range tr.Events {
+		fmt.Fprintf(&b, "%10.1f  %-14s %6d %6d  %-24s %s\n",
+			float64(ev.At-t0)/freqGHz, ev.Kind, ev.Req, ev.Core, ev.Fn, ev.Note)
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+// Package core implements the Jord runtime (paper §3): worker servers
+// whose orchestrator threads dispatch function invocation requests to
+// executor threads with JBSQ load balancing inside a single address space,
+// and whose executors run each function as a suspendable continuation in a
+// fresh protection domain, with ArgBufs passed zero-copy by transferring
+// VMA permissions.
+//
+// The runtime executes on the deterministic simulation engine: every core
+// is an engine.Proc, every latency comes from the privlib/vlb/memmodel
+// hardware model, and user functions are Go closures over a Ctx that
+// exposes the paper's programming model (Listing 1): call/async/wait,
+// mmap/munmap, and explicit compute segments.
+package core
+
+import (
+	"jord/internal/mem/vmatable"
+	"jord/internal/sim/engine"
+	"jord/internal/sim/topo"
+)
+
+// FuncID names a registered function.
+type FuncID int
+
+// FuncDef is a deployable function: a body plus the code VMA the runtime
+// created for it at registration.
+type FuncDef struct {
+	ID   FuncID
+	Name string
+	Body func(*Ctx) error
+
+	codeVA uint64
+}
+
+// Request is one function invocation request flowing through the system.
+type Request struct {
+	ID     uint64
+	Fn     FuncID
+	Blocks int // ArgBuf payload size in cache blocks (~15 on average, §6.3)
+
+	ArgBufVA uint64      // the ArgBuf VMA carrying inputs and outputs
+	Producer topo.CoreID // core that last wrote the ArgBuf (transfer source)
+
+	External bool
+	Arrival  engine.Time // when the orchestrator received it (latency start)
+
+	// measured marks requests inside the measurement window (after warmup,
+	// before cooldown); nested requests inherit it from their parent.
+	measured bool
+	// staged marks that the orchestrator already prepared the payload
+	// (ArgBuf in Jord, shm buffer in NightCore).
+	staged bool
+	// remoteHop marks a nested request forwarded to another worker
+	// server over the network (§3.3).
+	remoteHop bool
+	// onComplete, when set, fires once at external completion (cluster
+	// measurement windows).
+	onComplete func()
+
+	// Nested-call linkage: the parent continuation to resume on completion.
+	parent *Continuation
+
+	done   bool
+	status error
+
+	// ServiceStart is when an executor dequeued the request.
+	ServiceStart engine.Time
+	Trace        Trace
+}
+
+// Trace is the per-invocation service-time breakdown (Figure 11).
+// Isolation covers only what the JordNI variant bypasses (PD lifecycle and
+// permission transfers); VMA allocation — which every variant pays, since
+// functions need memory regardless — is tracked separately as Alloc.
+type Trace struct {
+	Dispatch  engine.Time // orchestrator: JBSQ probing + enqueue + ArgBuf staging
+	Isolation engine.Time // PrivLib: PD ops (cget/cput/ccall/...), pmove/pcopy
+	Alloc     engine.Time // PrivLib: mmap/munmap of stacks, heaps, ArgBufs
+	Comm      engine.Time // ArgBuf cache-block transfers and notifications
+	Exec      engine.Time // function body compute
+	Queue     engine.Time // waiting in orchestrator/executor queues
+}
+
+// Continuation is one executing function instance: its engine proc,
+// protection domain, private stack/heap, and nested-call state
+// (paper §3.4: "the executor regards each function as a continuation with
+// private register states, stack, and heap inside the isolated PD").
+type Continuation struct {
+	req  *Request
+	exec *Executor
+	proc *engine.Proc
+	pd   vmatable.PDID
+
+	stackVA, heapVA uint64
+	ownedBufs       []uint64 // ArgBuf VMAs created by this function
+
+	children []*Request
+	waiting  *Request // child currently blocked on (sync call or wait)
+
+	finished bool
+	err      error
+}
+
+// forgetOwnedBuf drops an ArgBuf from the continuation's teardown list
+// (used when the buffer's lifetime moved elsewhere, e.g. a network
+// forward consumed it).
+func (c *Continuation) forgetOwnedBuf(va uint64) {
+	for i, v := range c.ownedBufs {
+		if v == va {
+			c.ownedBufs = append(c.ownedBufs[:i], c.ownedBufs[i+1:]...)
+			return
+		}
+	}
+}

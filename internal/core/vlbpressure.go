@@ -1,0 +1,101 @@
+package core
+
+import (
+	"jord/internal/mem/vmatable"
+	"jord/internal/sim/engine"
+	"jord/internal/sim/topo"
+)
+
+// VLB pressure model (Figure 12). A function's data accesses rotate over
+// its active VMAs — private stack, private heap, the input ArgBuf, and
+// recently created/collected ArgBufs. When that working set fits in the
+// D-VLB, only cold misses occur; when it exceeds a fully-associative LRU
+// VLB under a cyclic access pattern, *every* access misses (classic LRU
+// thrash), each paying a VTW walk. The instruction side bounces between
+// the function's code VMA and PrivLib's code VMA on every PrivLib call,
+// exercising the I-VLB the same way.
+const (
+	// accessGapCycles is the average spacing of data memory accesses in
+	// function code (one access every 2 ns at 4 GHz).
+	accessGapCycles = 8
+	// steadyWalkCycles is the VTW walk in steady-state thrash: position
+	// computation plus an L1-resident VTE fetch (the paper's 2 ns common
+	// case).
+	steadyWalkCycles = 8
+	// maxActiveBufs bounds how many recent ArgBufs stay in the rotation
+	// (functions touch at most a couple of result buffers at a time).
+	maxActiveBufs = 2
+)
+
+// activeVMAs returns the continuation's current data working set.
+func (c *Ctx) activeVMAs() []uint64 {
+	vmas := make([]uint64, 0, 3+maxActiveBufs)
+	if c.cont.stackVA != 0 {
+		vmas = append(vmas, c.cont.stackVA)
+	}
+	if c.cont.heapVA != 0 {
+		vmas = append(vmas, c.cont.heapVA)
+	}
+	if c.cont.req.ArgBufVA != 0 {
+		vmas = append(vmas, c.cont.req.ArgBufVA)
+	}
+	vmas = append(vmas, c.activeBufs...)
+	return vmas
+}
+
+// noteActiveBuf adds an ArgBuf this function currently owns to the data
+// working set.
+func (c *Ctx) noteActiveBuf(va uint64) {
+	c.activeBufs = append(c.activeBufs, va)
+	if len(c.activeBufs) > maxActiveBufs {
+		c.activeBufs = c.activeBufs[1:]
+	}
+}
+
+// dropActiveBuf removes an ArgBuf whose permission was handed away.
+func (c *Ctx) dropActiveBuf(va uint64) {
+	for i, v := range c.activeBufs {
+		if v == va {
+			c.activeBufs = append(c.activeBufs[:i], c.activeBufs[i+1:]...)
+			return
+		}
+	}
+}
+
+// touchData charges the D-VLB cost of execCycles worth of computation:
+// one real pass over the working set (cold misses walk, hits are free and
+// maintain LRU state), plus the steady-state thrash penalty when the set
+// does not fit.
+func (c *Ctx) touchData(execCycles engine.Time) engine.Time {
+	if c.sys.Cfg.NightCore {
+		return 0
+	}
+	vmas := c.activeVMAs()
+	var extra engine.Time
+	for _, va := range vmas {
+		lat, err := c.sys.Lib.Access(c.Core(), c.cont.pd, va, vmatable.PermR, false)
+		if err != nil {
+			// Working-set bookkeeping should only hold accessible VMAs.
+			panic("core: working-set VMA inaccessible: " + err.Error())
+		}
+		extra += lat
+	}
+	if len(vmas) > c.sys.Cfg.VLB.DVLBEntries {
+		// Cyclic pattern over a too-small LRU VLB: every access misses.
+		accesses := execCycles / accessGapCycles
+		extra += accesses * (steadyWalkCycles + c.sys.Lib.WalkPenalty())
+	}
+	return extra
+}
+
+// touchInstr charges the I-VLB cost of one PrivLib call from a function or
+// the executor: control flow enters PrivLib's code VMA through its uatg
+// gate and returns to the caller's code VMA.
+func (s *System) touchInstr(core topo.CoreID, pd vmatable.PDID, fnCodeVA uint64) engine.Time {
+	if s.Cfg.NightCore {
+		return 0
+	}
+	lat1, _ := s.Lib.Sub.Access(core, pd, s.Lib.PrivCodeVA, vmatable.PermX, true, true)
+	lat2, _ := s.Lib.Sub.Access(core, pd, fnCodeVA, vmatable.PermX, true, true)
+	return lat1 + lat2
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"jord/internal/core"
+	"jord/internal/metrics"
+	"jord/internal/privlib"
+	"jord/internal/sim/topo"
+	"jord/internal/vlb"
+	"jord/internal/workloads"
+)
+
+// DispatchRow is one dispatch policy's result.
+type DispatchRow struct {
+	Policy       core.DispatchPolicy
+	TputUnderSLO float64
+	P99AtMidNS   float64 // p99 at ~60% of JBSQ's capacity
+}
+
+// DispatchAblationResult compares orchestrator dispatch policies on the
+// Hotel workload — the study the paper's §3.3 defers ("a further
+// evaluation of dispatch policies is beyond the scope of this paper").
+type DispatchAblationResult struct {
+	Workload string
+	SLONS    float64
+	Rows     []DispatchRow
+}
+
+// RunDispatchAblation sweeps each policy over the Hotel load grid.
+func RunDispatchAblation(sc Scale, seed uint64) (*DispatchAblationResult, error) {
+	const wl = "hotel"
+	machine := topo.QFlex32()
+	vcfg := vlb.DefaultConfig()
+	slo, err := sloFor(wl, machine, vcfg, sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &DispatchAblationResult{Workload: wl, SLONS: slo}
+	grid := downsample(fig9Grid[wl], sc.MaxPoints)
+	policies := []core.DispatchPolicy{
+		core.DispatchJBSQ, core.DispatchJSQ, core.DispatchRoundRobin, core.DispatchRandom,
+	}
+	for _, policy := range policies {
+		var points []metrics.LoadPoint
+		var midP99 float64
+		for i, rps := range grid {
+			cfg := buildConfig(Jord, machine, vcfg, seed)
+			cfg.Dispatch = policy
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				return nil, err
+			}
+			w, err := workloads.Build(wl, sys, seed)
+			if err != nil {
+				return nil, err
+			}
+			r := sys.RunLoad(core.LoadSpec{
+				RPS: rps, Warmup: sc.Warmup, Measure: sc.Measure, Root: w.Selector(),
+			})
+			points = append(points, metrics.LoadPoint{LoadRPS: rps, P99NS: r.P99LatencyNS()})
+			if i == len(grid)/2 {
+				midP99 = r.P99LatencyNS()
+			}
+			if r.P99LatencyNS() > 4*slo {
+				break
+			}
+		}
+		res.Rows = append(res.Rows, DispatchRow{
+			Policy:       policy,
+			TputUnderSLO: metrics.ThroughputUnderSLO(points, slo),
+			P99AtMidNS:   midP99,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the policy comparison.
+func (r *DispatchAblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dispatch policy ablation (%s, SLO %.1f us)\n", r.Workload, r.SLONS/1000)
+	fmt.Fprintf(&b, "%-14s %22s %16s\n", "policy", "tput under SLO (MRPS)", "p99@mid (us)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %22.2f %16.1f\n",
+			row.Policy, row.TputUnderSLO/1e6, row.P99AtMidNS/1000)
+	}
+	return b.String()
+}
+
+// MPKRow is one isolation mechanism's throughput.
+type MPKRow struct {
+	System       string
+	TputUnderSLO float64
+	P99AtLowNS   float64
+	// Deadlocked marks a configuration that could not finish even the
+	// lightest load (MPK's 15 keys all held by suspended parents of
+	// nested calls).
+	Deadlocked bool
+}
+
+// MPKComparisonResult quantifies §2.2's argument against MPK-based
+// in-process isolation for microsecond FaaS: domain switches are cheap,
+// but 15 concurrent keys cap parallelism, permission changes need
+// software cross-core synchronization, and allocation still pays OS
+// page-based VM costs.
+type MPKComparisonResult struct {
+	Workload string
+	SLONS    float64
+	Rows     []MPKRow
+}
+
+// RunMPKComparison sweeps Jord, MPK, and JordNI on Hotel.
+func RunMPKComparison(sc Scale, seed uint64) (*MPKComparisonResult, error) {
+	const wl = "hotel"
+	machine := topo.QFlex32()
+	vcfg := vlb.DefaultConfig()
+	slo, err := sloFor(wl, machine, vcfg, sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &MPKComparisonResult{Workload: wl, SLONS: slo}
+	grid := downsample(fig9Grid[wl], sc.MaxPoints)
+	variants := []struct {
+		name      string
+		variant   privlib.Variant
+		idealKeys bool
+	}{
+		{"JordNI", privlib.NoIsolation, false},
+		{"Jord", privlib.PlainList, false},
+		{"MPK-15keys", privlib.MPK, false},
+		{"MPK-ideal", privlib.MPK, true}, // unlimited keys: isolates the OS-allocation cost
+	}
+	for _, v := range variants {
+		var points []metrics.LoadPoint
+		var lowP99 float64
+		deadlocked := false
+		// A dedicated very-light probe (0.1 MRPS) for the latency column:
+		// MPK saturates below Hotel's lightest grid point.
+		probeGrid := append([]float64{0.1e6}, grid...)
+		for i, rps := range probeGrid {
+			cfg := buildConfig(Jord, machine, vcfg, seed)
+			cfg.Variant = v.variant
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if v.idealKeys {
+				sys.Lib.MPKKeyLimit = 1 << 20
+			}
+			w, err := workloads.Build(wl, sys, seed)
+			if err != nil {
+				return nil, err
+			}
+			r := sys.RunLoad(core.LoadSpec{
+				RPS: rps, Warmup: sc.Warmup, Measure: sc.Measure, Root: w.Selector(),
+				MaxVirtualSeconds: 0.5, // MPK can crawl or deadlock; bound the run
+			})
+			if i == 0 {
+				lowP99 = r.P99LatencyNS()
+			}
+			if r.Completed < sc.Measure {
+				// The run hit the virtual-time cap: effectively zero
+				// throughput at this load.
+				points = append(points, metrics.LoadPoint{LoadRPS: rps, P99NS: 1e12})
+				if i == 0 {
+					deadlocked = true
+				}
+				break
+			}
+			points = append(points, metrics.LoadPoint{LoadRPS: rps, P99NS: r.P99LatencyNS()})
+			if r.P99LatencyNS() > 4*slo {
+				break
+			}
+		}
+		res.Rows = append(res.Rows, MPKRow{
+			System:       v.name,
+			TputUnderSLO: metrics.ThroughputUnderSLO(points, slo),
+			P99AtLowNS:   lowP99,
+			Deadlocked:   deadlocked,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the MPK comparison.
+func (r *MPKComparisonResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MPK-based isolation vs Jord (%s, SLO %.1f us; paper SS2.2)\n", r.Workload, r.SLONS/1000)
+	fmt.Fprintf(&b, "%-12s %22s %18s\n", "system", "tput under SLO (MRPS)", "p99 at low load (us)")
+	for _, row := range r.Rows {
+		note := ""
+		if row.Deadlocked {
+			note = "   (stalled: 15 keys < concurrent nested functions)"
+		}
+		fmt.Fprintf(&b, "%-12s %22.2f %18.1f%s\n",
+			row.System, row.TputUnderSLO/1e6, row.P99AtLowNS/1000, note)
+	}
+	return b.String()
+}

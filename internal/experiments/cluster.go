@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"jord/internal/core"
+	"jord/internal/workloads"
+)
+
+// ClusterRow is one cluster size's result under a fixed offered load.
+type ClusterRow struct {
+	Label        string
+	Servers      int
+	OfferedMRPS  float64
+	MeasuredMRPS float64
+	P99NS        float64
+	Forwarded    uint64
+	Completed    uint64
+}
+
+// ClusterResult evaluates the multi-server path of §3.3: a fixed offered
+// load that saturates one worker server is spread over 1, 2, and 4
+// servers; saturated servers forward nested requests to peers over the
+// network.
+type ClusterResult struct {
+	Workload string
+	Rows     []ClusterRow
+}
+
+// RunCluster drives the Hipster workload at ~1.5x one server's capacity
+// across growing cluster sizes.
+func RunCluster(sc Scale, seed uint64) (*ClusterResult, error) {
+	const wl = "hipster"
+	const offered = 15e6 // ~1.5x one 32-core server's capacity
+	res := &ClusterResult{Workload: wl}
+	type point struct {
+		servers int
+		skew    float64
+		label   string
+	}
+	points := []point{
+		{1, 0, "1"},
+		{2, 0, "2"},
+		{4, 0, "4"},
+		// An imbalanced front-end overloads server 0, whose orchestrators
+		// then forward nested requests to the idle peer (§3.3's network
+		// path in action).
+		{2, 0.85, "2-skewed"},
+	}
+	for _, pt := range points {
+		servers := pt.servers
+		cfg := core.DefaultClusterConfig()
+		cfg.Servers = servers
+		cfg.Seed = seed
+		cfg.SkewFirst = pt.skew
+		cfg.SpillQueueThreshold = 4 // spill once local queues reach the JBSQ bound
+		c, err := core.NewCluster(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Deploy the workload identically on every server; the selector of
+		// the first deployment drives the shared load generator.
+		var sel core.RootSelector
+		for i, s := range c.Servers {
+			w, err := workloads.Build(wl, s, seed)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				sel = w.Selector()
+			}
+		}
+		r := c.RunLoad(core.LoadSpec{
+			RPS:               offered,
+			Warmup:            sc.Warmup,
+			Measure:           sc.Measure,
+			Root:              sel,
+			MaxVirtualSeconds: 0.05,
+		})
+		freq := c.Servers[0].M.Cfg.FreqGHz
+		res.Rows = append(res.Rows, ClusterRow{
+			Label:        pt.label,
+			Servers:      servers,
+			OfferedMRPS:  offered / 1e6,
+			MeasuredMRPS: r.MeasuredRPS(freq) / 1e6,
+			P99NS:        r.P99LatencyNS(),
+			Forwarded:    c.Forwarded,
+			Completed:    r.Completed,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the scaling table.
+func (r *ClusterResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-server scaling (%s, fixed offered load)\n", r.Workload)
+	fmt.Fprintf(&b, "%-8s %10s %12s %10s %10s\n",
+		"servers", "offered", "measured", "p99 (us)", "forwarded")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %7.1f M %9.2f M %10.1f %10d\n",
+			row.Label, row.OfferedMRPS, row.MeasuredMRPS, row.P99NS/1000, row.Forwarded)
+	}
+	return b.String()
+}

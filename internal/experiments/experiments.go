@@ -1,0 +1,143 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6): Table 4 (operation latencies), Figure 9 (p99 vs load),
+// Figure 10 (service-time CDF), Figure 11 (service-time breakdown),
+// Figure 12 (VLB sizing), Figure 13 (plain list vs B-tree), and Figure 14
+// (scalability), plus the §6.2 overhead accounting. Each experiment
+// returns structured rows/series and can render itself as an aligned text
+// table.
+package experiments
+
+import (
+	"fmt"
+
+	"jord/internal/core"
+	"jord/internal/privlib"
+	"jord/internal/sim/topo"
+	"jord/internal/vlb"
+	"jord/internal/workloads"
+)
+
+// Scale selects measurement effort: Quick for tests/benches, Full for
+// paper-grade sweeps.
+type Scale struct {
+	Name    string
+	Warmup  uint64
+	Measure uint64
+	// MaxPoints caps sweep grids (downsampled evenly).
+	MaxPoints int
+}
+
+var (
+	Quick = Scale{Name: "quick", Warmup: 200, Measure: 2500, MaxPoints: 6}
+	Full  = Scale{Name: "full", Warmup: 1000, Measure: 12000, MaxPoints: 12}
+)
+
+// SystemKind names the systems under comparison (§5).
+type SystemKind int
+
+const (
+	Jord SystemKind = iota
+	JordNI
+	JordBT
+	NightCore
+)
+
+func (k SystemKind) String() string {
+	switch k {
+	case Jord:
+		return "Jord"
+	case JordNI:
+		return "JordNI"
+	case JordBT:
+		return "JordBT"
+	case NightCore:
+		return "NightCore"
+	default:
+		return fmt.Sprintf("SystemKind(%d)", int(k))
+	}
+}
+
+// buildConfig assembles a core.Config for one system under test.
+func buildConfig(kind SystemKind, machine topo.Config, vcfg vlb.Config, seed uint64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Machine = machine
+	cfg.VLB = vcfg
+	cfg.Seed = seed
+	switch kind {
+	case Jord:
+		cfg.Variant = privlib.PlainList
+	case JordNI:
+		cfg.Variant = privlib.NoIsolation
+	case JordBT:
+		cfg.Variant = privlib.BTree
+	case NightCore:
+		cfg.NightCore = true
+	}
+	return cfg
+}
+
+// deploy builds a fresh system with a workload on it.
+func deploy(kind SystemKind, machine topo.Config, vcfg vlb.Config, workload string, seed uint64) (*core.System, *workloads.Workload, error) {
+	sys, err := core.NewSystem(buildConfig(kind, machine, vcfg, seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := workloads.Build(workload, sys, seed)
+	if err != nil {
+		sys.Close()
+		return nil, nil, err
+	}
+	return sys, w, nil
+}
+
+// runPoint measures one (system, workload, load) point.
+func runPoint(kind SystemKind, machine topo.Config, vcfg vlb.Config, workload string, rps float64, sc Scale, seed uint64) (*core.Results, float64, error) {
+	sys, w, err := deploy(kind, machine, vcfg, workload, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	res := sys.RunLoad(core.LoadSpec{
+		RPS:     rps,
+		Warmup:  sc.Warmup,
+		Measure: sc.Measure,
+		Root:    w.Selector(),
+	})
+	freq := sys.M.Cfg.FreqGHz
+	return res, freq, nil
+}
+
+// downsample evenly reduces a grid to at most n points, always keeping
+// the first and last.
+func downsample(grid []float64, n int) []float64 {
+	if n <= 0 || len(grid) <= n {
+		return grid
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(grid) - 1) / (n - 1)
+		out = append(out, grid[idx])
+	}
+	return out
+}
+
+// fig9Grid is each workload's offered-load axis in requests/second,
+// following the paper's Figure 9 ranges.
+var fig9Grid = map[string][]float64{
+	"hipster": {1e6, 2e6, 4e6, 6e6, 8e6, 10e6, 11e6, 12e6, 13e6, 14e6, 16e6},
+	"hotel":   {0.5e6, 1e6, 2e6, 3e6, 4e6, 5e6, 6e6, 6.5e6, 7e6, 7.5e6, 8e6},
+	"media":   {0.5e6, 1e6, 2e6, 3e6, 3.5e6, 4e6, 4.5e6, 5e6, 6e6, 7e6},
+	"social":  {0.1e6, 0.2e6, 0.4e6, 0.6e6, 0.8e6, 0.9e6, 1.0e6, 1.1e6, 1.2e6, 1.4e6},
+}
+
+// sloFor computes each workload's SLO per §5: 10x the minimal-load mean
+// request latency on JordNI.
+func sloFor(workload string, machine topo.Config, vcfg vlb.Config, sc Scale, seed uint64) (float64, error) {
+	minLoad := fig9Grid[workload][0] / 2
+	res, _, err := runPoint(JordNI, machine, vcfg, workload, minLoad, Scale{
+		Name: "slo", Warmup: 100, Measure: 1500, MaxPoints: 1,
+	}, seed)
+	if err != nil {
+		return 0, err
+	}
+	return 10 * res.Latency.Mean(), nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"jord/internal/metrics"
+	"jord/internal/sim/topo"
+	"jord/internal/vlb"
+)
+
+// Fig12Series is one VLB size's latency-vs-load curve.
+type Fig12Series struct {
+	Entries      int
+	Points       []metrics.LoadPoint
+	TputUnderSLO float64
+}
+
+// Fig12Panel is one of the figure's two panels: I-VLB sizing on Hipster,
+// D-VLB sizing on Media (the two most VLB-sensitive workloads, §6.2).
+type Fig12Panel struct {
+	Workload string
+	VLBKind  string // "I-VLB" or "D-VLB"
+	SLONS    float64
+	Series   []Fig12Series
+}
+
+// Fig12Result reproduces Figure 12: sensitivity of performance to the
+// number of I-VLB and D-VLB entries.
+type Fig12Result struct {
+	Panels []Fig12Panel
+}
+
+// RunFig12 sweeps VLB sizes {1, 2, 4, 8, 16}.
+func RunFig12(sc Scale, seed uint64) (*Fig12Result, error) {
+	machine := topo.QFlex32()
+	res := &Fig12Result{}
+	panels := []struct {
+		workload string
+		kind     string
+	}{
+		{"hipster", "I-VLB"},
+		{"media", "D-VLB"},
+	}
+	sizes := []int{1, 2, 4, 8, 16}
+	for _, pn := range panels {
+		slo, err := sloFor(pn.workload, machine, vlb.DefaultConfig(), sc, seed)
+		if err != nil {
+			return nil, err
+		}
+		panel := Fig12Panel{Workload: pn.workload, VLBKind: pn.kind, SLONS: slo}
+		grid := downsample(fig9Grid[pn.workload], sc.MaxPoints)
+		for _, size := range sizes {
+			vcfg := vlb.DefaultConfig()
+			if pn.kind == "I-VLB" {
+				vcfg.IVLBEntries = size
+			} else {
+				vcfg.DVLBEntries = size
+			}
+			series := Fig12Series{Entries: size}
+			for _, rps := range grid {
+				r, freq, err := runPoint(Jord, machine, vcfg, pn.workload, rps, sc, seed)
+				if err != nil {
+					return nil, fmt.Errorf("fig12 %s %d: %w", pn.workload, size, err)
+				}
+				series.Points = append(series.Points, metrics.LoadPoint{
+					LoadRPS:     rps,
+					P99NS:       r.P99LatencyNS(),
+					MeasuredRPS: r.MeasuredRPS(freq),
+				})
+				if r.P99LatencyNS() > 4*slo {
+					break
+				}
+			}
+			series.TputUnderSLO = metrics.ThroughputUnderSLO(series.Points, slo)
+			panel.Series = append(panel.Series, series)
+		}
+		res.Panels = append(res.Panels, panel)
+	}
+	return res, nil
+}
+
+// Render prints throughput-under-SLO per size plus the latency curves.
+func (r *Fig12Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12: sensitivity to I-VLB and D-VLB entries\n")
+	for _, panel := range r.Panels {
+		fmt.Fprintf(&b, "\n[%s, %s]  SLO = %.1f us\n", panel.Workload, panel.VLBKind, panel.SLONS/1000)
+		fmt.Fprintf(&b, "%-8s %22s\n", "entries", "tput under SLO (MRPS)")
+		for _, s := range panel.Series {
+			fmt.Fprintf(&b, "%-8d %22.2f\n", s.Entries, s.TputUnderSLO/1e6)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"jord/internal/metrics"
+	"jord/internal/sim/topo"
+	"jord/internal/vlb"
+)
+
+// Fig13Result reproduces Figure 13: Jord (plain-list VMA table) vs JordBT
+// (B-tree VMA table). The paper's text discusses Hotel while the figure is
+// labelled Hipster; we generate both workloads and note the discrepancy in
+// EXPERIMENTS.md.
+type Fig13Result struct {
+	Panels []Fig13Panel
+}
+
+// Fig13Panel is one workload's comparison.
+type Fig13Panel struct {
+	Workload string
+	SLONS    float64
+	Series   []Fig9Series // reuses the system/points/tput structure
+}
+
+// RunFig13 sweeps Jord and JordBT.
+func RunFig13(sc Scale, seed uint64) (*Fig13Result, error) {
+	machine := topo.QFlex32()
+	vcfg := vlb.DefaultConfig()
+	res := &Fig13Result{}
+	for _, wl := range []string{"hotel", "hipster"} {
+		slo, err := sloFor(wl, machine, vcfg, sc, seed)
+		if err != nil {
+			return nil, err
+		}
+		panel := Fig13Panel{Workload: wl, SLONS: slo}
+		grid := downsample(fig9Grid[wl], sc.MaxPoints)
+		for _, kind := range []SystemKind{Jord, JordBT} {
+			series := Fig9Series{System: kind}
+			for _, rps := range grid {
+				r, freq, err := runPoint(kind, machine, vcfg, wl, rps, sc, seed)
+				if err != nil {
+					return nil, fmt.Errorf("fig13 %s %v: %w", wl, kind, err)
+				}
+				series.Points = append(series.Points, metrics.LoadPoint{
+					LoadRPS:     rps,
+					P99NS:       r.P99LatencyNS(),
+					MeasuredRPS: r.MeasuredRPS(freq),
+				})
+				if r.P99LatencyNS() > 4*slo {
+					break
+				}
+			}
+			series.TputUnderSLO = metrics.ThroughputUnderSLO(series.Points, slo)
+			panel.Series = append(panel.Series, series)
+		}
+		res.Panels = append(res.Panels, panel)
+	}
+	return res, nil
+}
+
+// Render formats the comparison.
+func (r *Fig13Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13: Jord (plain list) vs JordBT (B-tree VMA table)\n")
+	for _, panel := range r.Panels {
+		fmt.Fprintf(&b, "\n[%s]  SLO = %.1f us\n", panel.Workload, panel.SLONS/1000)
+		for _, s := range panel.Series {
+			fmt.Fprintf(&b, "  %-8s tput under SLO = %6.2f MRPS;  p99 at lightest load = %.1f us\n",
+				s.System, s.TputUnderSLO/1e6, s.Points[0].P99NS/1000)
+		}
+		if len(panel.Series) == 2 && panel.Series[0].TputUnderSLO > 0 {
+			ratio := panel.Series[1].TputUnderSLO / panel.Series[0].TputUnderSLO
+			fmt.Fprintf(&b, "  JordBT/Jord = %.0f%% (paper: ~60%%)\n", ratio*100)
+		}
+	}
+	return b.String()
+}

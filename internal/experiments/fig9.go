@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"jord/internal/metrics"
+	"jord/internal/sim/topo"
+	"jord/internal/vlb"
+)
+
+// Fig9Series is one system's latency-vs-load curve for one workload.
+type Fig9Series struct {
+	System SystemKind
+	Points []metrics.LoadPoint
+	// TputUnderSLO is the derived throughput-under-SLO (requests/second).
+	TputUnderSLO float64
+}
+
+// Fig9Workload is one workload's panel of Figure 9.
+type Fig9Workload struct {
+	Workload string
+	SLONS    float64
+	Series   []Fig9Series
+}
+
+// Fig9Result reproduces Figure 9: p99 latency across loads for Jord,
+// JordNI, and NightCore on all four workloads, with SLO = 10x minimal-load
+// JordNI service time (§5).
+type Fig9Result struct {
+	Panels []Fig9Workload
+}
+
+// RunFig9 sweeps all workloads. workloadFilter restricts to one workload
+// ("" = all).
+func RunFig9(sc Scale, workloadFilter string, seed uint64) (*Fig9Result, error) {
+	machine := topo.QFlex32()
+	vcfg := vlb.DefaultConfig()
+	res := &Fig9Result{}
+	for _, wl := range []string{"hipster", "hotel", "media", "social"} {
+		if workloadFilter != "" && wl != workloadFilter {
+			continue
+		}
+		slo, err := sloFor(wl, machine, vcfg, sc, seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s slo: %w", wl, err)
+		}
+		panel := Fig9Workload{Workload: wl, SLONS: slo}
+		grid := downsample(fig9Grid[wl], sc.MaxPoints)
+		for _, kind := range []SystemKind{JordNI, Jord, NightCore} {
+			series := Fig9Series{System: kind}
+			for _, rps := range grid {
+				r, freq, err := runPoint(kind, machine, vcfg, wl, rps, sc, seed)
+				if err != nil {
+					return nil, fmt.Errorf("fig9 %s %v @%.1f: %w", wl, kind, rps/1e6, err)
+				}
+				series.Points = append(series.Points, metrics.LoadPoint{
+					LoadRPS:     rps,
+					P99NS:       r.P99LatencyNS(),
+					MeasuredRPS: r.MeasuredRPS(freq),
+				})
+				// Past 4x SLO the curve is vertical; later points only
+				// cost time.
+				if r.P99LatencyNS() > 4*slo {
+					break
+				}
+			}
+			series.TputUnderSLO = metrics.ThroughputUnderSLO(series.Points, slo)
+			panel.Series = append(panel.Series, series)
+		}
+		res.Panels = append(res.Panels, panel)
+	}
+	return res, nil
+}
+
+// Render formats each panel as a table of p99 latencies per load.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: p99 latency (us) vs offered load (MRPS)\n")
+	for _, panel := range r.Panels {
+		fmt.Fprintf(&b, "\n[%s]  SLO = %.1f us\n", panel.Workload, panel.SLONS/1000)
+		fmt.Fprintf(&b, "%-10s", "load")
+		for _, s := range panel.Series {
+			fmt.Fprintf(&b, " %12s", s.System)
+		}
+		fmt.Fprintf(&b, "\n")
+		// Union of loads across series (they share a grid prefix).
+		maxLen := 0
+		for _, s := range panel.Series {
+			if len(s.Points) > maxLen {
+				maxLen = len(s.Points)
+			}
+		}
+		for i := 0; i < maxLen; i++ {
+			var load float64
+			for _, s := range panel.Series {
+				if i < len(s.Points) {
+					load = s.Points[i].LoadRPS
+					break
+				}
+			}
+			fmt.Fprintf(&b, "%-10.2f", load/1e6)
+			for _, s := range panel.Series {
+				if i < len(s.Points) {
+					fmt.Fprintf(&b, " %12.1f", s.Points[i].P99NS/1000)
+				} else {
+					fmt.Fprintf(&b, " %12s", ">SLO")
+				}
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+		fmt.Fprintf(&b, "throughput under SLO (MRPS):")
+		for _, s := range panel.Series {
+			fmt.Fprintf(&b, "  %v=%.2f", s.System, s.TputUnderSLO/1e6)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+// Package ipc models the OS inter-process communication primitives that
+// traditional FaaS systems pay for every cross-function hop (paper §2.1):
+// pipe syscalls, scheduler wakeups of blocked readers, SysV shared-memory
+// copies, and serialization. NightCore — even the enhanced single-address-
+// space variant the paper compares against — funnels every dispatch,
+// nested call, and completion through these, which is precisely the
+// overhead Jord's zero-copy permission transfers eliminate.
+//
+// Costs are split into a CPU component (occupies the calling core and
+// therefore limits throughput) and a latency-only component (the time
+// until a blocked peer runs, which inflates response time but not
+// utilization).
+package ipc
+
+import (
+	"jord/internal/sim/engine"
+	"jord/internal/sim/topo"
+)
+
+// Costs computes IPC latencies for one machine configuration.
+type Costs struct {
+	Cfg topo.Config
+}
+
+// Model constants, drawn from the measured ranges the paper's §2.1 cites
+// (pipe round trips and copies put FaaS overhead at ~10-70% of execution
+// time; NightCore spends ~microseconds per hop).
+const (
+	writeSyscallNS  = 450    // pipe write: user->kernel->user, copy to pipe buffer
+	readSyscallNS   = 450    // pipe read when data is ready
+	wakeupNS        = 1200   // scheduler wakeup of a blocked reader (futex/epoll path)
+	threadSwitchNS  = 600    // voluntary context switch of a blocked worker thread
+	serdeFixedNS    = 300    // serialization/deserialization fixed cost per message
+	serdePerByteNS  = 0.02   // ~50 GB/s serializer
+	memcpyPerByteNS = 0.0125 // ~80 GB/s memcpy through the cache hierarchy
+	mallocNS        = 60     // heap allocation for a message buffer
+)
+
+// PipeSendCPU is the sender-side cost of one pipe message of n bytes.
+func (c Costs) PipeSendCPU(n int) engine.Time {
+	return c.Cfg.NSToCycles(writeSyscallNS + memcpyPerByteNS*float64(n))
+}
+
+// PipeRecvCPU is the receiver-side cost of reading an n-byte message that
+// has already arrived.
+func (c Costs) PipeRecvCPU(n int) engine.Time {
+	return c.Cfg.NSToCycles(readSyscallNS + memcpyPerByteNS*float64(n))
+}
+
+// WakeupLatency is the extra latency before a blocked reader runs after
+// data arrives. Latency-only: the waiting core is free to do other work.
+func (c Costs) WakeupLatency() engine.Time {
+	return c.Cfg.NSToCycles(wakeupNS)
+}
+
+// ThreadSwitch is the cost of a worker thread blocking (or being switched
+// back in) — NightCore's analogue of cexit/center.
+func (c Costs) ThreadSwitch() engine.Time {
+	return c.Cfg.NSToCycles(threadSwitchNS)
+}
+
+// Serialize is the cost of encoding or decoding an n-byte payload.
+func (c Costs) Serialize(n int) engine.Time {
+	return c.Cfg.NSToCycles(serdeFixedNS + serdePerByteNS*float64(n))
+}
+
+// ShmCopy is one copy of n bytes through SysV shared memory.
+func (c Costs) ShmCopy(n int) engine.Time {
+	return c.Cfg.NSToCycles(memcpyPerByteNS * float64(n))
+}
+
+// Malloc is a message-buffer allocation.
+func (c Costs) Malloc() engine.Time { return c.Cfg.NSToCycles(mallocNS) }
+
+// --- Composite flows ---
+
+// MessageSendCPU is a full message handoff on the sender: allocate,
+// serialize, copy into shm, pipe-notify.
+func (c Costs) MessageSendCPU(payload int) engine.Time {
+	return c.Malloc() + c.Serialize(payload) + c.ShmCopy(payload) + c.PipeSendCPU(64)
+}
+
+// MessageRecvCPU is the receiver's work once notified: pipe read,
+// copy out of shm, deserialize.
+func (c Costs) MessageRecvCPU(payload int) engine.Time {
+	return c.PipeRecvCPU(64) + c.ShmCopy(payload) + c.Serialize(payload)
+}
+
+// VanillaWorkerPrepNS is unoptimized NightCore's per-function worker
+// preparation cost the paper quotes (§6.2: "NightCore takes 0.8 ms to
+// prepare a worker process to execute a function"). The enhanced baseline
+// does not pay it; it is exposed for the cold-start ablation.
+const VanillaWorkerPrepNS = 800_000

@@ -1,0 +1,58 @@
+package ipc
+
+import (
+	"testing"
+
+	"jord/internal/sim/topo"
+)
+
+func costs() Costs { return Costs{Cfg: topo.QFlex32()} }
+
+func TestCostsArePositiveAndOrdered(t *testing.T) {
+	c := costs()
+	if c.PipeSendCPU(64) <= 0 || c.PipeRecvCPU(64) <= 0 || c.WakeupLatency() <= 0 {
+		t.Fatal("non-positive IPC cost")
+	}
+	// Bigger payloads cost more.
+	if c.ShmCopy(64*1024) <= c.ShmCopy(64) {
+		t.Fatal("copy cost not monotone in size")
+	}
+	if c.Serialize(4096) <= c.Serialize(64) {
+		t.Fatal("serialization not monotone in size")
+	}
+}
+
+func TestPipeHopIsMicrosecondScale(t *testing.T) {
+	// §2.1's motivating gap: one pipe hop (send + wakeup + recv) costs
+	// microseconds where Jord's pmove costs ~16 ns.
+	c := costs()
+	hop := c.PipeSendCPU(64) + c.WakeupLatency() + c.PipeRecvCPU(64)
+	ns := c.Cfg.CyclesToNS(hop)
+	if ns < 1000 || ns > 10_000 {
+		t.Fatalf("pipe hop = %.0f ns, want microsecond scale", ns)
+	}
+}
+
+func TestMessageFlowDominatedBySyscalls(t *testing.T) {
+	c := costs()
+	small := c.MessageSendCPU(64) + c.MessageRecvCPU(64)
+	big := c.MessageSendCPU(64*1024) + c.MessageRecvCPU(64*1024)
+	if big <= small {
+		t.Fatal("payload size must matter")
+	}
+	// For small messages, fixed costs dominate: doubling payload changes
+	// little.
+	double := c.MessageSendCPU(128) + c.MessageRecvCPU(128)
+	if float64(double) > float64(small)*1.1 {
+		t.Fatal("small messages should be syscall-dominated")
+	}
+}
+
+func TestVanillaPrepDwarfsEnhancedPath(t *testing.T) {
+	c := costs()
+	enhanced := c.Cfg.CyclesToNS(c.MessageSendCPU(960) + c.WakeupLatency() + c.MessageRecvCPU(960))
+	if VanillaWorkerPrepNS < 50*enhanced {
+		t.Fatalf("vanilla prep (%.0f ns) should dwarf one enhanced hop (%.0f ns)",
+			float64(VanillaWorkerPrepNS), enhanced)
+	}
+}

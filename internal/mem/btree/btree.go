@@ -1,0 +1,374 @@
+// Package btree implements the B-tree VMA table used by the JordBT variant
+// (paper §5, §6.2, Figure 13). Where the plain list computes a VTE's
+// position from the address alone, the B-tree must be traversed and
+// rebalanced; every operation therefore reports how many nodes it touched
+// and how many splits/merges/rotations it performed, which the timing
+// layer converts into the extra walk latency (~20 ns VLB miss penalty vs
+// 2 ns) and PrivLib management time (+167%) the paper measures.
+package btree
+
+import (
+	"fmt"
+	"sort"
+
+	"jord/internal/mem/vmatable"
+)
+
+// degree is the minimum B-tree degree t: nodes hold t-1..2t-1 keys.
+const degree = 4
+
+// Entry is one VMA record keyed by its base address.
+type Entry struct {
+	Base  uint64
+	Bound uint64
+	VTE   *vmatable.VTE
+}
+
+// OpStats records the structural work of one operation.
+type OpStats struct {
+	NodesVisited int
+	Splits       int
+	Merges       int
+	Rotations    int
+}
+
+// Add accumulates other into s.
+func (s *OpStats) Add(other OpStats) {
+	s.NodesVisited += other.NodesVisited
+	s.Splits += other.Splits
+	s.Merges += other.Merges
+	s.Rotations += other.Rotations
+}
+
+type node struct {
+	keys     []Entry
+	children []*node
+	leaf     bool
+}
+
+// Tree is a B-tree of VMAs ordered by base address.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of VMAs stored.
+func (t *Tree) Len() int { return t.size }
+
+// Lookup finds the VMA containing addr: the entry with the greatest base
+// <= addr whose bound covers the offset.
+func (t *Tree) Lookup(addr uint64) (Entry, OpStats, bool) {
+	var st OpStats
+	var best *Entry
+	n := t.root
+	for n != nil {
+		st.NodesVisited++
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i].Base > addr })
+		if i > 0 {
+			best = &n.keys[i-1]
+		}
+		if n.leaf {
+			break
+		}
+		n = n.children[i]
+	}
+	if best == nil || addr-best.Base >= best.Bound {
+		return Entry{}, st, false
+	}
+	return *best, st, true
+}
+
+// Insert adds a VMA. Overlapping or duplicate base addresses are rejected.
+func (t *Tree) Insert(e Entry) (OpStats, error) {
+	if e.Bound == 0 {
+		return OpStats{}, fmt.Errorf("btree: zero bound")
+	}
+	var st OpStats
+	// Overlap check against neighbours.
+	if prev, _, ok := t.Lookup(e.Base); ok {
+		return st, fmt.Errorf("btree: %#x overlaps VMA at %#x", e.Base, prev.Base)
+	}
+	if next, ok := t.ceiling(e.Base); ok && next.Base < e.Base+e.Bound {
+		return st, fmt.Errorf("btree: %#x+%d overlaps VMA at %#x", e.Base, e.Bound, next.Base)
+	}
+
+	r := t.root
+	if len(r.keys) == 2*degree-1 {
+		newRoot := &node{children: []*node{r}}
+		newRoot.splitChild(0)
+		st.Splits++
+		t.root = newRoot
+		r = newRoot
+	}
+	t.insertNonFull(r, e, &st)
+	t.size++
+	return st, nil
+}
+
+// ceiling returns the entry with the smallest base >= addr.
+func (t *Tree) ceiling(addr uint64) (Entry, bool) {
+	var best *Entry
+	n := t.root
+	for n != nil {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i].Base >= addr })
+		if i < len(n.keys) {
+			best = &n.keys[i]
+		}
+		if n.leaf {
+			break
+		}
+		n = n.children[i]
+	}
+	if best == nil {
+		return Entry{}, false
+	}
+	return *best, true
+}
+
+func (t *Tree) insertNonFull(n *node, e Entry, st *OpStats) {
+	for {
+		st.NodesVisited++
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i].Base > e.Base })
+		if n.leaf {
+			n.keys = append(n.keys, Entry{})
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = e
+			return
+		}
+		if len(n.children[i].keys) == 2*degree-1 {
+			n.splitChild(i)
+			st.Splits++
+			if e.Base > n.keys[i].Base {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// splitChild splits n.children[i] (which must be full) around its median.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := degree - 1
+	median := child.keys[mid]
+
+	right := &node{leaf: child.leaf}
+	right.keys = append(right.keys, child.keys[mid+1:]...)
+	child.keys = child.keys[:mid]
+	if !child.leaf {
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+
+	n.keys = append(n.keys, Entry{})
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = median
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Delete removes the VMA with the given base address, reporting whether it
+// existed.
+func (t *Tree) Delete(base uint64) (OpStats, bool) {
+	var st OpStats
+	if !t.contains(base) {
+		return st, false
+	}
+	t.delete(t.root, base, &st)
+	if len(t.root.keys) == 0 && !t.root.leaf {
+		t.root = t.root.children[0]
+	}
+	t.size--
+	return st, true
+}
+
+func (t *Tree) contains(base uint64) bool {
+	e, _, ok := t.Lookup(base)
+	return ok && e.Base == base
+}
+
+// delete removes base from the subtree rooted at n, which is guaranteed to
+// contain it. n always has at least degree keys when descended into
+// (except the root).
+func (t *Tree) delete(n *node, base uint64, st *OpStats) {
+	st.NodesVisited++
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i].Base >= base })
+
+	if i < len(n.keys) && n.keys[i].Base == base {
+		if n.leaf {
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			return
+		}
+		// Internal node: replace with predecessor or successor, or merge.
+		if len(n.children[i].keys) >= degree {
+			pred := maxEntry(n.children[i], st)
+			n.keys[i] = pred
+			t.delete(n.children[i], pred.Base, st)
+			return
+		}
+		if len(n.children[i+1].keys) >= degree {
+			succ := minEntry(n.children[i+1], st)
+			n.keys[i] = succ
+			t.delete(n.children[i+1], succ.Base, st)
+			return
+		}
+		n.mergeChildren(i)
+		st.Merges++
+		t.delete(n.children[i], base, st)
+		return
+	}
+
+	// Key is in the subtree at children[i]; top up the child first.
+	child := n.children[i]
+	if len(child.keys) < degree {
+		i = n.fill(i, st)
+		child = n.children[i]
+	}
+	t.delete(child, base, st)
+}
+
+// fill ensures children[i] has at least degree keys by borrowing from a
+// sibling or merging, returning the (possibly shifted) child index that
+// now contains the search path.
+func (n *node) fill(i int, st *OpStats) int {
+	if i > 0 && len(n.children[i-1].keys) >= degree {
+		n.borrowFromLeft(i)
+		st.Rotations++
+		return i
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].keys) >= degree {
+		n.borrowFromRight(i)
+		st.Rotations++
+		return i
+	}
+	if i < len(n.children)-1 {
+		n.mergeChildren(i)
+		st.Merges++
+		return i
+	}
+	n.mergeChildren(i - 1)
+	st.Merges++
+	return i - 1
+}
+
+func (n *node) borrowFromLeft(i int) {
+	child, left := n.children[i], n.children[i-1]
+	child.keys = append([]Entry{n.keys[i-1]}, child.keys...)
+	n.keys[i-1] = left.keys[len(left.keys)-1]
+	left.keys = left.keys[:len(left.keys)-1]
+	if !child.leaf {
+		child.children = append([]*node{left.children[len(left.children)-1]}, child.children...)
+		left.children = left.children[:len(left.children)-1]
+	}
+}
+
+func (n *node) borrowFromRight(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys = append(child.keys, n.keys[i])
+	n.keys[i] = right.keys[0]
+	right.keys = append(right.keys[:0], right.keys[1:]...)
+	if !child.leaf {
+		child.children = append(child.children, right.children[0])
+		right.children = append(right.children[:0], right.children[1:]...)
+	}
+}
+
+// mergeChildren folds children[i+1] and the separator key into children[i].
+func (n *node) mergeChildren(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys = append(child.keys, n.keys[i])
+	child.keys = append(child.keys, right.keys...)
+	child.children = append(child.children, right.children...)
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+func maxEntry(n *node, st *OpStats) Entry {
+	for !n.leaf {
+		st.NodesVisited++
+		n = n.children[len(n.children)-1]
+	}
+	st.NodesVisited++
+	return n.keys[len(n.keys)-1]
+}
+
+func minEntry(n *node, st *OpStats) Entry {
+	for !n.leaf {
+		st.NodesVisited++
+		n = n.children[0]
+	}
+	st.NodesVisited++
+	return n.keys[0]
+}
+
+// Height returns the tree height (1 for a lone root).
+func (t *Tree) Height() int {
+	h := 0
+	for n := t.root; n != nil; {
+		h++
+		if n.leaf {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}
+
+// Check validates B-tree invariants (sorted keys, node occupancy, uniform
+// leaf depth); it is used by tests.
+func (t *Tree) Check() error {
+	_, err := t.check(t.root, true, 0, ^uint64(0))
+	return err
+}
+
+func (t *Tree) check(n *node, isRoot bool, lo, hi uint64) (depth int, err error) {
+	if !isRoot && len(n.keys) < degree-1 {
+		return 0, fmt.Errorf("btree: underfull node (%d keys)", len(n.keys))
+	}
+	if len(n.keys) > 2*degree-1 {
+		return 0, fmt.Errorf("btree: overfull node (%d keys)", len(n.keys))
+	}
+	for i, k := range n.keys {
+		if k.Base < lo || k.Base > hi {
+			return 0, fmt.Errorf("btree: key %#x out of range [%#x,%#x]", k.Base, lo, hi)
+		}
+		if i > 0 && n.keys[i-1].Base >= k.Base {
+			return 0, fmt.Errorf("btree: keys out of order")
+		}
+	}
+	if n.leaf {
+		if len(n.children) != 0 {
+			return 0, fmt.Errorf("btree: leaf with children")
+		}
+		return 1, nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return 0, fmt.Errorf("btree: %d children for %d keys", len(n.children), len(n.keys))
+	}
+	want := -1
+	for i, c := range n.children {
+		clo, chi := lo, hi
+		if i > 0 {
+			clo = n.keys[i-1].Base + 1
+		}
+		if i < len(n.keys) {
+			chi = n.keys[i].Base - 1
+		}
+		d, err := t.check(c, false, clo, chi)
+		if err != nil {
+			return 0, err
+		}
+		if want == -1 {
+			want = d
+		} else if d != want {
+			return 0, fmt.Errorf("btree: uneven leaf depth")
+		}
+	}
+	return want + 1, nil
+}

@@ -1,0 +1,206 @@
+package btree
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyLookup(t *testing.T) {
+	tr := New()
+	if _, _, ok := tr.Lookup(42); ok {
+		t.Fatal("lookup in empty tree succeeded")
+	}
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has nonzero length")
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	tr := New()
+	if _, err := tr.Insert(Entry{Base: 0x1000, Bound: 0x100}); err != nil {
+		t.Fatal(err)
+	}
+	e, _, ok := tr.Lookup(0x1050)
+	if !ok || e.Base != 0x1000 {
+		t.Fatalf("lookup mid-VMA: ok=%v base=%#x", ok, e.Base)
+	}
+	if _, _, ok := tr.Lookup(0x1100); ok {
+		t.Fatal("lookup past bound succeeded")
+	}
+	if _, _, ok := tr.Lookup(0xfff); ok {
+		t.Fatal("lookup below base succeeded")
+	}
+}
+
+func TestInsertRejectsOverlap(t *testing.T) {
+	tr := New()
+	mustInsert(t, tr, 0x1000, 0x100)
+	if _, err := tr.Insert(Entry{Base: 0x1000, Bound: 0x10}); err == nil {
+		t.Error("duplicate base accepted")
+	}
+	if _, err := tr.Insert(Entry{Base: 0x10f0, Bound: 0x10}); err == nil {
+		t.Error("overlap with existing tail accepted")
+	}
+	if _, err := tr.Insert(Entry{Base: 0xff0, Bound: 0x20}); err == nil {
+		t.Error("overlap with existing head accepted")
+	}
+	if _, err := tr.Insert(Entry{Base: 0x2000, Bound: 0}); err == nil {
+		t.Error("zero bound accepted")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tr.Len())
+	}
+}
+
+func mustInsert(t *testing.T, tr *Tree, base, bound uint64) {
+	t.Helper()
+	if _, err := tr.Insert(Entry{Base: base, Bound: bound}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyInsertDeleteInvariants(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewPCG(1, 2))
+	live := map[uint64]bool{}
+	// Non-overlapping 16-byte VMAs on a 64-byte grid.
+	for i := 0; i < 2000; i++ {
+		base := uint64(rng.IntN(4000)) * 64
+		if live[base] {
+			st, ok := tr.Delete(base)
+			if !ok {
+				t.Fatalf("delete of live base %#x failed", base)
+			}
+			if st.NodesVisited == 0 {
+				t.Fatal("delete visited no nodes")
+			}
+			delete(live, base)
+		} else {
+			if _, err := tr.Insert(Entry{Base: base, Bound: 16}); err != nil {
+				t.Fatalf("insert %#x: %v", base, err)
+			}
+			live[base] = true
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("invariant broken after op %d: %v", i, err)
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("len = %d, want %d", tr.Len(), len(live))
+	}
+	for base := range live {
+		e, _, ok := tr.Lookup(base + 5)
+		if !ok || e.Base != base {
+			t.Fatalf("live VMA %#x not found", base)
+		}
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := New()
+	mustInsert(t, tr, 0x1000, 0x10)
+	if _, ok := tr.Delete(0x2000); ok {
+		t.Fatal("deleted a missing key")
+	}
+	if tr.Len() != 1 {
+		t.Fatal("length changed on failed delete")
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10000; i++ {
+		mustInsert(t, tr, uint64(i)*64, 16)
+	}
+	if h := tr.Height(); h < 3 || h > 8 {
+		t.Fatalf("height = %d for 10k entries, want O(log n) in [3,8]", h)
+	}
+}
+
+func TestRebalancingWorkIsReported(t *testing.T) {
+	tr := New()
+	var splits int
+	for i := 0; i < 1000; i++ {
+		st, err := tr.Insert(Entry{Base: uint64(i) * 64, Bound: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		splits += st.Splits
+	}
+	if splits == 0 {
+		t.Fatal("1000 sequential inserts produced no splits")
+	}
+	var merges, rotations int
+	for i := 0; i < 1000; i++ {
+		st, ok := tr.Delete(uint64(i) * 64)
+		if !ok {
+			t.Fatalf("delete %d failed", i)
+		}
+		merges += st.Merges
+		rotations += st.Rotations
+	}
+	if merges+rotations == 0 {
+		t.Fatal("draining the tree produced no rebalancing")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d after drain, want 0", tr.Len())
+	}
+}
+
+func TestLookupCostExceedsPlainList(t *testing.T) {
+	// The motivation for the plain list: B-tree lookups touch multiple
+	// nodes, the plain list exactly one position.
+	tr := New()
+	for i := 0; i < 5000; i++ {
+		mustInsert(t, tr, uint64(i)*128, 64)
+	}
+	_, st, ok := tr.Lookup(2500 * 128)
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	if st.NodesVisited < 2 {
+		t.Fatalf("expected multi-node traversal, visited %d", st.NodesVisited)
+	}
+}
+
+// Property: the tree agrees with a sorted-slice reference model.
+func TestQuickAgainstReference(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		tr := New()
+		ref := map[uint64]bool{}
+		for _, s := range seeds {
+			base := uint64(s) * 32
+			if ref[base] {
+				if _, ok := tr.Delete(base); !ok {
+					return false
+				}
+				delete(ref, base)
+			} else {
+				if _, err := tr.Insert(Entry{Base: base, Bound: 32}); err != nil {
+					return false
+				}
+				ref[base] = true
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		keys := make([]uint64, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			e, _, ok := tr.Lookup(k + 31)
+			if !ok || e.Base != k {
+				return false
+			}
+		}
+		return tr.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

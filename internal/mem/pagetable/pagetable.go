@@ -1,0 +1,273 @@
+// Package pagetable models the conventional page-based virtual memory
+// that Jord extends rather than replaces (paper §2.2, §4.1): a 4-level
+// radix page table (Sv48-style), a per-core TLB, and the IPI-based TLB
+// shootdown whose cost motivates Jord's hardware VLB coherence. The
+// baseline FaaS systems pay these costs for every memory map/protect;
+// Jord pays them only on the OS path (uat_config refills).
+package pagetable
+
+import (
+	"fmt"
+
+	"jord/internal/mem/vmatable"
+	"jord/internal/sim/engine"
+	"jord/internal/sim/topo"
+)
+
+// Page geometry (Sv48: 4 KB pages, 9 bits per level, 4 levels).
+const (
+	PageShift  = 12
+	PageSize   = 1 << PageShift
+	levelBits  = 9
+	Levels     = 4
+	vaBitsUsed = PageShift + Levels*levelBits // 48
+)
+
+// Perm reuses the VMA permission type.
+type Perm = vmatable.Perm
+
+type ptNode struct {
+	children [1 << levelBits]*ptNode // non-leaf levels
+	ptes     []pte                   // leaf level only
+}
+
+type pte struct {
+	valid bool
+	pa    uint64
+	perm  Perm
+}
+
+// Table is a 4-level radix page table.
+type Table struct {
+	root *ptNode
+	live int
+}
+
+// New returns an empty page table.
+func New() *Table { return &Table{root: &ptNode{}} }
+
+// Live returns the number of mapped pages.
+func (t *Table) Live() int { return t.live }
+
+func index(va uint64, level int) int {
+	shift := PageShift + (Levels-1-level)*levelBits
+	return int(va >> uint(shift) & (1<<levelBits - 1))
+}
+
+func checkAligned(va uint64) error {
+	if va%PageSize != 0 {
+		return fmt.Errorf("pagetable: unaligned address %#x", va)
+	}
+	if va>>vaBitsUsed != 0 {
+		return fmt.Errorf("pagetable: address %#x exceeds %d-bit VA", va, vaBitsUsed)
+	}
+	return nil
+}
+
+// Map installs a translation for one page. Remapping a live page is an
+// error (unmap first, as mmap(MAP_FIXED) semantics are not modelled).
+func (t *Table) Map(va, pa uint64, perm Perm) error {
+	if err := checkAligned(va); err != nil {
+		return err
+	}
+	n := t.root
+	for level := 0; level < Levels-1; level++ {
+		i := index(va, level)
+		if n.children[i] == nil {
+			n.children[i] = &ptNode{}
+			if level == Levels-2 {
+				n.children[i].ptes = make([]pte, 1<<levelBits)
+			}
+		}
+		n = n.children[i]
+	}
+	e := &n.ptes[index(va, Levels-1)]
+	if e.valid {
+		return fmt.Errorf("pagetable: page %#x already mapped", va)
+	}
+	*e = pte{valid: true, pa: pa, perm: perm}
+	t.live++
+	return nil
+}
+
+// Protect changes the permission of a mapped page.
+func (t *Table) Protect(va uint64, perm Perm) error {
+	e := t.lookup(va)
+	if e == nil {
+		return fmt.Errorf("pagetable: protect of unmapped page %#x", va)
+	}
+	e.perm = perm
+	return nil
+}
+
+// Unmap removes a page mapping, reporting whether it existed.
+func (t *Table) Unmap(va uint64) bool {
+	e := t.lookup(va)
+	if e == nil {
+		return false
+	}
+	*e = pte{}
+	t.live--
+	return true
+}
+
+func (t *Table) lookup(va uint64) *pte {
+	if checkAligned(va&^uint64(PageSize-1)) != nil {
+		return nil
+	}
+	n := t.root
+	for level := 0; level < Levels-1; level++ {
+		n = n.children[index(va, level)]
+		if n == nil {
+			return nil
+		}
+	}
+	e := &n.ptes[index(va, Levels-1)]
+	if !e.valid {
+		return nil
+	}
+	return e
+}
+
+// Walk translates va, returning the physical address, page permission, and
+// the number of page-table levels touched (always Levels on success — the
+// cost of a full walk).
+func (t *Table) Walk(va uint64) (pa uint64, perm Perm, levels int, ok bool) {
+	page := va &^ uint64(PageSize-1)
+	e := t.lookup(page)
+	if e == nil {
+		return 0, 0, Levels, false
+	}
+	return e.pa + va%PageSize, e.perm, Levels, true
+}
+
+// --- TLB ---
+
+// TLB is a fully-associative, LRU translation lookaside buffer keyed by
+// virtual page number.
+type TLB struct {
+	capacity int
+	order    []uint64 // LRU order, most recent last
+	entries  map[uint64]tlbEntry
+
+	Hits   uint64
+	Misses uint64
+}
+
+type tlbEntry struct {
+	pa   uint64
+	perm Perm
+}
+
+// NewTLB returns a TLB with the given entry count.
+func NewTLB(capacity int) *TLB {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TLB{capacity: capacity, entries: make(map[uint64]tlbEntry)}
+}
+
+// Lookup translates va if cached.
+func (t *TLB) Lookup(va uint64) (pa uint64, perm Perm, ok bool) {
+	vpn := va >> PageShift
+	e, ok := t.entries[vpn]
+	if !ok {
+		t.Misses++
+		return 0, 0, false
+	}
+	t.Hits++
+	t.touch(vpn)
+	return e.pa + va%PageSize, e.perm, true
+}
+
+// Insert caches a translation, evicting the LRU entry if full.
+func (t *TLB) Insert(va, paPage uint64, perm Perm) {
+	vpn := va >> PageShift
+	if _, exists := t.entries[vpn]; !exists && len(t.entries) >= t.capacity {
+		victim := t.order[0]
+		t.order = t.order[1:]
+		delete(t.entries, victim)
+	}
+	t.entries[vpn] = tlbEntry{pa: paPage, perm: perm}
+	t.touch(vpn)
+}
+
+func (t *TLB) touch(vpn uint64) {
+	for i, v := range t.order {
+		if v == vpn {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	t.order = append(t.order, vpn)
+}
+
+// InvalidatePage drops one translation.
+func (t *TLB) InvalidatePage(va uint64) {
+	vpn := va >> PageShift
+	if _, ok := t.entries[vpn]; !ok {
+		return
+	}
+	delete(t.entries, vpn)
+	for i, v := range t.order {
+		if v == vpn {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// InvalidateAll flushes the TLB.
+func (t *TLB) InvalidateAll() {
+	t.entries = make(map[uint64]tlbEntry)
+	t.order = t.order[:0]
+}
+
+// Len returns the number of cached translations.
+func (t *TLB) Len() int { return len(t.entries) }
+
+// --- OS cost model ---
+
+// OSCosts models the latency of OS-mediated memory management: what the
+// baseline pays per mmap/mprotect/munmap and what Jord pays only on its
+// uat_config refill path. Constants follow the ranges the paper cites
+// ([7,8,47,71,90]: tens to thousands of microseconds for permission
+// switches including shootdowns).
+type OSCosts struct {
+	Cfg topo.Config
+}
+
+// SyscallCycles is the user->kernel->user round trip (~0.5 us on modern
+// mitigated kernels).
+func (o OSCosts) SyscallCycles() engine.Time { return o.Cfg.NSToCycles(500) }
+
+// WalkCycles is the cost of one software page-table walk plus PTE update.
+func (o OSCosts) WalkCycles(levels int) engine.Time {
+	// Each level is roughly an LLC-latency pointer chase plus updates.
+	return engine.Time(levels) * (o.Cfg.LLCCycles + o.Cfg.NSToCycles(20))
+}
+
+// ShootdownCycles is the IPI-based TLB shootdown across nCores responders:
+// IPI dispatch, per-core interrupt handling (~1 us), and ack collection;
+// responders run in parallel but the initiator pays dispatch serially.
+func (o OSCosts) ShootdownCycles(nCores int) engine.Time {
+	if nCores <= 1 {
+		return o.Cfg.NSToCycles(200) // local invalidation only
+	}
+	dispatch := engine.Time(nCores-1) * o.Cfg.NSToCycles(120) // APIC writes
+	remote := o.Cfg.NSToCycles(1000)                          // interrupt + handler + ack
+	return dispatch + remote
+}
+
+// MmapCycles is a complete OS mmap of n pages including shootdown-free
+// installation (first touch faults folded in).
+func (o OSCosts) MmapCycles(pages int) engine.Time {
+	return o.SyscallCycles() + engine.Time(pages)*o.WalkCycles(Levels)
+}
+
+// MprotectCycles is a permission change over n pages on a process with
+// nCores concurrently running threads: syscall, per-page PTE updates, one
+// shootdown.
+func (o OSCosts) MprotectCycles(pages, nCores int) engine.Time {
+	return o.SyscallCycles() + engine.Time(pages)*o.WalkCycles(Levels) + o.ShootdownCycles(nCores)
+}

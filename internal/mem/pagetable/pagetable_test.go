@@ -1,0 +1,153 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jord/internal/mem/vmatable"
+	"jord/internal/sim/topo"
+)
+
+func TestMapWalkUnmap(t *testing.T) {
+	pt := New()
+	if err := pt.Map(0x1000, 0x8000, vmatable.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	pa, perm, levels, ok := pt.Walk(0x1234)
+	if !ok || pa != 0x8234 || perm != vmatable.PermRW || levels != 4 {
+		t.Fatalf("walk: pa=%#x perm=%v levels=%d ok=%v", pa, perm, levels, ok)
+	}
+	if _, _, _, ok := pt.Walk(0x2000); ok {
+		t.Fatal("walk of unmapped page succeeded")
+	}
+	if !pt.Unmap(0x1000) {
+		t.Fatal("unmap failed")
+	}
+	if _, _, _, ok := pt.Walk(0x1000); ok {
+		t.Fatal("walk after unmap succeeded")
+	}
+	if pt.Unmap(0x1000) {
+		t.Fatal("double unmap succeeded")
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	pt := New()
+	if err := pt.Map(0x1001, 0, vmatable.PermR); err == nil {
+		t.Error("unaligned map accepted")
+	}
+	if err := pt.Map(1<<50, 0, vmatable.PermR); err == nil {
+		t.Error("over-wide VA accepted")
+	}
+	if err := pt.Map(0x1000, 0, vmatable.PermR); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Map(0x1000, 0x100, vmatable.PermR); err == nil {
+		t.Error("double map accepted")
+	}
+}
+
+func TestProtect(t *testing.T) {
+	pt := New()
+	if err := pt.Map(0x4000, 0x0, vmatable.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Protect(0x4000, vmatable.PermR); err != nil {
+		t.Fatal(err)
+	}
+	_, perm, _, _ := pt.Walk(0x4000)
+	if perm != vmatable.PermR {
+		t.Fatalf("perm = %v after protect, want r--", perm)
+	}
+	if err := pt.Protect(0x5000, vmatable.PermR); err == nil {
+		t.Error("protect of unmapped page accepted")
+	}
+}
+
+func TestQuickMapWalkRoundTrip(t *testing.T) {
+	pt := New()
+	f := func(vpn uint32, pframe uint32) bool {
+		va := uint64(vpn) << PageShift
+		pa := uint64(pframe) << PageShift
+		if pt.lookup(va) != nil {
+			return true // already mapped by a previous quick case
+		}
+		if err := pt.Map(va, pa, vmatable.PermRWX); err != nil {
+			return false
+		}
+		got, _, _, ok := pt.Walk(va + 7)
+		return ok && got == pa+7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLBLRU(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Insert(0x1000, 0xa000, vmatable.PermR)
+	tlb.Insert(0x2000, 0xb000, vmatable.PermR)
+	// Touch 0x1000 so 0x2000 becomes LRU.
+	if _, _, ok := tlb.Lookup(0x1000); !ok {
+		t.Fatal("expected hit")
+	}
+	tlb.Insert(0x3000, 0xc000, vmatable.PermR)
+	if _, _, ok := tlb.Lookup(0x2000); ok {
+		t.Fatal("LRU entry not evicted")
+	}
+	if _, _, ok := tlb.Lookup(0x1000); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+	if tlb.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tlb.Len())
+	}
+}
+
+func TestTLBTranslation(t *testing.T) {
+	tlb := NewTLB(4)
+	tlb.Insert(0x1000, 0xa000, vmatable.PermRW)
+	pa, perm, ok := tlb.Lookup(0x1abc)
+	if !ok || pa != 0xaabc || perm != vmatable.PermRW {
+		t.Fatalf("lookup: pa=%#x perm=%v ok=%v", pa, perm, ok)
+	}
+	if tlb.Hits != 1 || tlb.Misses != 0 {
+		t.Fatalf("hits=%d misses=%d", tlb.Hits, tlb.Misses)
+	}
+	tlb.Lookup(0x9000)
+	if tlb.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", tlb.Misses)
+	}
+}
+
+func TestTLBInvalidate(t *testing.T) {
+	tlb := NewTLB(4)
+	tlb.Insert(0x1000, 0xa000, vmatable.PermR)
+	tlb.Insert(0x2000, 0xb000, vmatable.PermR)
+	tlb.InvalidatePage(0x1000)
+	if _, _, ok := tlb.Lookup(0x1000); ok {
+		t.Fatal("invalidated page still cached")
+	}
+	tlb.InvalidatePage(0x7000) // no-op
+	tlb.InvalidateAll()
+	if tlb.Len() != 0 {
+		t.Fatal("flush left entries")
+	}
+}
+
+func TestOSCostsScaleWithCores(t *testing.T) {
+	o := OSCosts{Cfg: topo.QFlex32()}
+	local := o.ShootdownCycles(1)
+	small := o.ShootdownCycles(4)
+	big := o.ShootdownCycles(32)
+	if !(local < small && small < big) {
+		t.Fatalf("shootdown not monotonic: %d %d %d", local, small, big)
+	}
+	// The paper's motivating gap: OS mprotect must be orders of magnitude
+	// slower than Jord's nanosecond-scale VMA ops (>= 1 us here).
+	if o.MprotectCycles(1, 32) < o.Cfg.NSToCycles(1000) {
+		t.Fatalf("mprotect = %d cycles, expected microsecond scale", o.MprotectCycles(1, 32))
+	}
+	if o.MmapCycles(1) <= o.SyscallCycles() {
+		t.Fatal("mmap should cost more than a bare syscall")
+	}
+}

@@ -1,0 +1,130 @@
+// Package physmem models the physical memory that the OS reserves for
+// Jord (paper §4.1, §4.4): pinned, non-swappable chunks handed to PrivLib
+// through the uat_config syscall, carved into per-size-class free lists.
+// Each VMA of size class S is backed by one contiguous chunk of at least
+// S bytes; VMAs smaller than a page share non-overlapping portions of a
+// single physical page.
+package physmem
+
+import (
+	"fmt"
+
+	"jord/internal/mem/va"
+)
+
+// RefillFunc requests more reserved physical memory from the OS (the
+// uat_config model). It returns the base of a newly reserved contiguous
+// region of the requested size, or ok=false when the OS is out of memory
+// for Jord.
+type RefillFunc func(bytes uint64) (base uint64, ok bool)
+
+// Allocator hands out physical chunks per size class.
+type Allocator struct {
+	enc    va.Encoding
+	free   [][]uint64 // per-class LIFO free lists of chunk base PAs
+	refill RefillFunc
+
+	// Bump region currently being carved.
+	cur, curEnd uint64
+
+	// RefillBytes is the granularity of uat_config requests.
+	RefillBytes uint64
+
+	// Statistics.
+	Allocs, Frees, Refills uint64
+	ReservedBytes          uint64
+	inUse                  map[uint64]int // chunk base -> class, for double-free checks
+}
+
+// DefaultRefillBytes is the per-uat_config reservation granularity (2 MB,
+// a huge page).
+const DefaultRefillBytes = 2 << 20
+
+// New creates an allocator over the encoding's size classes. refill may be
+// nil, in which case a monotonically growing fake physical space is used
+// (an OS with unbounded reserved memory).
+func New(enc va.Encoding, refill RefillFunc) *Allocator {
+	a := &Allocator{
+		enc:         enc,
+		free:        make([][]uint64, enc.NumClasses()),
+		refill:      refill,
+		RefillBytes: DefaultRefillBytes,
+		inUse:       make(map[uint64]int),
+	}
+	if a.refill == nil {
+		next := uint64(0x1_0000_0000) // fake PA space starts at 4 GB
+		a.refill = func(bytes uint64) (uint64, bool) {
+			base := next
+			next += bytes
+			return base, true
+		}
+	}
+	return a
+}
+
+// Alloc pops a chunk for size class c. refilled reports whether the OS had
+// to be asked for more memory (the slow uat_config path the caller charges
+// for).
+func (a *Allocator) Alloc(c int) (pa uint64, refilled bool, err error) {
+	if c < 0 || c >= len(a.free) {
+		return 0, false, fmt.Errorf("physmem: class %d out of range", c)
+	}
+	if fl := a.free[c]; len(fl) > 0 {
+		pa = fl[len(fl)-1]
+		a.free[c] = fl[:len(fl)-1]
+		a.Allocs++
+		a.inUse[pa] = c
+		return pa, false, nil
+	}
+	size := a.enc.ClassSize(c)
+	// Natural alignment: round the bump pointer up to the class size.
+	if aligned := (a.cur + size - 1) &^ (size - 1); aligned <= a.curEnd {
+		a.cur = aligned
+	} else {
+		a.cur = a.curEnd
+	}
+	if a.curEnd-a.cur < size {
+		want := a.RefillBytes
+		if size > want {
+			want = size
+		}
+		base, ok := a.refill(want)
+		if !ok {
+			return 0, true, fmt.Errorf("physmem: OS refused reservation of %d bytes", want)
+		}
+		// Align the bump pointer to the class size so chunks are naturally
+		// aligned (sub-page chunks pack within pages; larger chunks start
+		// on their own boundary).
+		a.cur = (base + size - 1) &^ (size - 1)
+		a.curEnd = base + want
+		a.ReservedBytes += want
+		a.Refills++
+		refilled = true
+	}
+	pa = a.cur
+	a.cur += size
+	a.Allocs++
+	a.inUse[pa] = c
+	return pa, refilled, nil
+}
+
+// Free returns a chunk to its class free list.
+func (a *Allocator) Free(c int, pa uint64) error {
+	got, ok := a.inUse[pa]
+	if !ok {
+		return fmt.Errorf("physmem: free of unallocated chunk %#x", pa)
+	}
+	if got != c {
+		return fmt.Errorf("physmem: chunk %#x belongs to class %d, freed as %d", pa, got, c)
+	}
+	delete(a.inUse, pa)
+	a.free[c] = append(a.free[c], pa)
+	a.Frees++
+	return nil
+}
+
+// FreeChunks returns the number of chunks on class c's free list.
+func (a *Allocator) FreeChunks(c int) int { return len(a.free[c]) }
+
+// InUse returns the number of live chunks.
+func (a *Allocator) InUse() int { return len(a.inUse) }

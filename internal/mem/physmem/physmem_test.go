@@ -1,0 +1,179 @@
+package physmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jord/internal/mem/va"
+)
+
+func TestAllocFreeReuse(t *testing.T) {
+	a := New(va.Default(), nil)
+	pa1, refilled, err := a.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refilled {
+		t.Fatal("first alloc must refill from the OS")
+	}
+	pa2, refilled, err := a.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refilled {
+		t.Fatal("second alloc should come from the bump region")
+	}
+	if pa1 == pa2 {
+		t.Fatal("distinct allocations share a chunk")
+	}
+	if err := a.Free(0, pa1); err != nil {
+		t.Fatal(err)
+	}
+	pa3, _, err := a.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa3 != pa1 {
+		t.Fatalf("free list not LIFO-reused: got %#x, want %#x", pa3, pa1)
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	enc := va.Default()
+	a := New(enc, nil)
+	for c := 0; c < enc.NumClasses()-6; c++ { // skip the multi-GB classes
+		pa, _, err := a.Alloc(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := enc.ClassSize(c)
+		if pa%size != 0 {
+			t.Errorf("class %d chunk %#x not aligned to %d", c, pa, size)
+		}
+	}
+}
+
+func TestSubPagePacking(t *testing.T) {
+	// 128 B chunks pack many-per-page: 32 allocations must fit in one 4 KB
+	// page worth of reservation (plus alignment).
+	a := New(va.Default(), nil)
+	var min, max uint64 = ^uint64(0), 0
+	for i := 0; i < 32; i++ {
+		pa, _, err := a.Alloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pa < min {
+			min = pa
+		}
+		if pa > max {
+			max = pa
+		}
+	}
+	if max-min >= 4096 {
+		t.Fatalf("32 x 128B chunks span %d bytes, want < 4096", max-min)
+	}
+}
+
+func TestDoubleFreeAndWrongClass(t *testing.T) {
+	a := New(va.Default(), nil)
+	pa, _, err := a.Alloc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(3, pa); err == nil {
+		t.Error("wrong-class free accepted")
+	}
+	if err := a.Free(2, pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(2, pa); err == nil {
+		t.Error("double free accepted")
+	}
+	if err := a.Free(2, 0xdead000); err == nil {
+		t.Error("free of unknown chunk accepted")
+	}
+}
+
+func TestOSExhaustion(t *testing.T) {
+	calls := 0
+	refill := func(bytes uint64) (uint64, bool) {
+		calls++
+		if calls > 1 {
+			return 0, false
+		}
+		return 0x1000_0000, true
+	}
+	a := New(va.Default(), refill)
+	a.RefillBytes = 4096
+	// Exhaust the single 4 KB reservation with 4 KB-class allocations.
+	if _, _, err := a.Alloc(5); err != nil { // 4 KB class
+		t.Fatal(err)
+	}
+	if _, _, err := a.Alloc(5); err == nil {
+		t.Fatal("allocation beyond OS reservation succeeded")
+	}
+}
+
+func TestLargeAllocationGrowsRefill(t *testing.T) {
+	var asked uint64
+	refill := func(bytes uint64) (uint64, bool) {
+		asked = bytes
+		return 0x4000_0000, true
+	}
+	a := New(va.Default(), refill)
+	c, err := va.Default().ClassFor(8 << 20) // 8 MB > default 2 MB refill
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Alloc(c); err != nil {
+		t.Fatal(err)
+	}
+	if asked < 8<<20 {
+		t.Fatalf("refill asked %d bytes, want >= 8 MB", asked)
+	}
+}
+
+// Property: live chunks of one class never overlap.
+func TestQuickNoOverlap(t *testing.T) {
+	enc := va.Default()
+	f := func(ops []uint8) bool {
+		a := New(enc, nil)
+		type chunk struct{ base, size uint64 }
+		var live []chunk
+		for _, op := range ops {
+			c := int(op) % 6 // classes 128B..4KB
+			pa, _, err := a.Alloc(c)
+			if err != nil {
+				return false
+			}
+			size := enc.ClassSize(c)
+			for _, l := range live {
+				if pa < l.base+l.size && l.base < pa+size {
+					return false // overlap
+				}
+			}
+			live = append(live, chunk{pa, size})
+		}
+		return a.InUse() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	a := New(va.Default(), nil)
+	pa, _, _ := a.Alloc(0)
+	a.Alloc(1)
+	a.Free(0, pa)
+	if a.Allocs != 2 || a.Frees != 1 || a.Refills == 0 {
+		t.Fatalf("stats: allocs=%d frees=%d refills=%d", a.Allocs, a.Frees, a.Refills)
+	}
+	if a.InUse() != 1 {
+		t.Fatalf("in use = %d, want 1", a.InUse())
+	}
+	if a.FreeChunks(0) != 1 {
+		t.Fatalf("free chunks = %d, want 1", a.FreeChunks(0))
+	}
+}

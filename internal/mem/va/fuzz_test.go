@@ -1,0 +1,54 @@
+package va
+
+import "testing"
+
+// FuzzDecode throws arbitrary addresses at the decoder: it must never
+// panic, and anything it accepts must re-encode to the same address.
+func FuzzDecode(f *testing.F) {
+	e := Default()
+	f.Add(uint64(0))
+	f.Add(e.Encode(0, 1))
+	f.Add(e.Encode(25, 0) | 0x7fff)
+	f.Add(^uint64(0))
+	f.Add(e.TopBits << uint(e.VABits-e.TopWidth))
+	f.Fuzz(func(t *testing.T, addr uint64) {
+		d, ok := e.Decode(addr)
+		if !ok {
+			return
+		}
+		if d.Class < 0 || d.Class >= e.NumClasses() {
+			t.Fatalf("class %d out of range", d.Class)
+		}
+		if d.Offset >= e.ClassSize(d.Class) {
+			t.Fatalf("offset %#x exceeds class size", d.Offset)
+		}
+		if d.Index >= e.MaxIndex(d.Class) {
+			t.Fatalf("index %#x exceeds format", d.Index)
+		}
+		round := e.Encode(d.Class, d.Index) | d.Offset
+		if round != addr {
+			t.Fatalf("round trip %#x -> %#x", addr, round)
+		}
+	})
+}
+
+// FuzzClassFor checks the size-class mapper on arbitrary sizes.
+func FuzzClassFor(f *testing.F) {
+	e := Default()
+	f.Add(uint64(1))
+	f.Add(uint64(128))
+	f.Add(uint64(4 << 30))
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, size uint64) {
+		c, err := e.ClassFor(size)
+		if err != nil {
+			return // too large or zero: rejected is fine
+		}
+		if e.ClassSize(c) < size {
+			t.Fatalf("class %d (%d bytes) cannot hold %d", c, e.ClassSize(c), size)
+		}
+		if c > 0 && e.ClassSize(c-1) >= size {
+			t.Fatalf("class %d not minimal for %d", c, size)
+		}
+	})
+}

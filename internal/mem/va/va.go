@@ -1,0 +1,179 @@
+// Package va implements Jord's size-class-embedded virtual address
+// encoding (paper §4.1, Figure 6).
+//
+// The virtual address space region managed by Jord is identified by fixed
+// Top bits. Below them, an SC field names the VMA's size class, and the
+// remaining bits split into a per-class index and an intra-VMA offset:
+//
+//	| Top | SC | Index | Offset |
+//
+// Size classes are the power-of-two sizes between 128 B (2^7) and 4 GB
+// (2^32) — 26 classes. Because the class is recoverable from the address
+// alone, the VMA table can be a flat array ("plain list") whose entry
+// position is a pure function f(class, index), and the hardware walker
+// needs no pointer chasing. The exact field layout is what the uatc CSR
+// configures in hardware; the Encoding struct is the software model of
+// that CSR.
+package va
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Default format parameters, matching the paper's implementation: 48-bit
+// virtual addresses, 26 size classes (128 B .. 4 GB), a 5-bit SC field and
+// 7 Top bits — which leaves 29 index bits for the 128-byte class, the
+// paper's quoted ASLR entropy.
+const (
+	DefaultVABits   = 48
+	DefaultTopWidth = 7
+	DefaultTopBits  = 0x55 // arbitrary non-zero pattern in the top 7 bits
+	DefaultSCWidth  = 5
+	DefaultMinShift = 7  // 128 B
+	DefaultMaxShift = 32 // 4 GB
+)
+
+// Encoding is the software model of the uatc CSR: it defines how size
+// class, index, and offset are packed into a virtual address.
+type Encoding struct {
+	VABits   int    // total significant VA bits
+	TopWidth int    // width of the Top field
+	TopBits  uint64 // value of the Top field for Jord-managed VAs
+	SCWidth  int    // width of the SC field
+	MinShift int    // log2 of the smallest size class
+	MaxShift int    // log2 of the largest size class
+}
+
+// Default returns the paper's encoding.
+func Default() Encoding {
+	return Encoding{
+		VABits:   DefaultVABits,
+		TopWidth: DefaultTopWidth,
+		TopBits:  DefaultTopBits,
+		SCWidth:  DefaultSCWidth,
+		MinShift: DefaultMinShift,
+		MaxShift: DefaultMaxShift,
+	}
+}
+
+// Validate checks that the encoding is self-consistent: every class must
+// have at least one index bit and the SC field must be wide enough to name
+// all classes.
+func (e Encoding) Validate() error {
+	if e.VABits <= 0 || e.VABits > 64 {
+		return fmt.Errorf("va: bad VABits %d", e.VABits)
+	}
+	if e.MinShift > e.MaxShift {
+		return fmt.Errorf("va: MinShift %d > MaxShift %d", e.MinShift, e.MaxShift)
+	}
+	if n := e.NumClasses(); n > 1<<e.SCWidth {
+		return fmt.Errorf("va: %d classes exceed SC field width %d", n, e.SCWidth)
+	}
+	if e.TopBits >= 1<<uint(e.TopWidth) {
+		return fmt.Errorf("va: TopBits %#x does not fit in %d bits", e.TopBits, e.TopWidth)
+	}
+	if e.IndexBits(e.NumClasses()-1) < 1 {
+		return fmt.Errorf("va: largest class has no index bits")
+	}
+	return nil
+}
+
+// NumClasses returns the number of size classes.
+func (e Encoding) NumClasses() int { return e.MaxShift - e.MinShift + 1 }
+
+// ClassShift returns log2 of the size of class c.
+func (e Encoding) ClassShift(c int) int { return e.MinShift + c }
+
+// ClassSize returns the byte size of class c.
+func (e Encoding) ClassSize(c int) uint64 { return 1 << uint(e.ClassShift(c)) }
+
+// ClassFor returns the smallest size class whose chunks can hold size
+// bytes, or an error if size exceeds the largest class.
+func (e Encoding) ClassFor(size uint64) (int, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("va: zero-size allocation")
+	}
+	shift := bits.Len64(size - 1) // ceil(log2(size))
+	if shift < e.MinShift {
+		shift = e.MinShift
+	}
+	if shift > e.MaxShift {
+		return 0, fmt.Errorf("va: size %d exceeds largest class %d", size, e.ClassSize(e.NumClasses()-1))
+	}
+	return shift - e.MinShift, nil
+}
+
+// IndexBits returns the number of index bits available to class c — also
+// the ASLR entropy left for allocations of that class (paper §4.1: 29 bits
+// for the 128-byte class under the default format).
+func (e Encoding) IndexBits(c int) int {
+	return e.VABits - e.TopWidth - e.SCWidth - e.ClassShift(c)
+}
+
+// MaxIndex returns the number of addressable VMAs in class c under the VA
+// format alone (the table size may cap it lower).
+func (e Encoding) MaxIndex(c int) uint64 { return 1 << uint(e.IndexBits(c)) }
+
+// EntropyReductionBits returns how many bits of ASLR entropy the encoding
+// costs relative to a traditional layout, i.e. the SC field width.
+func (e Encoding) EntropyReductionBits() int { return e.SCWidth }
+
+// scShift returns the bit position of the SC field.
+func (e Encoding) scShift() int { return e.VABits - e.TopWidth - e.SCWidth }
+
+// Encode builds the base VA of the VMA (class c, index idx).
+func (e Encoding) Encode(c int, idx uint64) uint64 {
+	if c < 0 || c >= e.NumClasses() {
+		panic(fmt.Sprintf("va: class %d out of range", c))
+	}
+	if idx >= e.MaxIndex(c) {
+		panic(fmt.Sprintf("va: index %d out of range for class %d", idx, c))
+	}
+	top := e.TopBits << uint(e.VABits-e.TopWidth)
+	sc := uint64(c) << uint(e.scShift())
+	return top | sc | idx<<uint(e.ClassShift(c))
+}
+
+// Decoded is the result of decoding a Jord-managed VA.
+type Decoded struct {
+	Class  int
+	Index  uint64
+	Offset uint64
+}
+
+// Decode splits a VA into class, index, and offset. ok is false when the
+// address is outside the Jord-managed region (wrong Top bits or an SC
+// value with no defined class) — such addresses fall through to the
+// conventional page-table path.
+func (e Encoding) Decode(addr uint64) (Decoded, bool) {
+	if addr>>uint(e.VABits) != 0 {
+		return Decoded{}, false
+	}
+	if addr>>uint(e.VABits-e.TopWidth) != e.TopBits {
+		return Decoded{}, false
+	}
+	c := int(addr >> uint(e.scShift()) & (1<<uint(e.SCWidth) - 1))
+	if c >= e.NumClasses() {
+		return Decoded{}, false
+	}
+	shift := uint(e.ClassShift(c))
+	mask := uint64(1)<<uint(e.scShift()) - 1
+	body := addr & mask
+	return Decoded{
+		Class:  c,
+		Index:  body >> shift,
+		Offset: body & (1<<shift - 1),
+	}, true
+}
+
+// Contains reports whether addr lies inside the VMA (class c, index idx)
+// limited to bound bytes (the VMA's requested size, which may be smaller
+// than the class size; the trailing chunk space is reserved for resizing).
+func (e Encoding) Contains(addr uint64, c int, idx, bound uint64) bool {
+	d, ok := e.Decode(addr)
+	if !ok || d.Class != c || d.Index != idx {
+		return false
+	}
+	return d.Offset < bound
+}

@@ -1,0 +1,175 @@
+package va
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumClasses(t *testing.T) {
+	e := Default()
+	if e.NumClasses() != 26 {
+		t.Fatalf("classes = %d, want 26 (128B..4GB)", e.NumClasses())
+	}
+	if e.ClassSize(0) != 128 {
+		t.Fatalf("smallest class = %d, want 128", e.ClassSize(0))
+	}
+	if e.ClassSize(25) != 4<<30 {
+		t.Fatalf("largest class = %d, want 4GB", e.ClassSize(25))
+	}
+}
+
+func TestPaperASLREntropy(t *testing.T) {
+	e := Default()
+	// §4.1: 26 size classes cost 5 bits of entropy, leaving 29 bits of
+	// randomization for the smallest (128 B) class.
+	if e.EntropyReductionBits() != 5 {
+		t.Fatalf("entropy reduction = %d bits, want 5", e.EntropyReductionBits())
+	}
+	if e.IndexBits(0) != 29 {
+		t.Fatalf("128B-class index bits = %d, want 29", e.IndexBits(0))
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	e := Default()
+	cases := []struct {
+		size uint64
+		want int
+	}{
+		{1, 0},   // rounds up to 128 B
+		{128, 0}, // exactly the smallest class
+		{129, 1}, // next class (256 B)
+		{256, 1},
+		{1024, 3},
+		{4096, 5},
+		{1 << 20, 13},
+		{4 << 30, 25},
+	}
+	for _, c := range cases {
+		got, err := e.ClassFor(c.size)
+		if err != nil {
+			t.Fatalf("ClassFor(%d): %v", c.size, err)
+		}
+		if got != c.want {
+			t.Errorf("ClassFor(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+	if _, err := e.ClassFor(0); err == nil {
+		t.Error("ClassFor(0) should fail")
+	}
+	if _, err := e.ClassFor(8 << 30); err == nil {
+		t.Error("ClassFor(8GB) should fail")
+	}
+}
+
+func TestClassForFitsSize(t *testing.T) {
+	e := Default()
+	f := func(size uint64) bool {
+		size = size%(4<<30) + 1
+		c, err := e.ClassFor(size)
+		if err != nil {
+			return false
+		}
+		if e.ClassSize(c) < size {
+			return false // chunk must hold the allocation
+		}
+		// Minimal: previous class (if any) must be too small.
+		return c == 0 || e.ClassSize(c-1) < size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	e := Default()
+	f := func(cRaw uint8, idxRaw, offRaw uint64) bool {
+		c := int(cRaw) % e.NumClasses()
+		idx := idxRaw % e.MaxIndex(c)
+		off := offRaw % e.ClassSize(c)
+		addr := e.Encode(c, idx) | off
+		d, ok := e.Decode(addr)
+		return ok && d.Class == c && d.Index == idx && d.Offset == off
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsForeignAddresses(t *testing.T) {
+	e := Default()
+	// Wrong top bits: an ordinary page-table VA.
+	if _, ok := e.Decode(0x7fff_0000_1000); ok {
+		t.Error("decoded an address outside the Jord region")
+	}
+	// Beyond VA width.
+	if _, ok := e.Decode(1 << 60); ok {
+		t.Error("decoded an over-wide address")
+	}
+	// Right top bits but SC value beyond the class count.
+	bad := e.TopBits<<uint(e.VABits-e.TopWidth) | uint64(31)<<uint(e.scShift())
+	if _, ok := e.Decode(bad); ok {
+		t.Error("decoded an undefined size class")
+	}
+}
+
+func TestEncodeDistinctAddresses(t *testing.T) {
+	// Base addresses of different (class, index) pairs never collide —
+	// the property that makes the plain list position injective.
+	e := Default()
+	seen := make(map[uint64]string)
+	for c := 0; c < e.NumClasses(); c++ {
+		for idx := uint64(0); idx < 8; idx++ {
+			a := e.Encode(c, idx)
+			key := string(rune(c)) + ":" + string(rune(idx))
+			if prev, dup := seen[a]; dup {
+				t.Fatalf("collision: %s and %s both encode to %#x", prev, key, a)
+			}
+			seen[a] = key
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	e := Default()
+	base := e.Encode(3, 5) // 1 KB class
+	if !e.Contains(base, 3, 5, 100) {
+		t.Error("base address should be contained")
+	}
+	if !e.Contains(base+99, 3, 5, 100) {
+		t.Error("last byte should be contained")
+	}
+	if e.Contains(base+100, 3, 5, 100) {
+		t.Error("address past bound should not be contained (even inside the chunk)")
+	}
+	if e.Contains(base, 3, 6, 100) {
+		t.Error("wrong index should not match")
+	}
+	if e.Contains(0x1000, 3, 5, 100) {
+		t.Error("foreign address should not match")
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	e := Default()
+	e.SCWidth = 4 // 26 classes do not fit in 4 bits
+	if err := e.Validate(); err == nil {
+		t.Error("expected SC-width error")
+	}
+	e = Default()
+	e.TopBits = 1 << 7
+	if err := e.Validate(); err == nil {
+		t.Error("expected TopBits overflow error")
+	}
+	e = Default()
+	e.MinShift, e.MaxShift = 32, 7
+	if err := e.Validate(); err == nil {
+		t.Error("expected shift-order error")
+	}
+}

@@ -1,0 +1,63 @@
+package vmatable
+
+import "testing"
+
+// FuzzUnpackVTE feeds arbitrary 64-byte blocks to the VTE parser: no
+// panics, and valid entries must survive a pack/unpack round trip.
+func FuzzUnpackVTE(f *testing.F) {
+	valid := (&VTE{Bound: 4096, Offs: 0x1234}).Pack(7)
+	f.Add(valid[:])
+	var zero [VTESize]byte
+	f.Add(zero[:])
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var b [VTESize]byte
+		copy(b[:], raw)
+		v, ptr, ok := UnpackVTE(b)
+		if !ok {
+			return
+		}
+		// Whatever was parsed must re-serialize to a block that parses to
+		// the same logical entry (idempotent normal form).
+		again, ptr2, ok2 := UnpackVTE(v.Pack(ptr))
+		if !ok2 || ptr2 != ptr {
+			t.Fatal("repack lost validity or ptr")
+		}
+		if again.Bound != v.Bound || again.Offs != v.Offs ||
+			again.Global != v.Global || again.Priv != v.Priv ||
+			again.GlobalPerm != v.GlobalPerm || again.NumSharers() != v.NumSharers() {
+			t.Fatalf("repack drift: %+v vs %+v", again, v)
+		}
+	})
+}
+
+// FuzzPermOps drives random permission-op sequences against one VTE:
+// invariants must hold regardless of order.
+func FuzzPermOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{0, 0, 0, 255, 9, 9})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		v := &VTE{Bound: 128}
+		for i := 0; i+1 < len(ops); i += 2 {
+			pd := PDID(ops[i]) % 64
+			switch ops[i+1] % 4 {
+			case 0:
+				v.SetPerm(pd, Perm(ops[i+1]%7+1))
+			case 1:
+				v.ClearPerm(pd)
+			case 2:
+				v.MovePerm(pd, PDID(ops[i+1])%64, PermR) // may fail; fine
+			case 3:
+				v.CopyPerm(pd, PDID(ops[i+1])%64, PermR)
+			}
+			if n := v.NumSharers(); n != len(v.Sharers()) {
+				t.Fatalf("sharers inconsistent: %d vs %d", n, len(v.Sharers()))
+			}
+		}
+		// Every listed sharer must actually resolve.
+		for _, pd := range v.Sharers() {
+			if _, ok, _ := v.PermFor(pd); !ok {
+				t.Fatalf("sharer %d not resolvable", pd)
+			}
+		}
+	})
+}

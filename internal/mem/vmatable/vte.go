@@ -1,0 +1,278 @@
+// Package vmatable implements Jord's VMA table: the flat, preallocated
+// "plain list" of VMA table entries (VTEs) that both PrivLib (software) and
+// the VMA table walker (hardware) traverse concurrently (paper §4.1), and
+// the VTE structure itself with its per-PD permission sub-array (§4.3,
+// Figure 8).
+package vmatable
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Perm is a VMA permission bitmask.
+type Perm uint8
+
+const (
+	PermNone Perm = 0
+	PermR    Perm = 1 << iota
+	PermW
+	PermX
+
+	PermRW  = PermR | PermW
+	PermRX  = PermR | PermX
+	PermRWX = PermR | PermW | PermX
+)
+
+// Has reports whether p grants every permission in want.
+func (p Perm) Has(want Perm) bool { return p&want == want }
+
+// String renders the familiar rwx triplet.
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermR != 0 {
+		b[0] = 'r'
+	}
+	if p&PermW != 0 {
+		b[1] = 'w'
+	}
+	if p&PermX != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// PDID identifies a protection domain. The VTE layout reserves 12 bits for
+// it, so at most MaxPDs domains exist concurrently. PD 0 is the executor's
+// own (trusted) domain.
+type PDID uint16
+
+// MaxPDs is the number of protection domain IDs (12-bit field in the VTE
+// sub-array).
+const MaxPDs = 1 << 12
+
+// SubEntries is the size of the in-VTE PD permission sub-array. The paper
+// sizes it at 20 to cover the common case; VMAs with more sharers spill
+// into an overflow list reached through the VTE's ptr field.
+const SubEntries = 20
+
+// VTESize is the byte size of one VTE: a full cache block, to avoid false
+// sharing (§4.3).
+const VTESize = 64
+
+// PDPerm is one sub-array (or overflow) entry: a protection domain and the
+// permission it holds on the VMA.
+type PDPerm struct {
+	PD   PDID
+	Perm Perm
+}
+
+// VTE is a VMA table entry (Figure 8): the VMA's bound (requested size),
+// its physical offset, attribute bits, and per-PD permissions.
+type VTE struct {
+	Bound uint64 // requested VMA size in bytes (<= class size)
+	Offs  uint64 // physical base address backing the VMA (52 bits)
+
+	Global     bool // G bit: permission applies to every PD
+	Priv       bool // P bit: privileged VMA (PrivLib-only)
+	GlobalPerm Perm // attr permission, used when Global is set
+
+	// Sub is the fixed in-entry PD permission sub-array; unused slots have
+	// Perm == PermNone. Overflow holds the spill list reached via the
+	// VTE's ptr field for VMAs with more than SubEntries sharers.
+	Sub      [SubEntries]PDPerm
+	Overflow []PDPerm
+
+	// used marks sub slots occupied. A slot with Perm == PermNone could be
+	// a revoked-to-none entry, so track occupancy explicitly.
+	used [SubEntries]bool
+}
+
+// PermFor returns the permission PD pd holds on this VMA and whether pd
+// appears at all (or the VMA is global). scanned reports how many
+// sub-array/overflow slots were examined — the work the hardware walker or
+// PrivLib performs, used for timing.
+func (v *VTE) PermFor(pd PDID) (perm Perm, ok bool, scanned int) {
+	if v.Global {
+		return v.GlobalPerm, true, 0
+	}
+	for i := range v.Sub {
+		scanned++
+		if v.used[i] && v.Sub[i].PD == pd {
+			return v.Sub[i].Perm, true, scanned
+		}
+	}
+	for i := range v.Overflow {
+		scanned++
+		if v.Overflow[i].PD == pd {
+			return v.Overflow[i].Perm, true, scanned
+		}
+	}
+	return PermNone, false, scanned
+}
+
+// SetPerm grants pd the given permission, updating an existing slot or
+// claiming a free one. spilled reports whether the overflow list had to be
+// used (a slower path the caller charges extra for).
+func (v *VTE) SetPerm(pd PDID, perm Perm) (spilled bool) {
+	for i := range v.Sub {
+		if v.used[i] && v.Sub[i].PD == pd {
+			v.Sub[i].Perm = perm
+			return false
+		}
+	}
+	for i := range v.Overflow {
+		if v.Overflow[i].PD == pd {
+			v.Overflow[i].Perm = perm
+			return true
+		}
+	}
+	for i := range v.Sub {
+		if !v.used[i] {
+			v.Sub[i] = PDPerm{PD: pd, Perm: perm}
+			v.used[i] = true
+			return false
+		}
+	}
+	v.Overflow = append(v.Overflow, PDPerm{PD: pd, Perm: perm})
+	return true
+}
+
+// ClearPerm removes pd's permission entirely. It reports whether pd held a
+// permission.
+func (v *VTE) ClearPerm(pd PDID) bool {
+	for i := range v.Sub {
+		if v.used[i] && v.Sub[i].PD == pd {
+			v.Sub[i] = PDPerm{}
+			v.used[i] = false
+			return true
+		}
+	}
+	for i := range v.Overflow {
+		if v.Overflow[i].PD == pd {
+			v.Overflow = append(v.Overflow[:i], v.Overflow[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// MovePerm atomically transfers from's permission on the VMA to to,
+// capping it at perm (the pmove semantics). It fails if from holds no
+// permission or holds less than perm.
+func (v *VTE) MovePerm(from, to PDID, perm Perm) error {
+	have, ok, _ := v.PermFor(from)
+	if !ok {
+		return fmt.Errorf("vmatable: pmove: PD %d holds no permission", from)
+	}
+	if !have.Has(perm) {
+		return fmt.Errorf("vmatable: pmove: PD %d holds %v, cannot grant %v", from, have, perm)
+	}
+	v.ClearPerm(from)
+	v.SetPerm(to, perm)
+	return nil
+}
+
+// CopyPerm duplicates from's permission to to, capped at perm (pcopy).
+func (v *VTE) CopyPerm(from, to PDID, perm Perm) error {
+	have, ok, _ := v.PermFor(from)
+	if !ok {
+		return fmt.Errorf("vmatable: pcopy: PD %d holds no permission", from)
+	}
+	if !have.Has(perm) {
+		return fmt.Errorf("vmatable: pcopy: PD %d holds %v, cannot grant %v", from, have, perm)
+	}
+	v.SetPerm(to, perm)
+	return nil
+}
+
+// Sharers returns the PDs currently holding any permission.
+func (v *VTE) Sharers() []PDID {
+	var out []PDID
+	for i := range v.Sub {
+		if v.used[i] {
+			out = append(out, v.Sub[i].PD)
+		}
+	}
+	for _, e := range v.Overflow {
+		out = append(out, e.PD)
+	}
+	return out
+}
+
+// NumSharers returns the number of PDs holding permissions.
+func (v *VTE) NumSharers() int {
+	n := len(v.Overflow)
+	for i := range v.Sub {
+		if v.used[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// --- Binary layout (Figure 8) ---
+//
+//	bits   0.. 63  bound
+//	bits  64..127  offs (52 bits) | attr "a" (12 bits: valid, G, P, perm)
+//	bits 128..191  ptr (overflow list; modelled as an opaque handle)
+//	bits 192..511  sub-array: 20 x 16-bit entries [valid|perm(3)|pd(12)]
+
+const (
+	attrValid = 1 << 0
+	attrG     = 1 << 1
+	attrP     = 1 << 2
+	attrPermS = 3 // perm occupies attr bits 3..5
+	offsMask  = 1<<52 - 1
+)
+
+// Pack serializes the VTE into its 64-byte hardware layout. The overflow
+// list is external to the entry; ptr receives the caller-provided handle
+// (0 when there is no overflow).
+func (v *VTE) Pack(ptr uint64) [VTESize]byte {
+	var b [VTESize]byte
+	binary.LittleEndian.PutUint64(b[0:], v.Bound)
+	attr := uint64(attrValid)
+	if v.Global {
+		attr |= attrG
+	}
+	if v.Priv {
+		attr |= attrP
+	}
+	attr |= uint64(v.GlobalPerm) << attrPermS
+	binary.LittleEndian.PutUint64(b[8:], v.Offs&offsMask|attr<<52)
+	binary.LittleEndian.PutUint64(b[16:], ptr)
+	for i := 0; i < SubEntries; i++ {
+		var e uint16
+		if v.used[i] {
+			e = 1<<15 | uint16(v.Sub[i].Perm&7)<<12 | uint16(v.Sub[i].PD)&0xfff
+		}
+		binary.LittleEndian.PutUint16(b[24+2*i:], e)
+	}
+	return b
+}
+
+// UnpackVTE parses the 64-byte layout back into a VTE (without its
+// overflow list) and returns the stored ptr handle. ok is false for an
+// invalid (free) entry.
+func UnpackVTE(b [VTESize]byte) (v VTE, ptr uint64, ok bool) {
+	word1 := binary.LittleEndian.Uint64(b[8:])
+	attr := word1 >> 52
+	if attr&attrValid == 0 {
+		return VTE{}, 0, false
+	}
+	v.Bound = binary.LittleEndian.Uint64(b[0:])
+	v.Offs = word1 & offsMask
+	v.Global = attr&attrG != 0
+	v.Priv = attr&attrP != 0
+	v.GlobalPerm = Perm(attr >> attrPermS & 7)
+	ptr = binary.LittleEndian.Uint64(b[16:])
+	for i := 0; i < SubEntries; i++ {
+		e := binary.LittleEndian.Uint16(b[24+2*i:])
+		if e&(1<<15) != 0 {
+			v.used[i] = true
+			v.Sub[i] = PDPerm{PD: PDID(e & 0xfff), Perm: Perm(e >> 12 & 7)}
+		}
+	}
+	return v, ptr, true
+}

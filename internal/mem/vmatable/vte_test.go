@@ -1,0 +1,214 @@
+package vmatable
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPermString(t *testing.T) {
+	cases := map[Perm]string{
+		PermNone: "---",
+		PermR:    "r--",
+		PermRW:   "rw-",
+		PermRX:   "r-x",
+		PermRWX:  "rwx",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestPermHas(t *testing.T) {
+	if !PermRW.Has(PermR) || !PermRW.Has(PermW) || !PermRW.Has(PermRW) {
+		t.Error("PermRW should include R, W, RW")
+	}
+	if PermRW.Has(PermX) || PermR.Has(PermW) {
+		t.Error("unexpected permission inclusion")
+	}
+	if !PermR.Has(PermNone) {
+		t.Error("every permission includes none")
+	}
+}
+
+func TestSetGetClearPerm(t *testing.T) {
+	v := &VTE{Bound: 128}
+	if _, ok, _ := v.PermFor(7); ok {
+		t.Fatal("fresh VTE should hold no permissions")
+	}
+	if spilled := v.SetPerm(7, PermRW); spilled {
+		t.Fatal("first entry should use the sub-array")
+	}
+	perm, ok, _ := v.PermFor(7)
+	if !ok || perm != PermRW {
+		t.Fatalf("PermFor(7) = %v,%v, want rw-,true", perm, ok)
+	}
+	// Update in place.
+	v.SetPerm(7, PermR)
+	if perm, _, _ = v.PermFor(7); perm != PermR {
+		t.Fatalf("updated perm = %v, want r--", perm)
+	}
+	if !v.ClearPerm(7) {
+		t.Fatal("ClearPerm should report removal")
+	}
+	if _, ok, _ = v.PermFor(7); ok {
+		t.Fatal("cleared PD still visible")
+	}
+	if v.ClearPerm(7) {
+		t.Fatal("double clear should report false")
+	}
+}
+
+func TestSubArraySpill(t *testing.T) {
+	v := &VTE{Bound: 128}
+	for i := 0; i < SubEntries; i++ {
+		if spilled := v.SetPerm(PDID(i), PermR); spilled {
+			t.Fatalf("entry %d spilled before sub-array full", i)
+		}
+	}
+	// The 21st sharer goes to the overflow list (paper: "rare cases with
+	// more sharers" use the ptr field).
+	if spilled := v.SetPerm(PDID(SubEntries), PermW); !spilled {
+		t.Fatal("21st sharer should spill to overflow")
+	}
+	if v.NumSharers() != SubEntries+1 {
+		t.Fatalf("sharers = %d, want %d", v.NumSharers(), SubEntries+1)
+	}
+	perm, ok, _ := v.PermFor(PDID(SubEntries))
+	if !ok || perm != PermW {
+		t.Fatal("overflow entry not found")
+	}
+	// Clearing a sub-array slot frees it for reuse without spill.
+	v.ClearPerm(3)
+	if spilled := v.SetPerm(999, PermX); spilled {
+		t.Fatal("freed sub slot should be reused before overflow")
+	}
+}
+
+func TestPermForScanCost(t *testing.T) {
+	v := &VTE{Bound: 128}
+	v.SetPerm(1, PermR)
+	_, _, scanned := v.PermFor(1)
+	if scanned != 1 {
+		t.Fatalf("first-slot hit scanned %d, want 1", scanned)
+	}
+	// Global entries answer without scanning the sub-array.
+	g := &VTE{Bound: 128, Global: true, GlobalPerm: PermRX}
+	perm, ok, scanned := g.PermFor(1234)
+	if !ok || perm != PermRX || scanned != 0 {
+		t.Fatalf("global: perm=%v ok=%v scanned=%d", perm, ok, scanned)
+	}
+}
+
+func TestMovePerm(t *testing.T) {
+	v := &VTE{Bound: 128}
+	v.SetPerm(1, PermRW)
+	if err := v.MovePerm(1, 2, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := v.PermFor(1); ok {
+		t.Fatal("source PD should lose permission after pmove")
+	}
+	perm, ok, _ := v.PermFor(2)
+	if !ok || perm != PermRW {
+		t.Fatal("target PD should gain permission after pmove")
+	}
+	// Moving more than held fails.
+	if err := v.MovePerm(2, 3, PermRWX); err == nil {
+		t.Fatal("pmove should not amplify permissions")
+	}
+	// Moving from a PD with nothing fails.
+	if err := v.MovePerm(9, 3, PermR); err == nil {
+		t.Fatal("pmove from empty PD should fail")
+	}
+}
+
+func TestCopyPerm(t *testing.T) {
+	v := &VTE{Bound: 128}
+	v.SetPerm(1, PermRW)
+	if err := v.CopyPerm(1, 2, PermR); err != nil {
+		t.Fatal(err)
+	}
+	p1, _, _ := v.PermFor(1)
+	p2, _, _ := v.PermFor(2)
+	if p1 != PermRW || p2 != PermR {
+		t.Fatalf("after pcopy: src=%v dst=%v, want rw-/r--", p1, p2)
+	}
+	if err := v.CopyPerm(2, 3, PermW); err == nil {
+		t.Fatal("pcopy should not amplify permissions")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(bound, offs uint64, global, priv bool, gp uint8, pds []uint16, perms []uint8) bool {
+		v := &VTE{
+			Bound:      bound,
+			Offs:       offs & (1<<52 - 1),
+			Global:     global,
+			Priv:       priv,
+			GlobalPerm: Perm(gp & 7),
+		}
+		n := len(pds)
+		if len(perms) < n {
+			n = len(perms)
+		}
+		if n > SubEntries {
+			n = SubEntries
+		}
+		want := map[PDID]Perm{}
+		for i := 0; i < n; i++ {
+			pd := PDID(pds[i] & 0xfff)
+			perm := Perm(perms[i]&6 | 1) // non-zero, <=7
+			v.SetPerm(pd, perm)
+			want[pd] = perm
+		}
+		packed := v.Pack(0)
+		got, ptr, ok := UnpackVTE(packed)
+		if !ok || ptr != 0 {
+			return false
+		}
+		if got.Bound != v.Bound || got.Offs != v.Offs ||
+			got.Global != v.Global || got.Priv != v.Priv ||
+			got.GlobalPerm != v.GlobalPerm {
+			return false
+		}
+		if !global {
+			// (When Global is set PermFor answers from GlobalPerm, so
+			// per-PD grants are only observable on non-global entries.)
+			for pd, perm := range want {
+				gp, ok, _ := got.PermFor(pd)
+				if !ok || gp != perm {
+					return false
+				}
+			}
+		}
+		return got.NumSharers() == v.NumSharers()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackIsOneCacheBlock(t *testing.T) {
+	v := &VTE{Bound: 4096}
+	if len(v.Pack(0)) != 64 {
+		t.Fatal("VTE must span exactly one 64B cache block")
+	}
+}
+
+func TestUnpackInvalidEntry(t *testing.T) {
+	var zero [VTESize]byte
+	if _, _, ok := UnpackVTE(zero); ok {
+		t.Fatal("zeroed entry should be invalid")
+	}
+}
+
+func TestPackPreservesPtr(t *testing.T) {
+	v := &VTE{Bound: 128}
+	b := v.Pack(0xdeadbeef)
+	_, ptr, ok := UnpackVTE(b)
+	if !ok || ptr != 0xdeadbeef {
+		t.Fatalf("ptr = %#x ok=%v, want 0xdeadbeef", ptr, ok)
+	}
+}

@@ -1,0 +1,168 @@
+// Package metrics provides the measurement machinery of the evaluation:
+// HDR-style log-linear latency histograms (p50/p99/p99.9 with bounded
+// relative error), service-time CDFs, and throughput-under-SLO extraction
+// from load sweeps — the paper's primary performance metric (§5).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// subBits gives 2^subBits sub-buckets per power of two: ~1.5% worst-case
+// relative error on recorded values.
+const subBits = 6
+
+// Histogram is a log-linear histogram of non-negative int64 samples
+// (typically nanoseconds or cycles). The zero value is ready to use.
+type Histogram struct {
+	buckets []uint64
+	count   uint64
+	sum     float64
+	min     int64
+	max     int64
+}
+
+func bucketIndex(v uint64) int {
+	if v < 1<<subBits {
+		return int(v)
+	}
+	k := bits.Len64(v)                                 // position of the leading 1, >= subBits+1
+	sub := (v >> uint(k-subBits-1)) & (1<<subBits - 1) // the subBits bits after it
+	return 1<<subBits + (k-subBits-1)*(1<<subBits) + int(sub)
+}
+
+// bucketUpper returns the largest value mapping to bucket i (inclusive).
+func bucketUpper(i int) int64 {
+	if i < 1<<subBits {
+		return int64(i)
+	}
+	exp := (i - 1<<subBits) / (1 << subBits)
+	sub := (i - 1<<subBits) % (1 << subBits)
+	base := uint64(1<<subBits|sub) << uint(exp)
+	width := uint64(1) << uint(exp)
+	return int64(base + width - 1)
+}
+
+// Record adds one sample. Negative samples are clamped to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	idx := bucketIndex(uint64(v))
+	if idx >= len(h.buckets) {
+		nb := make([]uint64, idx+1)
+		copy(nb, h.buckets)
+		h.buckets = nb
+	}
+	h.buckets[idx]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += float64(v)
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the sample mean (0 for an empty histogram).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return the exact extreme samples.
+func (h *Histogram) Min() int64 { return h.min }
+func (h *Histogram) Max() int64 { return h.max }
+
+// Percentile returns an upper bound for the p-th percentile (p in [0,100])
+// with the histogram's relative precision. The 100th percentile returns
+// the exact maximum.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p >= 100 {
+		return h.max
+	}
+	if p < 0 {
+		p = 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// CDFPoint is one (value, cumulative fraction) pair.
+type CDFPoint struct {
+	Value    int64
+	Fraction float64
+}
+
+// CDF returns the cumulative distribution at bucket granularity, skipping
+// empty buckets.
+func (h *Histogram) CDF() []CDFPoint {
+	if h.count == 0 {
+		return nil
+	}
+	var out []CDFPoint
+	var cum uint64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, CDFPoint{Value: bucketUpper(i), Fraction: float64(cum) / float64(h.count)})
+	}
+	return out
+}
+
+// Merge adds all samples of other into h (min/max/mean exact; bucket
+// resolution preserved).
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	if len(other.buckets) > len(h.buckets) {
+		nb := make([]uint64, len(other.buckets))
+		copy(nb, h.buckets)
+		h.buckets = nb
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.0f p50=%d p99=%d max=%d",
+		h.count, h.Mean(), h.Percentile(50), h.Percentile(99), h.max)
+}

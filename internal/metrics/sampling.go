@@ -1,0 +1,85 @@
+package metrics
+
+import "math"
+
+// Summary is the statistical summary of repeated measurement trials —
+// the SimFlex-style sampling methodology the paper's simulator lineage
+// uses (its ref [84]): several short windows with independent seeds
+// instead of one long run, reported with confidence intervals.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	// CI95 is the 95% confidence half-width of the mean (Student's t).
+	CI95 float64
+	Min  float64
+	Max  float64
+}
+
+// tTable holds two-sided 97.5% Student-t quantiles for small sample
+// counts (df = n-1); beyond df 30 the normal 1.96 is close enough.
+var tTable = map[int]float64{
+	1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+	6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+	15: 2.131, 20: 2.086, 25: 2.060, 30: 2.042,
+}
+
+func tQuantile(df int) float64 {
+	if df <= 0 {
+		return 0
+	}
+	if v, ok := tTable[df]; ok {
+		return v
+	}
+	if df > 30 {
+		return 1.96
+	}
+	// Largest tabulated df below the requested one (conservative).
+	chosen := 1
+	for d := range tTable {
+		if d <= df && d > chosen {
+			chosen = d
+		}
+	}
+	return tTable[chosen]
+}
+
+// Summarize computes the trial summary. Fewer than two values yield a
+// zero CI.
+func Summarize(values []float64) Summary {
+	s := Summary{N: len(values)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = values[0], values[0]
+	var sum float64
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	var ss float64
+	for _, v := range values {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	s.CI95 = tQuantile(s.N-1) * s.StdDev / math.Sqrt(float64(s.N))
+	return s
+}
+
+// RelCI returns the CI as a fraction of the mean (0 when mean is 0).
+func (s Summary) RelCI() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.CI95 / s.Mean
+}

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6, 8})
+	if s.N != 4 || s.Mean != 5 {
+		t.Fatalf("N=%d mean=%f", s.N, s.Mean)
+	}
+	if s.Min != 2 || s.Max != 8 {
+		t.Fatalf("min/max = %f/%f", s.Min, s.Max)
+	}
+	// Sample stddev of {2,4,6,8} is sqrt(20/3).
+	want := math.Sqrt(20.0 / 3.0)
+	if math.Abs(s.StdDev-want) > 1e-9 {
+		t.Fatalf("stddev = %f, want %f", s.StdDev, want)
+	}
+	// CI95 with df=3: 3.182 * sd/sqrt(4).
+	wantCI := 3.182 * want / 2
+	if math.Abs(s.CI95-wantCI) > 1e-9 {
+		t.Fatalf("ci = %f, want %f", s.CI95, wantCI)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.CI95 != 0 {
+		t.Fatalf("single-sample: mean=%f ci=%f", s.Mean, s.CI95)
+	}
+	if Summarize([]float64{0, 0}).RelCI() != 0 {
+		t.Fatal("RelCI of zero mean should be 0")
+	}
+}
+
+func TestCICoversTrueMean(t *testing.T) {
+	// Draw repeated trials from a known distribution: the 95% CI should
+	// cover the true mean in roughly 95% of experiments.
+	rng := rand.New(rand.NewPCG(5, 5))
+	const trueMean = 100.0
+	covered := 0
+	const experiments = 400
+	for e := 0; e < experiments; e++ {
+		vals := make([]float64, 8)
+		for i := range vals {
+			vals[i] = trueMean + rng.NormFloat64()*15
+		}
+		s := Summarize(vals)
+		if math.Abs(s.Mean-trueMean) <= s.CI95 {
+			covered++
+		}
+	}
+	frac := float64(covered) / experiments
+	if frac < 0.90 || frac > 0.99 {
+		t.Fatalf("CI coverage = %.3f, want ~0.95", frac)
+	}
+}
+
+func TestTQuantileMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for _, df := range []int{1, 2, 3, 5, 10, 20, 30, 100} {
+		q := tQuantile(df)
+		if q > prev {
+			t.Fatalf("t quantile not decreasing at df=%d", df)
+		}
+		prev = q
+	}
+	if tQuantile(0) != 0 {
+		t.Fatal("df=0 should be 0")
+	}
+	if tQuantile(12) < tQuantile(15) {
+		t.Fatal("untabulated df should use a conservative (larger) quantile")
+	}
+}

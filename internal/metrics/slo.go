@@ -1,0 +1,42 @@
+package metrics
+
+// LoadPoint is one point of a load sweep: offered load (requests/second)
+// and the measured tail latency (nanoseconds).
+type LoadPoint struct {
+	LoadRPS float64
+	P99NS   float64
+	// MeasuredRPS is the achieved goodput; at saturation it falls below
+	// LoadRPS.
+	MeasuredRPS float64
+}
+
+// ThroughputUnderSLO returns the maximum load at which the p99 latency
+// stays within sloNS, interpolating linearly between the last passing and
+// first failing points of the sweep (which must be sorted by load). It
+// returns 0 if even the lightest load misses the SLO.
+func ThroughputUnderSLO(points []LoadPoint, sloNS float64) float64 {
+	best := 0.0
+	for i, pt := range points {
+		if pt.P99NS <= sloNS {
+			best = pt.LoadRPS
+			continue
+		}
+		if i == 0 {
+			return 0
+		}
+		prev := points[i-1]
+		if prev.P99NS > sloNS {
+			return best
+		}
+		// Interpolate the crossing between prev (passing) and pt (failing).
+		frac := (sloNS - prev.P99NS) / (pt.P99NS - prev.P99NS)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return prev.LoadRPS + frac*(pt.LoadRPS-prev.LoadRPS)
+	}
+	return best
+}

@@ -1,0 +1,156 @@
+package privlib
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"jord/internal/mem/vmatable"
+	"jord/internal/sim/topo"
+	"jord/internal/vlb"
+)
+
+// TestVariantsSemanticallyEquivalent drives the same randomized operation
+// sequence through the plain-list and B-tree variants and checks that
+// every observable result matches: addresses handed out, successes,
+// failures, and access decisions. The VMA table organization is a timing
+// choice, never a semantic one (§5: "the PrivLib performs B-tree instead
+// of plain list operations for VMAs").
+func TestVariantsSemanticallyEquivalent(t *testing.T) {
+	bootVariant := func(v Variant) *Lib {
+		l, err := Boot(topo.MustMachine(topo.QFlex32()), vlb.DefaultConfig(), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	plain := bootVariant(PlainList)
+	bt := bootVariant(BTree)
+
+	rng := rand.New(rand.NewPCG(2024, 7))
+	type vma struct {
+		addr uint64
+		pd   vmatable.PDID
+	}
+	var pdsP, pdsB []vmatable.PDID
+	var vmasP, vmasB []vma
+
+	step := func(op int) {
+		switch {
+		case op < 2 || len(pdsP) == 0: // cget
+			p1, _, err1 := plain.Cget(0)
+			p2, _, err2 := bt.Cget(0)
+			if (err1 == nil) != (err2 == nil) || p1 != p2 {
+				t.Fatalf("cget diverged: %v/%v %v/%v", p1, p2, err1, err2)
+			}
+			if err1 == nil {
+				pdsP = append(pdsP, p1)
+				pdsB = append(pdsB, p2)
+			}
+		case op < 6: // mmap
+			i := rng.IntN(len(pdsP))
+			size := uint64(rng.IntN(8192) + 1)
+			perm := vmatable.Perm(rng.IntN(7) + 1)
+			a1, _, err1 := plain.Mmap(0, pdsP[i], size, perm)
+			a2, _, err2 := bt.Mmap(0, pdsB[i], size, perm)
+			if (err1 == nil) != (err2 == nil) || a1 != a2 {
+				t.Fatalf("mmap diverged: %#x/%#x %v/%v", a1, a2, err1, err2)
+			}
+			if err1 == nil {
+				vmasP = append(vmasP, vma{a1, pdsP[i]})
+				vmasB = append(vmasB, vma{a2, pdsB[i]})
+			}
+		case op < 8 && len(vmasP) > 0: // access probe
+			i := rng.IntN(len(vmasP))
+			pd := pdsP[rng.IntN(len(pdsP))]
+			need := vmatable.Perm(1 << rng.IntN(3))
+			_, f1 := access(plain, vmasP[i].addr, pd, need)
+			_, f2 := access(bt, vmasB[i].addr, pd, need)
+			if f1 != f2 {
+				t.Fatalf("access diverged: %v vs %v", f1, f2)
+			}
+		case op < 9 && len(vmasP) > 0: // munmap
+			i := rng.IntN(len(vmasP))
+			_, err1 := plain.Munmap(0, vmasP[i].pd, vmasP[i].addr)
+			_, err2 := bt.Munmap(0, vmasB[i].pd, vmasB[i].addr)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("munmap diverged: %v vs %v", err1, err2)
+			}
+			vmasP = append(vmasP[:i], vmasP[i+1:]...)
+			vmasB = append(vmasB[:i], vmasB[i+1:]...)
+		case len(vmasP) > 0: // pmove between PDs
+			i := rng.IntN(len(vmasP))
+			to := pdsP[rng.IntN(len(pdsP))]
+			_, err1 := plain.Pmove(0, vmasP[i].pd, vmasP[i].addr, to, vmatable.PermR)
+			_, err2 := bt.Pmove(0, vmasB[i].pd, vmasB[i].addr, to, vmatable.PermR)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("pmove diverged: %v vs %v", err1, err2)
+			}
+			if err1 == nil {
+				vmasP[i].pd = to
+				vmasB[i].pd = to
+			}
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		step(rng.IntN(10))
+	}
+	if plain.Table.Live() != bt.Table.Live() {
+		t.Fatalf("live VTEs diverged: %d vs %d", plain.Table.Live(), bt.Table.Live())
+	}
+	// The B-tree mirror tracks the same population (minus the boot VMAs it
+	// shares).
+	if bt.BT.Len() != bt.Table.Live() {
+		t.Fatalf("B-tree mirror out of sync: %d vs %d live", bt.BT.Len(), bt.Table.Live())
+	}
+	if err := bt.BT.Check(); err != nil {
+		t.Fatalf("B-tree invariants broken after workload: %v", err)
+	}
+}
+
+func access(l *Lib, addr uint64, pd vmatable.PDID, need vmatable.Perm) (bool, vmatable.FaultKind) {
+	_, err := l.Access(0, pd, addr, need, false)
+	if err == nil {
+		return true, vmatable.FaultNone
+	}
+	f, ok := err.(*Fault)
+	if !ok {
+		return false, vmatable.FaultNone
+	}
+	return false, f.Kind
+}
+
+// TestRefillCostSurfacesInMmap checks that the uat_config OS path is
+// charged when PrivLib's reserved memory runs out (§4.4).
+func TestRefillCostSurfacesInMmap(t *testing.T) {
+	l, err := Boot(topo.MustMachine(topo.QFlex32()), vlb.DefaultConfig(), PlainList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, _, _ := l.Cget(0)
+	// A 4 MB allocation exceeds the 2 MB refill granularity: guaranteed to
+	// hit the OS.
+	_, lat, err := l.Mmap(0, pd, 4<<20, vmatable.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Stats.RefillCount == 0 {
+		t.Fatal("large mmap did not refill from the OS")
+	}
+	// The OS path costs microseconds; a free-list hit costs ~16 ns.
+	if ns := l.M.Cfg.CyclesToNS(lat); ns < 500 {
+		t.Fatalf("refilling mmap = %.0f ns, expected to include syscall cost", ns)
+	}
+	// Small allocations after the next refill come from the bump region /
+	// free lists at full speed (the refill is amortized over thousands of
+	// chunks).
+	if _, _, err := l.Mmap(0, pd, 256, vmatable.PermRW); err != nil {
+		t.Fatal(err) // this one may pay a fresh 2 MB refill
+	}
+	_, lat2, err := l.Mmap(0, pd, 256, vmatable.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := l.M.Cfg.CyclesToNS(lat2); ns > 30 {
+		t.Fatalf("free-list mmap = %.0f ns, want ~16", ns)
+	}
+}

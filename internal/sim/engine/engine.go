@@ -1,0 +1,147 @@
+// Package engine implements a deterministic discrete-event simulation core.
+//
+// The engine advances a virtual clock measured in CPU cycles and executes
+// events in (time, insertion-order) order, so a simulation with a fixed seed
+// always produces bit-identical results. On top of raw events it provides
+// cooperative processes (Proc): goroutine-backed activities that can sleep in
+// virtual time, park waiting for a signal, and be resumed by other
+// processes. Procs are the building block for cores, orchestrators,
+// executors, and function continuations in the Jord model.
+//
+// The engine itself is strictly single-threaded: exactly one goroutine (the
+// one calling Run) or exactly one Proc goroutine is runnable at any instant,
+// and handoffs are synchronous. This gives deterministic interleaving
+// without locks.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, measured in clock cycles.
+type Time int64
+
+// MaxTime is the largest representable virtual time; Run(MaxTime) runs until
+// the event queue drains.
+const MaxTime Time = math.MaxInt64
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// earlier at the same timestamp run first (FIFO within a timestamp).
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator instance. The zero value is not
+// usable; create one with New.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	procs   []*Proc
+	running bool
+	stopped bool
+	// nEvents counts executed events, for diagnostics and budget guards.
+	nEvents uint64
+}
+
+// New returns an empty engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the number of events executed so far.
+func (e *Engine) Events() uint64 { return e.nEvents }
+
+// Schedule runs fn after delay cycles of virtual time. A negative delay is
+// an error in the caller; it panics to surface the bug immediately.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("engine: negative delay %d", delay))
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at, which must not be in the
+// past.
+func (e *Engine) ScheduleAt(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("engine: schedule in the past: %d < %d", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// Run executes events until the queue is empty or the next event is later
+// than until. The clock is left at the time of the last executed event (or
+// at until if the queue drained earlier than until and until != MaxTime).
+// It returns the number of events executed during this call.
+func (e *Engine) Run(until Time) uint64 {
+	if e.running {
+		panic("engine: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	var n uint64
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		next.fn()
+		n++
+		e.nEvents++
+	}
+	if until != MaxTime && e.now < until {
+		e.now = until
+	}
+	return n
+}
+
+// Stop makes Run return after the current event completes. It is intended
+// for use from within event callbacks (e.g., "measurement window over").
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Shutdown kills every live Proc so that their goroutines exit. It must be
+// called when the engine owner is done with a simulation that still has
+// parked or sleeping processes; otherwise their goroutines would leak.
+// After Shutdown the engine must not be used.
+func (e *Engine) Shutdown() {
+	for _, p := range e.procs {
+		p.kill()
+	}
+	e.procs = nil
+}

@@ -1,0 +1,347 @@
+package engine
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run(MaxTime)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestFIFOTiebreak(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run(MaxTime)
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-timestamp events not FIFO: %v", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Schedule(10, func() { fired++ })
+	e.Schedule(100, func() { fired++ })
+	n := e.Run(50)
+	if n != 1 || fired != 1 {
+		t.Fatalf("n=%d fired=%d, want 1,1", n, fired)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now = %d, want 50", e.Now())
+	}
+	e.Run(MaxTime)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var trace []Time
+	e.Schedule(10, func() {
+		trace = append(trace, e.Now())
+		e.Schedule(5, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run(MaxTime)
+	if len(trace) != 2 || trace[0] != 10 || trace[1] != 15 {
+		t.Fatalf("trace = %v, want [10 15]", trace)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.ScheduleAt(5, func() {})
+	})
+	e.Run(MaxTime)
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(MaxTime)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestProcDelay(t *testing.T) {
+	e := New()
+	var marks []Time
+	e.Spawn("p", func(p *Proc) {
+		marks = append(marks, p.Now())
+		p.Delay(100)
+		marks = append(marks, p.Now())
+		p.Delay(50)
+		marks = append(marks, p.Now())
+	})
+	e.Run(MaxTime)
+	want := []Time{0, 100, 150}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("marks = %v, want %v", marks, want)
+		}
+	}
+}
+
+func TestProcParkUnpark(t *testing.T) {
+	e := New()
+	var order []string
+	var consumer *Proc
+	consumer = e.Spawn("consumer", func(p *Proc) {
+		order = append(order, "park")
+		p.Park()
+		order = append(order, "resumed")
+	})
+	e.Spawn("producer", func(p *Proc) {
+		p.Delay(500)
+		order = append(order, "wake")
+		consumer.Unpark()
+	})
+	e.Run(MaxTime)
+	want := []string{"park", "wake", "resumed"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if !consumer.Done() {
+		t.Fatal("consumer not done")
+	}
+}
+
+func TestUnparkToken(t *testing.T) {
+	// An Unpark delivered while the proc is runnable must be consumed by
+	// the next Park (no lost wakeup).
+	e := New()
+	reachedEnd := false
+	p := e.Spawn("p", func(p *Proc) {
+		p.Delay(10)
+		p.Park() // should consume the token sent at t=5
+		reachedEnd = true
+	})
+	e.Schedule(5, func() { p.Unpark() })
+	e.Run(MaxTime)
+	if !reachedEnd {
+		t.Fatal("pending unpark token was lost")
+	}
+}
+
+func TestWaitQueueFIFO(t *testing.T) {
+	e := New()
+	var q WaitQueue
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("w", func(p *Proc) {
+			q.Wait(p)
+			order = append(order, i)
+		})
+	}
+	e.Spawn("waker", func(p *Proc) {
+		p.Delay(10)
+		for q.WakeOne() {
+			p.Delay(10)
+		}
+	})
+	e.Run(MaxTime)
+	if len(order) != 3 {
+		t.Fatalf("woke %d, want 3", len(order))
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("wake order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestWaitQueueWakeAll(t *testing.T) {
+	e := New()
+	var q WaitQueue
+	woken := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("w", func(p *Proc) {
+			q.Wait(p)
+			woken++
+		})
+	}
+	e.Schedule(10, func() {
+		if n := q.WakeAll(); n != 5 {
+			t.Errorf("WakeAll = %d, want 5", n)
+		}
+	})
+	e.Run(MaxTime)
+	if woken != 5 {
+		t.Fatalf("woken = %d, want 5", woken)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue len = %d, want 0", q.Len())
+	}
+}
+
+func TestShutdownKillsParkedProcs(t *testing.T) {
+	e := New()
+	cleanup := false
+	e.Spawn("stuck", func(p *Proc) {
+		defer func() { cleanup = true }()
+		p.Park() // never unparked
+		t.Error("parked proc ran past Park after shutdown")
+	})
+	e.Run(MaxTime)
+	e.Shutdown()
+	if !cleanup {
+		t.Fatal("deferred cleanup did not run on kill")
+	}
+}
+
+func TestShutdownKillsSleepingProcs(t *testing.T) {
+	e := New()
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Delay(1000)
+		t.Error("sleeper ran after shutdown")
+	})
+	e.Run(10) // sleeper is mid-Delay
+	e.Shutdown()
+}
+
+func TestProcYieldInterleaving(t *testing.T) {
+	e := New()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+		p.Yield()
+		order = append(order, "b2")
+	})
+	e.Run(MaxTime)
+	want := []string{"a1", "b1", "a2", "b2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed uint64) []Time {
+		e := New()
+		rng := rand.New(rand.NewPCG(seed, 17))
+		var stamps []Time
+		var q WaitQueue
+		for i := 0; i < 20; i++ {
+			e.Spawn("p", func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					p.Delay(Time(rng.Int64N(100)))
+					stamps = append(stamps, p.Now())
+					if rng.IntN(3) == 0 {
+						q.Wait(p)
+					}
+					q.WakeOne()
+				}
+			})
+		}
+		e.Run(MaxTime)
+		e.Shutdown()
+		return stamps
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any batch of non-negative delays, events fire in
+// non-decreasing time order and the final clock equals the max delay.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var fired []Time
+		var maxT Time
+		for _, d := range delays {
+			d := Time(d)
+			if d > maxT {
+				maxT = d
+			}
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run(MaxTime)
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || e.Now() == maxT
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a chain of Delays accumulates exactly.
+func TestQuickDelayAccumulation(t *testing.T) {
+	f := func(delays []uint8) bool {
+		e := New()
+		var total Time
+		ok := true
+		e.Spawn("p", func(p *Proc) {
+			for _, d := range delays {
+				total += Time(d)
+				p.Delay(Time(d))
+				if p.Now() != total {
+					ok = false
+				}
+			}
+		})
+		e.Run(MaxTime)
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package engine
+
+import "fmt"
+
+// procState tracks where a Proc is in its lifecycle.
+type procState int
+
+const (
+	procNew procState = iota
+	procRunnable
+	procRunning
+	procSleeping // waiting for a scheduled wakeup
+	procParked   // waiting for an explicit Unpark
+	procDone
+	procKilled
+)
+
+// errKilled is the panic value used to unwind a killed Proc's goroutine.
+type killedError struct{ name string }
+
+func (k killedError) Error() string { return "engine: proc killed: " + k.name }
+
+// Proc is a cooperative simulation process backed by a goroutine. Exactly
+// one Proc (or the engine loop) executes at a time; control transfers are
+// synchronous channel handoffs, so all Proc code can treat shared
+// simulation state as if it were single-threaded.
+//
+// Within its body a Proc may:
+//   - Delay(d): advance virtual time by d cycles.
+//   - Park(): block until another Proc or event calls Unpark.
+//   - Yield(): reschedule itself at the current time behind already-queued
+//     events (a cooperative scheduling point).
+//
+// All three panic with a killedError if the engine shuts down, which the
+// Proc wrapper recovers, so bodies need no kill handling of their own.
+type Proc struct {
+	Name string
+
+	eng    *Engine
+	resume chan struct{}
+	yield  chan struct{}
+	state  procState
+	// wakePending implements one-token unpark semantics: an Unpark that
+	// arrives while the proc is running is consumed by its next Park.
+	wakePending bool
+}
+
+// Spawn creates a Proc executing body and schedules it to start at the
+// current virtual time.
+func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{
+		Name:   name,
+		eng:    e,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		state:  procNew,
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		defer func() {
+			r := recover()
+			if _, killed := r.(killedError); killed {
+				p.state = procKilled
+				p.yield <- struct{}{}
+				return
+			}
+			p.state = procDone
+			if r != nil {
+				// Re-panicking here would crash an unrelated goroutine;
+				// instead surface the failure loudly and synchronously.
+				p.yield <- struct{}{}
+				panic(fmt.Sprintf("engine: proc %q panicked: %v", p.Name, r))
+			}
+			p.yield <- struct{}{}
+		}()
+		<-p.resume
+		if p.state == procKilled {
+			panic(killedError{p.Name})
+		}
+		p.state = procRunning
+		body(p)
+	}()
+	p.state = procRunnable
+	e.Schedule(0, p.step)
+	return p
+}
+
+// step transfers control to the proc goroutine and waits for it to yield
+// back. It is always invoked from engine (event) context.
+func (p *Proc) step() {
+	switch p.state {
+	case procDone, procKilled:
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// switchOut hands control back to the engine and blocks until resumed.
+// Must be called from the proc's own goroutine.
+func (p *Proc) switchOut() {
+	p.yield <- struct{}{}
+	<-p.resume
+	if p.state == procKilled {
+		panic(killedError{p.Name})
+	}
+	p.state = procRunning
+}
+
+// Engine returns the engine this proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Delay advances virtual time by d cycles from the proc's perspective:
+// the proc suspends and resumes d cycles later. Delay(0) is a no-op (it
+// does not yield).
+func (p *Proc) Delay(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("engine: proc %q negative delay %d", p.Name, d))
+	}
+	if d == 0 {
+		return
+	}
+	p.state = procSleeping
+	p.eng.Schedule(d, func() {
+		p.state = procRunnable
+		p.step()
+	})
+	p.switchOut()
+}
+
+// Yield reschedules the proc at the current virtual time, behind events
+// already queued for this instant. It is a cooperative scheduling point
+// that lets same-timestamp work interleave deterministically.
+func (p *Proc) Yield() {
+	p.state = procSleeping
+	p.eng.Schedule(0, func() {
+		p.state = procRunnable
+		p.step()
+	})
+	p.switchOut()
+}
+
+// Park blocks the proc until Unpark is called on it. If an Unpark token is
+// already pending, Park consumes it and returns immediately without
+// yielding.
+func (p *Proc) Park() {
+	if p.wakePending {
+		p.wakePending = false
+		return
+	}
+	p.state = procParked
+	p.switchOut()
+}
+
+// Unpark makes a parked proc runnable at the current virtual time. If the
+// proc is not parked, the wakeup is remembered and consumed by its next
+// Park (one-token semantics). Unpark must be called from engine or another
+// proc's context, never from the target proc itself.
+func (p *Proc) Unpark() {
+	switch p.state {
+	case procParked:
+		p.state = procRunnable
+		p.eng.Schedule(0, p.step)
+	case procDone, procKilled:
+		// Late wakeups for finished procs are harmless.
+	default:
+		p.wakePending = true
+	}
+}
+
+// Done reports whether the proc body has returned.
+func (p *Proc) Done() bool { return p.state == procDone || p.state == procKilled }
+
+// kill unwinds the proc goroutine if it is still live.
+func (p *Proc) kill() {
+	switch p.state {
+	case procDone, procKilled, procNew:
+		p.state = procKilled
+		return
+	}
+	p.state = procKilled
+	p.resume <- struct{}{}
+	<-p.yield
+}

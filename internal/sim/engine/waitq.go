@@ -1,0 +1,42 @@
+package engine
+
+// WaitQueue is a FIFO queue of parked Procs, the engine-level analogue of a
+// condition variable. Procs call Wait to sleep on the queue; other code
+// calls WakeOne/WakeAll to make them runnable again. Because the engine is
+// single-threaded there is no lost-wakeup race: a waker always sees either
+// a waiting proc or nothing to wake.
+type WaitQueue struct {
+	waiters []*Proc
+}
+
+// Wait parks p on the queue until a wakeup.
+func (q *WaitQueue) Wait(p *Proc) {
+	q.waiters = append(q.waiters, p)
+	p.Park()
+}
+
+// WakeOne unparks the longest-waiting proc, if any, and reports whether a
+// proc was woken.
+func (q *WaitQueue) WakeOne() bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	p := q.waiters[0]
+	copy(q.waiters, q.waiters[1:])
+	q.waiters = q.waiters[:len(q.waiters)-1]
+	p.Unpark()
+	return true
+}
+
+// WakeAll unparks every waiting proc and returns how many were woken.
+func (q *WaitQueue) WakeAll() int {
+	n := len(q.waiters)
+	for _, p := range q.waiters {
+		p.Unpark()
+	}
+	q.waiters = q.waiters[:0]
+	return n
+}
+
+// Len returns the number of procs currently waiting.
+func (q *WaitQueue) Len() int { return len(q.waiters) }

@@ -1,0 +1,121 @@
+// Package memmodel provides the cache/coherence timing model: the latency
+// of loads, stores, and block transfers as a function of where the data
+// lives (L1, a remote L1, an LLC slice, DRAM) and where the requesting core
+// sits on the mesh. It encodes the directory-MESI message flows of Table 2
+// as latency formulas; the actual per-VTE sharer tracking lives in
+// package vlb, which calls back into this model for message costs.
+package memmodel
+
+import (
+	"jord/internal/sim/engine"
+	"jord/internal/sim/topo"
+)
+
+// ctrlBytes is the payload size of a coherence request/ack message.
+const ctrlBytes = 8
+
+// Model computes memory access latencies for one machine.
+type Model struct {
+	M *topo.Machine
+}
+
+// New returns a timing model over machine m.
+func New(m *topo.Machine) *Model { return &Model{M: m} }
+
+// blockBytes returns the cache block size.
+func (mm *Model) blockBytes() int { return mm.M.Cfg.CacheBlockBytes }
+
+// L1Hit is the cost of a load/store hitting the local L1D.
+func (mm *Model) L1Hit() engine.Time { return mm.M.Cfg.L1Cycles }
+
+// homeCore returns the core co-located with the home LLC slice of addr for
+// the socket of core c.
+func (mm *Model) homeCore(c topo.CoreID, blockAddr uint64) topo.CoreID {
+	return mm.M.TileCore(mm.M.HomeTile(mm.M.Socket(c), blockAddr))
+}
+
+// LLCHit is the cost of an L1 miss served by the home LLC slice: L1 miss
+// detection, request to home, LLC array access, data response.
+func (mm *Model) LLCHit(c topo.CoreID, blockAddr uint64) engine.Time {
+	home := mm.homeCore(c, blockAddr)
+	return mm.M.Cfg.L1Cycles + // miss determination
+		mm.M.NetLatency(c, home, ctrlBytes) +
+		mm.M.Cfg.LLCCycles +
+		mm.M.NetLatency(home, c, mm.blockBytes())
+}
+
+// RemoteOwnerHit is the cost of an L1 miss whose block is dirty in another
+// core's cache: request to home (directory), forward to owner, cache-to-
+// cache data response.
+func (mm *Model) RemoteOwnerHit(c, owner topo.CoreID, blockAddr uint64) engine.Time {
+	home := mm.homeCore(c, blockAddr)
+	return mm.M.Cfg.L1Cycles +
+		mm.M.NetLatency(c, home, ctrlBytes) +
+		mm.M.Cfg.LLCCycles + // directory lookup
+		mm.M.NetLatency(home, owner, ctrlBytes) +
+		mm.M.Cfg.L1Cycles + // owner L1 probe
+		mm.M.NetLatency(owner, c, mm.blockBytes())
+}
+
+// DRAMAccess is the cost of a miss that goes to memory: home slice lookup,
+// hop to the nearest memory controller, DRAM array access, data return.
+func (mm *Model) DRAMAccess(c topo.CoreID, blockAddr uint64) engine.Time {
+	home := mm.homeCore(c, blockAddr)
+	mcHops := mm.M.NearestMC(home)
+	dram := engine.Time(float64(mm.M.Cfg.DRAMCycles) * mm.M.Cfg.DRAMFastFactor)
+	return mm.LLCHit(c, blockAddr) +
+		engine.Time(mcHops)*mm.M.Cfg.HopCycles*2 +
+		dram
+}
+
+// UpgradeWrite is the cost of a store to a block held Shared by others:
+// upgrade request to home, parallel invalidations, acks gated by the
+// farthest sharer.
+func (mm *Model) UpgradeWrite(c topo.CoreID, sharers []topo.CoreID, blockAddr uint64) engine.Time {
+	home := mm.homeCore(c, blockAddr)
+	lat := mm.M.Cfg.L1Cycles +
+		mm.M.NetLatency(c, home, ctrlBytes) +
+		mm.M.Cfg.LLCCycles
+	// Invalidations fan out in parallel; completion depends on the
+	// farthest sharer's ack (paper §6.3: shootdown latency depends on the
+	// response time of the furthest core).
+	var worst engine.Time
+	for _, s := range sharers {
+		if s == c {
+			continue
+		}
+		rt := mm.M.NetLatency(home, s, ctrlBytes) +
+			mm.M.Cfg.L1Cycles +
+			mm.M.NetLatency(s, home, ctrlBytes)
+		if rt > worst {
+			worst = rt
+		}
+	}
+	return lat + worst + mm.M.NetLatency(home, c, ctrlBytes)
+}
+
+// LinePing is the cost for core c to read one cache line that was last
+// written by core owner — the cost of probing another core's queue length
+// or popping from a producer's queue. Same core: an L1 hit.
+func (mm *Model) LinePing(c, owner topo.CoreID, blockAddr uint64) engine.Time {
+	if c == owner {
+		return mm.L1Hit()
+	}
+	return mm.RemoteOwnerHit(c, owner, blockAddr)
+}
+
+// BlockStreamTransfer is the cost for dst to pull n dirty cache blocks
+// last written by src (the ArgBuf handoff pattern). The first block pays
+// the full cache-to-cache latency; subsequent blocks are pipelined behind
+// it, each adding one block serialization interval on the narrowest link.
+func (mm *Model) BlockStreamTransfer(src, dst topo.CoreID, n int, blockAddr uint64) engine.Time {
+	if n <= 0 {
+		return 0
+	}
+	first := mm.RemoteOwnerHit(dst, src, blockAddr)
+	if n == 1 {
+		return first
+	}
+	flitsPerBlock := (mm.blockBytes() + mm.M.Cfg.LinkBytes - 1) / mm.M.Cfg.LinkBytes
+	return first + engine.Time((n-1)*flitsPerBlock)
+}

@@ -1,0 +1,138 @@
+package memmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jord/internal/sim/topo"
+)
+
+func qflex() *Model { return New(topo.MustMachine(topo.QFlex32())) }
+
+func TestLatencyHierarchyOrdering(t *testing.T) {
+	mm := qflex()
+	c := topo.CoreID(5)
+	addr := uint64(0x1234)
+	l1 := mm.L1Hit()
+	llc := mm.LLCHit(c, addr)
+	dram := mm.DRAMAccess(c, addr)
+	if !(l1 < llc && llc < dram) {
+		t.Fatalf("hierarchy violated: L1=%d LLC=%d DRAM=%d", l1, llc, dram)
+	}
+}
+
+func TestL1HitMatchesTable2(t *testing.T) {
+	mm := qflex()
+	if mm.L1Hit() != 2 {
+		t.Fatalf("L1 = %d cycles, want 2 (Table 2)", mm.L1Hit())
+	}
+}
+
+func TestRemoteOwnerCostsMoreThanLLCForFarOwner(t *testing.T) {
+	mm := qflex()
+	addr := uint64(0) // home = tile 0
+	// Requester near home, owner far away: 3-leg beats 2-leg.
+	llc := mm.LLCHit(1, addr)
+	remote := mm.RemoteOwnerHit(1, 31, addr)
+	if remote <= llc {
+		t.Fatalf("remote owner %d should exceed LLC hit %d", remote, llc)
+	}
+}
+
+func TestLinePingSameCoreIsL1(t *testing.T) {
+	mm := qflex()
+	if got := mm.LinePing(4, 4, 99); got != mm.L1Hit() {
+		t.Fatalf("same-core ping = %d, want L1 %d", got, mm.L1Hit())
+	}
+}
+
+func TestLinePingGrowsWithDistance(t *testing.T) {
+	mm := qflex()
+	addr := uint64(0)
+	near := mm.LinePing(0, 1, addr)
+	far := mm.LinePing(0, 31, addr)
+	if far <= near {
+		t.Fatalf("far ping %d should exceed near ping %d", far, near)
+	}
+}
+
+func TestBlockStreamPipelining(t *testing.T) {
+	mm := qflex()
+	one := mm.BlockStreamTransfer(0, 31, 1, 0)
+	fifteen := mm.BlockStreamTransfer(0, 31, 15, 0)
+	if fifteen <= one {
+		t.Fatalf("15 blocks %d should exceed 1 block %d", fifteen, one)
+	}
+	// Pipelined: far cheaper than 15 serial transfers.
+	if fifteen >= 15*one {
+		t.Fatalf("transfer not pipelined: 15 blocks = %d, 15x one = %d", fifteen, 15*one)
+	}
+	// Each extra block adds exactly one serialization interval (4 flits).
+	if fifteen != one+14*4 {
+		t.Fatalf("15-block transfer = %d, want %d", fifteen, one+14*4)
+	}
+	if mm.BlockStreamTransfer(0, 31, 0, 0) != 0 {
+		t.Fatal("0-block transfer should be free")
+	}
+}
+
+func TestUpgradeWriteFarthestSharerDominates(t *testing.T) {
+	mm := qflex()
+	addr := uint64(0)
+	none := mm.UpgradeWrite(0, nil, addr)
+	near := mm.UpgradeWrite(0, []topo.CoreID{1}, addr)
+	far := mm.UpgradeWrite(0, []topo.CoreID{31}, addr)
+	both := mm.UpgradeWrite(0, []topo.CoreID{1, 31}, addr)
+	if !(none < near && near < far) {
+		t.Fatalf("ordering violated: none=%d near=%d far=%d", none, near, far)
+	}
+	if both != far {
+		t.Fatalf("parallel invalidation: both=%d should equal far=%d", both, far)
+	}
+	// Self in the sharer list contributes nothing.
+	if self := mm.UpgradeWrite(0, []topo.CoreID{0}, addr); self != none {
+		t.Fatalf("self-sharer should be free: %d vs %d", self, none)
+	}
+}
+
+func TestCrossSocketTransferDominatesIntra(t *testing.T) {
+	mm := New(topo.MustMachine(topo.DualSocket256()))
+	addr := uint64(0)
+	intra := mm.LinePing(0, 5, addr)
+	inter := mm.LinePing(0, 200, addr)
+	if inter <= intra+mm.M.Cfg.NSToCycles(260) {
+		t.Fatalf("cross-socket ping %d should include the 260ns link (intra %d)", inter, intra)
+	}
+}
+
+func TestQuickLatenciesPositiveAndFinite(t *testing.T) {
+	mm := qflex()
+	f := func(a, b uint8, addr uint64, n uint8) bool {
+		ca := topo.CoreID(int(a) % 32)
+		cb := topo.CoreID(int(b) % 32)
+		if mm.LLCHit(ca, addr) <= 0 || mm.DRAMAccess(ca, addr) <= 0 {
+			return false
+		}
+		if mm.LinePing(ca, cb, addr) <= 0 {
+			return false
+		}
+		if int(n) > 0 && mm.BlockStreamTransfer(ca, cb, int(n), addr) <= 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFPGADRAMFasterRelative(t *testing.T) {
+	sim := qflex()
+	fpga := New(topo.MustMachine(topo.FPGA2()))
+	// In core cycles, FPGA DRAM should be cheaper than simulator DRAM
+	// (footnote 2: DRAM runs at a relatively higher frequency than cores).
+	if fpga.DRAMAccess(0, 0) >= sim.DRAMAccess(0, 0) {
+		t.Fatalf("FPGA DRAM %d should be < simulator DRAM %d in cycles",
+			fpga.DRAMAccess(0, 0), sim.DRAMAccess(0, 0))
+	}
+}

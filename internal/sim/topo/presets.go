@@ -1,0 +1,94 @@
+package topo
+
+// base returns the Table 2 parameter set shared by all cycle-accurate
+// simulator configurations.
+func base() Config {
+	return Config{
+		FreqGHz:          4.0,
+		HopCycles:        3,
+		LinkBytes:        16,
+		InterSocketNS:    260,
+		MemControllers:   4,
+		CacheBlockBytes:  64,
+		InstrCycleFactor: 1.0,
+		L1Cycles:         2,
+		LLCCycles:        6,
+		DRAMCycles:       260, // ~65 ns array access at 4 GHz
+		DRAMFastFactor:   1.0,
+	}
+}
+
+// QFlex32 is the paper's primary evaluation machine: 32 cores at 4 GHz on
+// an 8x4 mesh (Table 2).
+func QFlex32() Config {
+	c := base()
+	c.Name = "qflex-32"
+	c.Sockets = 1
+	c.CoresPerSocket = 32
+	c.MeshX, c.MeshY = 8, 4
+	return c
+}
+
+// FPGA2 models the OpenXiangShan FPGA prototype: two cores, lower IPC on
+// instruction execution, identical SRAM latencies, relatively fast DRAM
+// (paper §5 and footnote 2).
+func FPGA2() Config {
+	c := base()
+	c.Name = "fpga-xiangshan-2"
+	c.Sockets = 1
+	c.CoresPerSocket = 2
+	c.MeshX, c.MeshY = 2, 1
+	c.InstrCycleFactor = 2.4 // RTL pipeline: more control/structural hazards
+	c.DRAMFastFactor = 0.5   // DRAM clocked high relative to FPGA cores
+	return c
+}
+
+// Scale returns the single-socket scaling configurations of §6.3:
+// 16, 64, 128, or 256 cores on near-square meshes.
+func Scale(cores int) Config {
+	c := base()
+	c.Sockets = 1
+	c.CoresPerSocket = cores
+	switch cores {
+	case 16:
+		c.MeshX, c.MeshY = 4, 4
+	case 32:
+		c.MeshX, c.MeshY = 8, 4
+	case 64:
+		c.MeshX, c.MeshY = 8, 8
+	case 128:
+		c.MeshX, c.MeshY = 16, 8
+	case 256:
+		c.MeshX, c.MeshY = 16, 16
+	default:
+		// Fall back to a single row; Validate will reject impossible sizes.
+		c.MeshX, c.MeshY = cores, 1
+	}
+	c.Name = "scale-" + itoa(cores)
+	return c
+}
+
+// DualSocket256 is the dual-socket system of §6.3: 128 cores per socket,
+// 260 ns inter-socket latency.
+func DualSocket256() Config {
+	c := base()
+	c.Name = "dual-socket-256"
+	c.Sockets = 2
+	c.CoresPerSocket = 128
+	c.MeshX, c.MeshY = 16, 8
+	return c
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,214 @@
+// Package topo models the physical organization of the simulated machine:
+// cores/tiles laid out on per-socket 2D meshes, memory controllers at mesh
+// corners, and the network latencies between them. It mirrors the system
+// parameters of Table 2 in the paper (32-core, 4 GHz, 8x4 mesh, 16 B links,
+// 3 cycles/hop, 4 memory controllers) and the scaling configurations of
+// §6.3 (single-socket 16-256 cores, dual-socket 128+128 with 260 ns
+// inter-socket latency, following AMD Zen5 Turin).
+package topo
+
+import (
+	"fmt"
+
+	"jord/internal/sim/engine"
+)
+
+// CoreID identifies a core; cores are numbered socket-major, then
+// row-major within the socket's mesh.
+type CoreID int
+
+// TileID identifies a mesh tile. In this model every core occupies one
+// tile (core i on tile i), and each tile carries one LLC slice.
+type TileID int
+
+// Config describes a machine. All latencies are in core clock cycles.
+type Config struct {
+	Name           string
+	Sockets        int
+	CoresPerSocket int
+	MeshX, MeshY   int // per-socket mesh dimensions; MeshX*MeshY == CoresPerSocket
+
+	FreqGHz float64 // core clock; Table 2: 4 GHz
+
+	HopCycles       engine.Time // per mesh hop; Table 2: 3 cycles
+	LinkBytes       int         // link width; Table 2: 16 B
+	InterSocketNS   float64     // socket-to-socket latency; §5: 260 ns
+	MemControllers  int         // per socket; Table 2: 4 MCs
+	CacheBlockBytes int         // 64 B
+
+	// Core model. InstrCycleFactor scales the cost of instruction
+	// execution (not SRAM/wire latencies): 1.0 for the aggressive
+	// cycle-accurate simulator pipeline, >1 for the FPGA RTL model whose
+	// IPC is lower (§6.2: "operations involving instruction execution
+	// exhibit a lower IPC in the RTL model").
+	InstrCycleFactor float64
+
+	// Cache hierarchy latencies (Table 2).
+	L1Cycles   engine.Time // 2-cycle L1
+	LLCCycles  engine.Time // 6-cycle LLC slice
+	DRAMCycles engine.Time // DRAM array access once at the controller
+
+	// DRAMFastFactor scales DRAM latency relative to the core clock; the
+	// FPGA prototype's DRAM runs at a relatively higher frequency than
+	// its cores (paper footnote 2), making DRAM cheaper in core cycles.
+	DRAMFastFactor float64
+}
+
+// Validate checks internal consistency.
+func (c *Config) Validate() error {
+	if c.Sockets < 1 || c.CoresPerSocket < 1 {
+		return fmt.Errorf("topo: %s: need at least one socket and core", c.Name)
+	}
+	if c.MeshX*c.MeshY != c.CoresPerSocket {
+		return fmt.Errorf("topo: %s: mesh %dx%d != %d cores/socket",
+			c.Name, c.MeshX, c.MeshY, c.CoresPerSocket)
+	}
+	if c.FreqGHz <= 0 || c.InstrCycleFactor <= 0 || c.DRAMFastFactor <= 0 {
+		return fmt.Errorf("topo: %s: non-positive scale factor", c.Name)
+	}
+	if c.LinkBytes <= 0 || c.CacheBlockBytes <= 0 {
+		return fmt.Errorf("topo: %s: non-positive link/block size", c.Name)
+	}
+	return nil
+}
+
+// TotalCores returns the machine-wide core count.
+func (c *Config) TotalCores() int { return c.Sockets * c.CoresPerSocket }
+
+// CyclesPerNS returns clock cycles per nanosecond.
+func (c *Config) CyclesPerNS() float64 { return c.FreqGHz }
+
+// NSToCycles converts nanoseconds to (rounded) cycles.
+func (c *Config) NSToCycles(ns float64) engine.Time {
+	return engine.Time(ns*c.FreqGHz + 0.5)
+}
+
+// CyclesToNS converts cycles to nanoseconds.
+func (c *Config) CyclesToNS(t engine.Time) float64 {
+	return float64(t) / c.FreqGHz
+}
+
+// Instr returns the cost in cycles of executing n "simple" instructions,
+// scaled by the platform's IPC model.
+func (c *Config) Instr(n int) engine.Time {
+	return engine.Time(float64(n)*c.InstrCycleFactor + 0.5)
+}
+
+// Machine is a validated Config with derived geometry.
+type Machine struct {
+	Cfg Config
+}
+
+// NewMachine validates cfg and returns the machine model.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{Cfg: cfg}, nil
+}
+
+// MustMachine is NewMachine for known-good presets.
+func MustMachine(cfg Config) *Machine {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Socket returns the socket that core c belongs to.
+func (m *Machine) Socket(c CoreID) int {
+	return int(c) / m.Cfg.CoresPerSocket
+}
+
+// coord returns the (x, y) mesh coordinate of a core within its socket.
+func (m *Machine) coord(c CoreID) (x, y int) {
+	local := int(c) % m.Cfg.CoresPerSocket
+	return local % m.Cfg.MeshX, local / m.Cfg.MeshX
+}
+
+// HopDist returns the Manhattan hop distance between two cores' tiles. For
+// cores on different sockets it returns the hops to each socket's I/O edge
+// (die corner nearest the socket link, modelled at tile (0,0)).
+func (m *Machine) HopDist(a, b CoreID) int {
+	ax, ay := m.coord(a)
+	bx, by := m.coord(b)
+	if m.Socket(a) == m.Socket(b) {
+		return abs(ax-bx) + abs(ay-by)
+	}
+	// Each side traverses to its die edge at (0,0).
+	return ax + ay + bx + by
+}
+
+// NetLatency returns the latency for a message of the given payload bytes
+// from core a's tile to core b's tile: per-hop wire latency, flit
+// serialization on 16 B links, and the inter-socket link when crossing
+// sockets.
+func (m *Machine) NetLatency(a, b CoreID, bytes int) engine.Time {
+	if a == b {
+		return 0
+	}
+	hops := m.HopDist(a, b)
+	lat := engine.Time(hops) * m.Cfg.HopCycles
+	if bytes > m.Cfg.LinkBytes {
+		flits := (bytes + m.Cfg.LinkBytes - 1) / m.Cfg.LinkBytes
+		lat += engine.Time(flits - 1) // pipelined: one extra cycle per extra flit
+	}
+	if m.Socket(a) != m.Socket(b) {
+		lat += m.Cfg.NSToCycles(m.Cfg.InterSocketNS)
+	}
+	return lat
+}
+
+// HomeTile returns the tile whose LLC slice is home for a cache-block
+// address (static block-interleaved hashing, socket-local).
+func (m *Machine) HomeTile(socket int, blockAddr uint64) TileID {
+	slice := int(blockAddr % uint64(m.Cfg.CoresPerSocket))
+	return TileID(socket*m.Cfg.CoresPerSocket + slice)
+}
+
+// TileCore returns the core co-located with a tile (1:1 in this model).
+func (m *Machine) TileCore(t TileID) CoreID { return CoreID(t) }
+
+// NearestMC returns the hop distance from a core to its socket's nearest
+// memory controller. MCs sit at the four mesh corners (MemControllers is
+// capped at 4 in this placement; fewer MCs occupy corners in order).
+func (m *Machine) NearestMC(c CoreID) int {
+	x, y := m.coord(c)
+	X, Y := m.Cfg.MeshX-1, m.Cfg.MeshY-1
+	corners := [4][2]int{{0, 0}, {X, 0}, {0, Y}, {X, Y}}
+	n := m.Cfg.MemControllers
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	best := 1 << 30
+	for _, k := range corners[:n] {
+		d := abs(x-k[0]) + abs(y-k[1])
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// MaxHops returns the largest hop distance from core c to any core in the
+// given set (used for "farthest sharer" shootdown latency).
+func (m *Machine) MaxHops(c CoreID, others []CoreID) int {
+	max := 0
+	for _, o := range others {
+		if d := m.HopDist(c, o); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,187 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValid(t *testing.T) {
+	for _, cfg := range []Config{
+		QFlex32(), FPGA2(), Scale(16), Scale(32), Scale(64), Scale(128), Scale(256), DualSocket256(),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestQFlex32Geometry(t *testing.T) {
+	m := MustMachine(QFlex32())
+	if m.Cfg.TotalCores() != 32 {
+		t.Fatalf("cores = %d, want 32", m.Cfg.TotalCores())
+	}
+	// Core 0 at (0,0), core 7 at (7,0): 7 hops.
+	if d := m.HopDist(0, 7); d != 7 {
+		t.Errorf("HopDist(0,7) = %d, want 7", d)
+	}
+	// Core 0 to core 31 at (7,3): 10 hops.
+	if d := m.HopDist(0, 31); d != 10 {
+		t.Errorf("HopDist(0,31) = %d, want 10", d)
+	}
+	if d := m.HopDist(5, 5); d != 0 {
+		t.Errorf("HopDist(5,5) = %d, want 0", d)
+	}
+}
+
+func TestHopDistSymmetric(t *testing.T) {
+	m := MustMachine(QFlex32())
+	f := func(a, b uint8) bool {
+		ca := CoreID(int(a) % 32)
+		cb := CoreID(int(b) % 32)
+		return m.HopDist(ca, cb) == m.HopDist(cb, ca)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopDistTriangleInequality(t *testing.T) {
+	m := MustMachine(Scale(64))
+	f := func(a, b, c uint8) bool {
+		x := CoreID(int(a) % 64)
+		y := CoreID(int(b) % 64)
+		z := CoreID(int(c) % 64)
+		return m.HopDist(x, z) <= m.HopDist(x, y)+m.HopDist(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetLatencySameCoreZero(t *testing.T) {
+	m := MustMachine(QFlex32())
+	if l := m.NetLatency(3, 3, 64); l != 0 {
+		t.Fatalf("same-core latency = %d, want 0", l)
+	}
+}
+
+func TestNetLatencyBlockSerialization(t *testing.T) {
+	m := MustMachine(QFlex32())
+	// 1 hop, 64B payload on 16B links: 3 cycles hop + 3 extra flit cycles.
+	if l := m.NetLatency(0, 1, 64); l != 6 {
+		t.Fatalf("1-hop block latency = %d, want 6", l)
+	}
+	// Control message (<=16B): hop cost only.
+	if l := m.NetLatency(0, 1, 8); l != 3 {
+		t.Fatalf("1-hop control latency = %d, want 3", l)
+	}
+}
+
+func TestInterSocketLatency(t *testing.T) {
+	m := MustMachine(DualSocket256())
+	a := CoreID(0)   // socket 0
+	b := CoreID(128) // socket 1, local (0,0)
+	if m.Socket(a) != 0 || m.Socket(b) != 1 {
+		t.Fatalf("socket assignment wrong: %d %d", m.Socket(a), m.Socket(b))
+	}
+	lat := m.NetLatency(a, b, 8)
+	want := m.Cfg.NSToCycles(260) // both at the die edge: no mesh hops
+	if lat != want {
+		t.Fatalf("cross-socket latency = %d, want %d", lat, want)
+	}
+	// Within-socket must not pay the socket link.
+	if l := m.NetLatency(0, 1, 8); l >= want {
+		t.Fatalf("intra-socket latency %d unexpectedly >= inter-socket %d", l, want)
+	}
+}
+
+func TestTimeConversion(t *testing.T) {
+	c := QFlex32()
+	if got := c.NSToCycles(260); got != 1040 {
+		t.Fatalf("260ns = %d cycles, want 1040", got)
+	}
+	if got := c.CyclesToNS(8); got != 2.0 {
+		t.Fatalf("8 cycles = %vns, want 2", got)
+	}
+}
+
+func TestInstrScaling(t *testing.T) {
+	sim := QFlex32()
+	fpga := FPGA2()
+	if sim.Instr(10) != 10 {
+		t.Fatalf("sim Instr(10) = %d, want 10", sim.Instr(10))
+	}
+	if fpga.Instr(10) <= sim.Instr(10) {
+		t.Fatalf("FPGA instruction cost %d should exceed simulator %d",
+			fpga.Instr(10), sim.Instr(10))
+	}
+}
+
+func TestHomeTileInRange(t *testing.T) {
+	m := MustMachine(DualSocket256())
+	f := func(addr uint64, sock bool) bool {
+		s := 0
+		if sock {
+			s = 1
+		}
+		tile := m.HomeTile(s, addr)
+		lo := TileID(s * 128)
+		hi := TileID((s + 1) * 128)
+		return tile >= lo && tile < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNearestMC(t *testing.T) {
+	m := MustMachine(QFlex32())
+	// Corner core is at an MC.
+	if d := m.NearestMC(0); d != 0 {
+		t.Errorf("NearestMC(0) = %d, want 0", d)
+	}
+	// Central core (3,1) -> min over corners of 8x4: (0,0)=4 (3,0)? corners are
+	// (0,0),(7,0),(0,3),(7,3): dist = 4, 5, 6, 7 -> 4.
+	core := CoreID(1*8 + 3)
+	if d := m.NearestMC(core); d != 4 {
+		t.Errorf("NearestMC(center) = %d, want 4", d)
+	}
+}
+
+func TestMaxHops(t *testing.T) {
+	m := MustMachine(QFlex32())
+	all := make([]CoreID, 32)
+	for i := range all {
+		all[i] = CoreID(i)
+	}
+	if d := m.MaxHops(0, all); d != 10 {
+		t.Fatalf("MaxHops(0, all) = %d, want 10", d)
+	}
+	if d := m.MaxHops(0, nil); d != 0 {
+		t.Fatalf("MaxHops(0, nil) = %d, want 0", d)
+	}
+}
+
+func TestScaleMeshGrowsMaxDistance(t *testing.T) {
+	prev := -1
+	for _, n := range []int{16, 32, 64, 128, 256} {
+		m := MustMachine(Scale(n))
+		all := make([]CoreID, n)
+		for i := range all {
+			all[i] = CoreID(i)
+		}
+		d := m.MaxHops(0, all)
+		if d <= prev {
+			t.Fatalf("max distance did not grow: %d cores -> %d hops (prev %d)", n, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestValidateRejectsBadMesh(t *testing.T) {
+	c := QFlex32()
+	c.MeshX = 5
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected mesh mismatch error")
+	}
+}

@@ -1,0 +1,122 @@
+package vlb
+
+import (
+	"testing"
+
+	"jord/internal/mem/va"
+	"jord/internal/mem/vmatable"
+	"jord/internal/sim/memmodel"
+	"jord/internal/sim/topo"
+)
+
+// TestVictimCachePessimism covers the §4.2 corner case: a VLB can evict a
+// translation while the VTE line stays cached, and the core may later
+// reinstall the translation "without informing VTD to track it". The
+// model (like the paper's hardware) stays pessimistic: sharer sets only
+// shrink on shootdowns, so a writer still invalidates the reinstalling
+// core.
+func TestVictimCachePessimism(t *testing.T) {
+	m := topo.MustMachine(topo.QFlex32())
+	mm := memmodel.New(m)
+	tbl, err := vmatable.New(va.Default(), 0x4000_0000_0000, vmatable.DefaultTableBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1-entry D-VLB guarantees evictions.
+	s := NewSubsystem(m, mm, tbl, Config{IVLBEntries: 1, DVLBEntries: 1})
+
+	mk := func(class int, index uint64) uint64 {
+		vte := &vmatable.VTE{Bound: 128}
+		vte.SetPerm(1, vmatable.PermRW)
+		if err := tbl.Insert(class, index, vte); err != nil {
+			t.Fatal(err)
+		}
+		return tbl.Enc.Encode(class, index)
+	}
+	a1 := mk(0, 1)
+	a2 := mk(0, 2)
+
+	// Core 5 caches a1, then evicts it by touching a2, then silently
+	// re-installs a1 from its (still warm) L1.
+	s.Access(5, 1, a1, vmatable.PermR, false, false)
+	s.Access(5, 1, a2, vmatable.PermR, false, false) // evicts a1 from the 1-entry VLB
+	s.Access(5, 1, a1, vmatable.PermR, false, false) // reinstall
+
+	// Despite the eviction dance, the VTD still counts core 5 as a sharer
+	// of a1: a writer's shootdown must reach it.
+	sharers := s.VTD.Sharers(tbl.VTEAddr(0, 1), 0)
+	found := false
+	for _, c := range sharers {
+		if c == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("VTD lost a sharer across VLB eviction/reinstall (victim-cache pessimism violated)")
+	}
+	_, res := s.VTEWrite(0, 0, 1)
+	if res.Sharers == 0 {
+		t.Fatal("shootdown skipped the reinstalled sharer")
+	}
+	if _, ok := s.Cores[5].DVLB.Lookup(0, 1); ok {
+		t.Fatal("reinstalled translation survived the shootdown")
+	}
+}
+
+// TestGrantOnlyWritePreservesRemoteEntries verifies the monotonic-grant
+// optimization: adding a PD's permission does not invalidate other cores'
+// cached translations (their decisions are unaffected), while a
+// revocation does.
+func TestGrantOnlyWritePreservesRemoteEntries(t *testing.T) {
+	m := topo.MustMachine(topo.QFlex32())
+	mm := memmodel.New(m)
+	tbl, _ := vmatable.New(va.Default(), 0x4000_0000_0000, vmatable.DefaultTableBytes)
+	s := NewSubsystem(m, mm, tbl, DefaultConfig())
+
+	vte := &vmatable.VTE{Bound: 128}
+	vte.SetPerm(1, vmatable.PermRW)
+	if err := tbl.Insert(0, 1, vte); err != nil {
+		t.Fatal(err)
+	}
+	addr := tbl.Enc.Encode(0, 1)
+
+	s.Access(7, 1, addr, vmatable.PermR, false, false) // core 7 caches it
+	if s.Cores[7].DVLB.Len() != 1 {
+		t.Fatal("setup failed")
+	}
+
+	// Grant-only write from core 0: core 7's entry survives.
+	s.VTEWriteGrant(0, 0, 1)
+	if s.Cores[7].DVLB.Len() != 1 {
+		t.Fatal("grant-only write invalidated a remote VLB entry")
+	}
+
+	// Revoking write from core 0: core 7's entry must go.
+	s.VTEWrite(0, 0, 1)
+	if s.Cores[7].DVLB.Len() != 0 {
+		t.Fatal("revoking write left a stale remote VLB entry")
+	}
+}
+
+// TestShootdownCrossSocketLatency checks the Figure 14 mechanism: a
+// shootdown reaching a sharer on the other socket pays the inter-socket
+// link both ways.
+func TestShootdownCrossSocketLatency(t *testing.T) {
+	m := topo.MustMachine(topo.DualSocket256())
+	mm := memmodel.New(m)
+	tbl, _ := vmatable.New(va.Default(), 0x4000_0000_0000, vmatable.DefaultTableBytes)
+	s := NewSubsystem(m, mm, tbl, DefaultConfig())
+	vteAddr := tbl.VTEAddr(0, 1)
+
+	s.VTD.RegisterSharer(vteAddr, 1) // same socket
+	local := s.VTD.Shootdown(0, vteAddr, func(topo.CoreID) {})
+
+	s.VTD.RegisterSharer(vteAddr, 200) // other socket
+	remote := s.VTD.Shootdown(0, vteAddr, func(topo.CoreID) {})
+
+	crossing := 2 * m.Cfg.NSToCycles(m.Cfg.InterSocketNS)
+	if remote.Latency < local.Latency+crossing/2 {
+		t.Fatalf("cross-socket shootdown %d cycles should far exceed local %d",
+			remote.Latency, local.Latency)
+	}
+}

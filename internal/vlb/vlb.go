@@ -1,0 +1,106 @@
+// Package vlb models Jord's user-level translation hardware (paper §4):
+// per-core instruction and data virtual lookaside buffers (I/D-VLBs) that
+// cache VMA translations, the VMA table walker (VTW) that services misses
+// with a single position computation plus one cache access, and the
+// virtual translation directory (VTD) that tracks VLB sharers per VTE and
+// performs hardware VLB shootdowns by piggybacking a T bit on ordinary
+// coherence messages (§4.2, Figure 7).
+package vlb
+
+import (
+	"jord/internal/mem/vmatable"
+)
+
+// vmaKey identifies a VMA by its plain-list coordinates.
+type vmaKey struct {
+	class int
+	index uint64
+}
+
+// Entry is one VLB entry: a cached VMA translation tagged with its VTE
+// address so coherence invalidations (which carry VTE addresses) can be
+// matched against it (§4.2).
+type Entry struct {
+	Class   int
+	Index   uint64
+	VTEAddr uint64
+	VTE     *vmatable.VTE
+	Priv    bool // cached P bit, propagated down the pipeline (§4.3)
+}
+
+// VLB is a fully associative, LRU virtual lookaside buffer (Table 2: the
+// I/D-VLBs are 16-entry fully associative; Figure 12 explores 1-16).
+type VLB struct {
+	capacity int
+	entries  []Entry // LRU order: most recently used last
+
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Invals    uint64
+}
+
+// NewVLB returns a VLB with the given entry count (minimum 1).
+func NewVLB(capacity int) *VLB {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &VLB{capacity: capacity}
+}
+
+// Capacity returns the configured entry count.
+func (v *VLB) Capacity() int { return v.capacity }
+
+// Len returns the number of live entries.
+func (v *VLB) Len() int { return len(v.entries) }
+
+// Lookup returns the cached entry for a VMA, refreshing its LRU position.
+func (v *VLB) Lookup(class int, index uint64) (Entry, bool) {
+	for i := range v.entries {
+		if v.entries[i].Class == class && v.entries[i].Index == index {
+			e := v.entries[i]
+			v.entries = append(append(v.entries[:i:i], v.entries[i+1:]...), e)
+			v.Hits++
+			return e, true
+		}
+	}
+	v.Misses++
+	return Entry{}, false
+}
+
+// Insert caches a translation, evicting the LRU entry when full. A VLB
+// eviction does not notify the VTD (the coherence directory acts as a
+// victim cache for it, §4.2), so the VTD's sharer sets stay pessimistic.
+func (v *VLB) Insert(e Entry) {
+	for i := range v.entries {
+		if v.entries[i].Class == e.Class && v.entries[i].Index == e.Index {
+			v.entries[i] = e
+			return
+		}
+	}
+	if len(v.entries) >= v.capacity {
+		copy(v.entries, v.entries[1:])
+		v.entries = v.entries[:len(v.entries)-1]
+		v.Evictions++
+	}
+	v.entries = append(v.entries, e)
+}
+
+// InvalidateVTE drops any entry whose VTE-address tag matches an incoming
+// T-bit invalidation, reporting whether one was dropped.
+func (v *VLB) InvalidateVTE(vteAddr uint64) bool {
+	for i := range v.entries {
+		if v.entries[i].VTEAddr == vteAddr {
+			v.entries = append(v.entries[:i], v.entries[i+1:]...)
+			v.Invals++
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll flushes the VLB (context switch of the whole process).
+func (v *VLB) InvalidateAll() {
+	v.Invals += uint64(len(v.entries))
+	v.entries = v.entries[:0]
+}

@@ -1,0 +1,106 @@
+package vlb
+
+import (
+	"testing"
+
+	"jord/internal/mem/vmatable"
+)
+
+func mkEntry(class int, index uint64) Entry {
+	return Entry{
+		Class:   class,
+		Index:   index,
+		VTEAddr: uint64(class)*64 + index*26*64,
+		VTE:     &vmatable.VTE{Bound: 128},
+	}
+}
+
+func TestVLBHitMiss(t *testing.T) {
+	v := NewVLB(4)
+	if _, ok := v.Lookup(0, 1); ok {
+		t.Fatal("hit in empty VLB")
+	}
+	v.Insert(mkEntry(0, 1))
+	if _, ok := v.Lookup(0, 1); !ok {
+		t.Fatal("miss after insert")
+	}
+	if v.Hits != 1 || v.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1,1", v.Hits, v.Misses)
+	}
+}
+
+func TestVLBLRUEviction(t *testing.T) {
+	v := NewVLB(2)
+	v.Insert(mkEntry(0, 1))
+	v.Insert(mkEntry(0, 2))
+	v.Lookup(0, 1) // make (0,2) the LRU
+	v.Insert(mkEntry(0, 3))
+	if _, ok := v.Lookup(0, 2); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := v.Lookup(0, 1); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+	if v.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", v.Evictions)
+	}
+}
+
+func TestVLBInsertUpdatesInPlace(t *testing.T) {
+	v := NewVLB(2)
+	v.Insert(mkEntry(0, 1))
+	e := mkEntry(0, 1)
+	e.Priv = true
+	v.Insert(e)
+	if v.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (update in place)", v.Len())
+	}
+	got, _ := v.Lookup(0, 1)
+	if !got.Priv {
+		t.Fatal("update lost")
+	}
+}
+
+func TestVLBInvalidateByVTEAddr(t *testing.T) {
+	v := NewVLB(4)
+	e := mkEntry(1, 7)
+	v.Insert(e)
+	v.Insert(mkEntry(2, 9))
+	if !v.InvalidateVTE(e.VTEAddr) {
+		t.Fatal("invalidate missed a cached entry")
+	}
+	if _, ok := v.Lookup(1, 7); ok {
+		t.Fatal("invalidated entry still present")
+	}
+	if _, ok := v.Lookup(2, 9); !ok {
+		t.Fatal("unrelated entry dropped")
+	}
+	if v.InvalidateVTE(0xdead) {
+		t.Fatal("invalidate of absent tag reported true")
+	}
+}
+
+func TestVLBMinimumCapacityOne(t *testing.T) {
+	v := NewVLB(0)
+	if v.Capacity() != 1 {
+		t.Fatalf("capacity = %d, want clamped to 1", v.Capacity())
+	}
+	v.Insert(mkEntry(0, 1))
+	v.Insert(mkEntry(0, 2))
+	if v.Len() != 1 {
+		t.Fatalf("len = %d, want 1", v.Len())
+	}
+}
+
+func TestVLBInvalidateAll(t *testing.T) {
+	v := NewVLB(4)
+	v.Insert(mkEntry(0, 1))
+	v.Insert(mkEntry(0, 2))
+	v.InvalidateAll()
+	if v.Len() != 0 {
+		t.Fatal("entries survived InvalidateAll")
+	}
+	if v.Invals != 2 {
+		t.Fatalf("invals = %d, want 2", v.Invals)
+	}
+}

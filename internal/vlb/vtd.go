@@ -1,0 +1,139 @@
+package vlb
+
+import (
+	"sort"
+
+	"jord/internal/sim/engine"
+	"jord/internal/sim/memmodel"
+	"jord/internal/sim/topo"
+)
+
+// VTD is the virtual translation directory (§4.2): a structure co-located
+// with the LLC slices that tracks, per VTE address, which cores' VLBs may
+// hold the corresponding translation. On a VTE write it generates T-bit
+// invalidation messages to all sharers in parallel; the shootdown
+// completes when the farthest sharer acks.
+//
+// The model is deliberately pessimistic in the same way the paper's
+// hardware is: VLB evictions do not remove sharers (the coherence
+// directory acts as a victim cache for the VTD), so sharer sets only
+// shrink on shootdowns.
+type VTD struct {
+	mm *memmodel.Model
+
+	sharers map[uint64]map[topo.CoreID]bool // VTE addr -> sharer set
+	// l1owner tracks which core last wrote each VTE cache line, to decide
+	// whether a walker fetch is an L1 hit, a cache-to-cache transfer, or
+	// an LLC hit.
+	l1owner map[uint64]topo.CoreID
+
+	Registrations uint64
+	Shootdowns    uint64
+	InvalsSent    uint64
+}
+
+// NewVTD returns an empty directory over the given timing model.
+func NewVTD(mm *memmodel.Model) *VTD {
+	return &VTD{
+		mm:      mm,
+		sharers: make(map[uint64]map[topo.CoreID]bool),
+		l1owner: make(map[uint64]topo.CoreID),
+	}
+}
+
+// RegisterSharer records that core's VLB now holds the translation at
+// vteAddr (a T-bit read reached the directory).
+func (d *VTD) RegisterSharer(vteAddr uint64, core topo.CoreID) {
+	set := d.sharers[vteAddr]
+	if set == nil {
+		set = make(map[topo.CoreID]bool)
+		d.sharers[vteAddr] = set
+	}
+	if !set[core] {
+		set[core] = true
+		d.Registrations++
+	}
+}
+
+// Sharers returns the sharer set for vteAddr in deterministic (sorted)
+// order, excluding the given core.
+func (d *VTD) Sharers(vteAddr uint64, except topo.CoreID) []topo.CoreID {
+	set := d.sharers[vteAddr]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]topo.CoreID, 0, len(set))
+	for c := range set {
+		if c != except {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LastWriter returns the core whose L1 holds the VTE line dirty, if any.
+func (d *VTD) LastWriter(vteAddr uint64) (topo.CoreID, bool) {
+	c, ok := d.l1owner[vteAddr]
+	return c, ok
+}
+
+// RecordWriter notes that core now owns the VTE line dirty in its L1.
+func (d *VTD) RecordWriter(vteAddr uint64, core topo.CoreID) {
+	d.l1owner[vteAddr] = core
+}
+
+// ShootdownResult describes one hardware VLB shootdown.
+type ShootdownResult struct {
+	Latency engine.Time
+	Sharers int // remote VLBs invalidated
+	Local   bool
+}
+
+// Shootdown performs the write-triggered invalidation protocol for
+// vteAddr initiated by writer: if no remote core shares the translation
+// and the writer owns the line, only a local VLB invalidation happens (no
+// coherence traffic, §4.2); otherwise the VTD fans out T-bit
+// invalidations in parallel and the latency is gated by the farthest
+// sharer. invalidate is called for every remote sharer so the caller can
+// drop the corresponding VLB entries.
+func (d *VTD) Shootdown(writer topo.CoreID, vteAddr uint64, invalidate func(topo.CoreID)) ShootdownResult {
+	remote := d.Sharers(vteAddr, writer)
+	owner, hasOwner := d.l1owner[vteAddr]
+
+	if len(remote) == 0 && (!hasOwner || owner == writer) {
+		// Write hits a privately held line: local VLB invalidation only.
+		d.resetAfterWrite(vteAddr, writer)
+		return ShootdownResult{Latency: d.mm.L1Hit(), Sharers: 0, Local: true}
+	}
+
+	lat := d.mm.UpgradeWrite(writer, remote, vteAddr/64)
+	for _, c := range remote {
+		invalidate(c)
+	}
+	d.InvalsSent += uint64(len(remote))
+	d.Shootdowns++
+	d.resetAfterWrite(vteAddr, writer)
+	return ShootdownResult{Latency: lat, Sharers: len(remote)}
+}
+
+// resetAfterWrite collapses the sharer set to the writer and marks it the
+// dirty owner of the line.
+func (d *VTD) resetAfterWrite(vteAddr uint64, writer topo.CoreID) {
+	set := d.sharers[vteAddr]
+	if set == nil {
+		set = make(map[topo.CoreID]bool)
+		d.sharers[vteAddr] = set
+	} else {
+		clear(set)
+	}
+	set[writer] = true
+	d.l1owner[vteAddr] = writer
+}
+
+// Forget drops all state for a VTE (its VMA was deleted and the slot
+// reused later gets a fresh set).
+func (d *VTD) Forget(vteAddr uint64) {
+	delete(d.sharers, vteAddr)
+	delete(d.l1owner, vteAddr)
+}

@@ -1,0 +1,59 @@
+package workloads
+
+import "jord/internal/core"
+
+// buildHipster models Google's OnlineBoutique (microservices-demo): an
+// online shop whose request paths fan out to carts, catalogs, currency
+// conversion, ads, payments, and shipping. Roots average ~3 nested calls;
+// the Table 3 selected functions are GetCart (GC) and PlaceOrder (PO).
+// Execution times are short — Hipster is the workload with the most
+// frequent cross-function communication relative to compute (§6.1).
+func (w *Workload) buildHipster() {
+	cart := w.leaf("hipster.CartService", 250)
+	catalog := w.leaf("hipster.ProductCatalog", 220)
+	currency := w.leaf("hipster.CurrencyService", 150)
+	ads := w.leaf("hipster.AdService", 200)
+	payment := w.leaf("hipster.PaymentService", 320)
+	shipping := w.leaf("hipster.ShippingService", 260)
+	email := w.leaf("hipster.EmailService", 180)
+
+	// GetCart (GC): frontend fetches the cart and converts prices.
+	gc := w.addRoot("hipster.GetCart", 0.35, func(c *core.Ctx) error {
+		w.exec(c, 350)
+		if err := callSeq(c, 4, cart, currency); err != nil {
+			return err
+		}
+		w.exec(c, 150)
+		return nil
+	})
+	w.Selected["GC"] = gc
+
+	// PlaceOrder (PO): checkout touches cart, payment, shipping, and fires
+	// a confirmation email asynchronously.
+	po := w.addRoot("hipster.PlaceOrder", 0.15, func(c *core.Ctx) error {
+		w.exec(c, 500)
+		if err := callSeq(c, 6, cart, payment); err != nil {
+			return err
+		}
+		ck, err := c.Async(email, 4)
+		if err != nil {
+			return err
+		}
+		if err := c.Call(shipping, 6); err != nil {
+			return err
+		}
+		w.exec(c, 200)
+		return c.Wait(ck)
+	})
+	w.Selected["PO"] = po
+
+	// Browse: the home/product page — catalog, currency, and ads.
+	w.addRoot("hipster.Browse", 0.50, func(c *core.Ctx) error {
+		w.exec(c, 400)
+		if err := callPar(c, 4, catalog, currency, ads); err != nil {
+			return err
+		}
+		w.exec(c, 150)
+		return nil
+	})
+}

@@ -1,0 +1,51 @@
+package workloads
+
+import "jord/internal/core"
+
+// buildHotel models DeathStarBench's hotel reservation service: search,
+// recommendation, and reservation paths over geo/rate/profile backends.
+// Compute per function is heavier than Hipster's (search scoring, rate
+// plan filtering). Selected functions: SearchNearby (SN) and
+// MakeReservation (MR).
+func (w *Workload) buildHotel() {
+	geo := w.leaf("hotel.Geo", 520)
+	rate := w.leaf("hotel.Rate", 640)
+	profile := w.leaf("hotel.Profile", 500)
+	user := w.leaf("hotel.User", 380)
+	reservation := w.leaf("hotel.Reservation", 620)
+
+	// SearchNearby (SN): geo lookup, then rates and profiles in parallel.
+	sn := w.addRoot("hotel.SearchNearby", 0.50, func(c *core.Ctx) error {
+		w.exec(c, 900)
+		if err := c.Call(geo, 6); err != nil {
+			return err
+		}
+		if err := callPar(c, 8, rate, profile); err != nil {
+			return err
+		}
+		w.exec(c, 800)
+		return nil
+	})
+	w.Selected["SN"] = sn
+
+	// MakeReservation (MR): authenticate, then book.
+	mr := w.addRoot("hotel.MakeReservation", 0.30, func(c *core.Ctx) error {
+		w.exec(c, 700)
+		if err := callSeq(c, 6, user, reservation); err != nil {
+			return err
+		}
+		w.exec(c, 500)
+		return nil
+	})
+	w.Selected["MR"] = mr
+
+	// CheckAvailability: a light rate probe.
+	w.addRoot("hotel.CheckAvailability", 0.20, func(c *core.Ctx) error {
+		w.exec(c, 600)
+		if err := c.Call(rate, 6); err != nil {
+			return err
+		}
+		w.exec(c, 200)
+		return nil
+	})
+}

@@ -1,0 +1,95 @@
+package workloads
+
+import "jord/internal/core"
+
+// buildMedia models DeathStarBench's media service (movie reviews). Its
+// distinguishing feature (§6.1) is deep composition: each function invokes
+// an average of ~12 nested functions, and ReadPage (RP) composes a full
+// page from over 100 component reads. Selected functions: UploadUniqueId
+// (UU) and ReadPage (RP).
+func (w *Workload) buildMedia() {
+	uniqueID := w.scratchLeaf("media.UniqueIdService", 150, 2)
+	movieID := w.scratchLeaf("media.MovieIdService", 180, 2)
+	text := w.scratchLeaf("media.TextService", 200, 3)
+	rating := w.scratchLeaf("media.RatingService", 160, 2)
+	reviewStore := w.scratchLeaf("media.ReviewStorage", 220, 2)
+	userReview := w.scratchLeaf("media.UserReviewService", 180, 2)
+	movieReview := w.scratchLeaf("media.MovieReviewService", 180, 2)
+	movieInfo := w.scratchLeaf("media.MovieInfoService", 200, 2)
+	castInfo := w.scratchLeaf("media.CastInfoService", 190, 2)
+	plot := w.scratchLeaf("media.PlotService", 170, 2)
+
+	// UploadUniqueId (UU): mint an ID and register it in a few indices.
+	uu := w.addRoot("media.UploadUniqueId", 0.25, func(c *core.Ctx) error {
+		w.exec(c, 400)
+		if err := callSeq(c, 4, uniqueID, movieID); err != nil {
+			return err
+		}
+		if err := callPar(c, 4, text, rating); err != nil {
+			return err
+		}
+		w.exec(c, 150)
+		return nil
+	})
+	w.Selected["UU"] = uu
+
+	// ComposeReview: fan a review out to every interested service —
+	// sixteen nested calls, mixing sync and async (Media's functions
+	// average ~12 nested invocations, §6.1).
+	w.addRoot("media.ComposeReview", 0.52, func(c *core.Ctx) error {
+		w.exec(c, 600)
+		if err := callSeq(c, 4, uniqueID, movieID, text, rating); err != nil {
+			return err
+		}
+		if err := callPar(c, 6, reviewStore, userReview, movieReview, movieInfo, castInfo, plot); err != nil {
+			return err
+		}
+		if err := callPar(c, 4, text, rating, reviewStore, userReview, movieInfo, plot); err != nil {
+			return err
+		}
+		w.exec(c, 200)
+		return nil
+	})
+
+	// ReadPage (RP): compose a page from >100 component reads — the
+	// paper's extreme nesting case, run as wide async fan-out. Each
+	// collected component is rendered into the page (per-child compute),
+	// so RP's own execution time is substantial too.
+	// RP is a rare operation (~0.5% of traffic): its ~40 us compositions
+	// sit far above the p99 of the common path, as in the paper's curves.
+	rp := w.addRoot("media.ReadPage", 0.005, func(c *core.Ctx) error {
+		w.exec(c, 800)
+		components := []core.FuncID{
+			movieInfo, castInfo, plot, rating, movieReview, userReview, reviewStore,
+		}
+		cookies := make([]core.Cookie, 0, 105)
+		for i := 0; i < 105; i++ {
+			ck, err := c.Async(components[i%len(components)], 2)
+			if err != nil {
+				return err
+			}
+			cookies = append(cookies, ck)
+		}
+		for _, ck := range cookies {
+			if err := c.Wait(ck); err != nil {
+				return err
+			}
+			w.exec(c, 250) // render the component into the page
+		}
+		w.exec(c, 400)
+		return nil
+	})
+	w.Selected["RP"] = rp
+
+	// UploadMovieId: register a movie across six indices.
+	w.addRoot("media.UploadMovieId", 0.225, func(c *core.Ctx) error {
+		w.exec(c, 400)
+		if err := callSeq(c, 4, movieID, uniqueID); err != nil {
+			return err
+		}
+		if err := callPar(c, 4, movieInfo, castInfo, plot, rating); err != nil {
+			return err
+		}
+		return nil
+	})
+}

@@ -1,0 +1,63 @@
+package workloads
+
+import "jord/internal/core"
+
+// buildSocial models DeathStarBench's social network. Most operations are
+// light (Follow), but ComposePost runs heavy text/media processing — the
+// ~75 us tail of Figure 10 — which pulls the workload's mean service time
+// up and its throughput ceiling down (~0.9 MRPS under SLO on 32 cores).
+// Selected functions: Follow (F) and ComposePost (CP).
+func (w *Workload) buildSocial() {
+	socialGraph := w.leaf("social.SocialGraph", 350)
+	userService := w.leaf("social.UserService", 280)
+	timeline := w.leaf("social.TimelineService", 500)
+	postStore := w.leaf("social.PostStorage", 400)
+	userMention := w.leaf("social.UserMentionService", 300)
+	urlShorten := w.leaf("social.UrlShortenService", 260)
+
+	// Follow (F): update both directions of the social graph.
+	f := w.addRoot("social.Follow", 0.45, func(c *core.Ctx) error {
+		w.exec(c, 600)
+		if err := callSeq(c, 4, socialGraph, userService); err != nil {
+			return err
+		}
+		w.exec(c, 300)
+		return nil
+	})
+	w.Selected["F"] = f
+
+	// ComposePost (CP): heavy text processing, mention extraction, URL
+	// shortening, storage, and timeline fan-out. The dominant compute
+	// block (~55 us base, jittering toward ~75 us) is the long tail the
+	// paper observes.
+	cp := w.addRoot("social.ComposePost", 0.45, func(c *core.Ctx) error {
+		// The heavy compute is interleaved with the nested calls (tokenize,
+		// then extract mentions; render, then shorten URLs; ...), so the
+		// executor can serve queued work during each suspension.
+		w.execClamped(c, 18_000, 0.85, 1.25)
+		if err := callPar(c, 8, userMention, urlShorten); err != nil {
+			return err
+		}
+		w.execClamped(c, 18_000, 0.85, 1.25)
+		if err := c.Call(postStore, 10); err != nil {
+			return err
+		}
+		w.execClamped(c, 15_000, 0.85, 1.25)
+		if err := c.Call(timeline, 10); err != nil {
+			return err
+		}
+		w.execClamped(c, 8_000, 0.85, 1.25)
+		return nil
+	})
+	w.Selected["CP"] = cp
+
+	// ReadTimeline: assemble a user's feed.
+	w.addRoot("social.ReadTimeline", 0.10, func(c *core.Ctx) error {
+		w.exec(c, 1_500)
+		if err := callPar(c, 8, timeline, postStore, socialGraph); err != nil {
+			return err
+		}
+		w.exec(c, 800)
+		return nil
+	})
+}

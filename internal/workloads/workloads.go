@@ -1,0 +1,198 @@
+// Package workloads defines the four microservice applications of the
+// paper's evaluation (§5): Social, Media, and Hotel from DeathStarBench
+// and OnlineBoutique (Hipster) from Google, ported to Jord's
+// function-as-a-function paradigm.
+//
+// The original services are not available here, so each workload is a
+// synthetic function DAG matching the shape parameters the paper reports:
+// nested-call fan-outs (≈3 for Hipster/Hotel/Social, ≈12 on average for
+// Media, >100 for ReadPage), the Figure 10 service-time distribution (75%
+// of service times below ~5 us, Social's tail at ~75 us, Media's long
+// tail), and ~15 cache blocks of ArgBuf payload per request (§6.3).
+// Execution times are calibrated so the 32-core throughput-under-SLO
+// numbers land near the paper's (Hipster ~12, Hotel ~7, Social ~0.9 MRPS).
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"jord/internal/core"
+	"jord/internal/mem/vmatable"
+)
+
+// Workload is one application deployed onto a system.
+type Workload struct {
+	Name string
+	Sys  *core.System
+
+	roots       []rootEntry
+	totalWeight float64
+
+	// Selected maps the Table 3 abbreviations (GC, PO, SN, MR, UU, RP, F,
+	// CP) to function IDs for the Figure 11 breakdown.
+	Selected map[string]core.FuncID
+
+	rng *rand.Rand
+}
+
+type rootEntry struct {
+	fn     core.FuncID
+	weight float64
+}
+
+// Names lists the available workloads.
+func Names() []string { return []string{"hipster", "hotel", "media", "social"} }
+
+// Build deploys the named workload onto sys.
+func Build(name string, sys *core.System, seed uint64) (*Workload, error) {
+	w := &Workload{
+		Name:     name,
+		Sys:      sys,
+		Selected: make(map[string]core.FuncID),
+		rng:      rand.New(rand.NewPCG(seed, 0xda3e39cb94b95bdb)),
+	}
+	switch name {
+	case "hipster":
+		w.buildHipster()
+	case "hotel":
+		w.buildHotel()
+	case "media":
+		w.buildMedia()
+	case "social":
+		w.buildSocial()
+	default:
+		return nil, fmt.Errorf("workloads: unknown workload %q", name)
+	}
+	return w, nil
+}
+
+// MustBuild is Build for static experiment setup.
+func MustBuild(name string, sys *core.System, seed uint64) *Workload {
+	w, err := Build(name, sys, seed)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// addRoot registers a root (externally invokable) function with a traffic
+// weight.
+func (w *Workload) addRoot(name string, weight float64, body func(*core.Ctx) error) core.FuncID {
+	id := w.Sys.MustRegister(name, body)
+	w.roots = append(w.roots, rootEntry{fn: id, weight: weight})
+	w.totalWeight += weight
+	return id
+}
+
+// Selector returns the root-picking function for the load generator:
+// weighted function choice plus an ArgBuf payload of 8-23 cache blocks
+// (mean ~15).
+func (w *Workload) Selector() core.RootSelector {
+	return func() (core.FuncID, int) {
+		pick := w.rng.Float64() * w.totalWeight
+		for _, r := range w.roots {
+			pick -= r.weight
+			if pick < 0 {
+				return r.fn, w.blocks()
+			}
+		}
+		return w.roots[len(w.roots)-1].fn, w.blocks()
+	}
+}
+
+// blocks draws an ArgBuf payload size.
+func (w *Workload) blocks() int { return 8 + w.rng.IntN(16) }
+
+// execJitter scales a base execution time by a mild lognormal factor,
+// giving realistic per-invocation variance without distorting means.
+func (w *Workload) execJitter() float64 {
+	f := math.Exp(w.rng.NormFloat64() * 0.18)
+	if f < 0.6 {
+		f = 0.6
+	}
+	if f > 2.2 {
+		f = 2.2
+	}
+	return f
+}
+
+// exec charges base nanoseconds of compute, jittered.
+func (w *Workload) exec(c *core.Ctx, baseNS float64) {
+	c.ExecNS(baseNS * w.execJitter())
+}
+
+// execClamped charges base nanoseconds jittered within [lo, hi] factors —
+// used where the paper pins the distribution's extremes (e.g. Social's
+// ComposePost tail ending at ~75 us in Figure 10).
+func (w *Workload) execClamped(c *core.Ctx, baseNS, lo, hi float64) {
+	f := w.execJitter()
+	if f < lo {
+		f = lo
+	}
+	if f > hi {
+		f = hi
+	}
+	c.ExecNS(baseNS * f)
+}
+
+// leaf registers a function that only computes.
+func (w *Workload) leaf(name string, baseNS float64) core.FuncID {
+	return w.Sys.MustRegister(name, func(c *core.Ctx) error {
+		w.exec(c, baseNS)
+		return nil
+	})
+}
+
+// scratchLeaf registers a function that allocates scratch VMAs and
+// computes over them — widening its D-VLB working set (stack + heap +
+// ArgBuf + scratch). Media's components work over per-call buffers, which
+// is why Media needs eight D-VLB entries where Hipster needs four (§6.2).
+func (w *Workload) scratchLeaf(name string, baseNS float64, scratch int) core.FuncID {
+	return w.Sys.MustRegister(name, func(c *core.Ctx) error {
+		bufs := make([]uint64, 0, scratch)
+		for i := 0; i < scratch; i++ {
+			va, err := c.Mmap(512, vmatable.PermRW)
+			if err != nil {
+				return err
+			}
+			bufs = append(bufs, va)
+		}
+		w.exec(c, baseNS)
+		for _, va := range bufs {
+			if err := c.Munmap(va); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// callSeq invokes children synchronously one after another.
+func callSeq(c *core.Ctx, blocks int, fns ...core.FuncID) error {
+	for _, fn := range fns {
+		if err := c.Call(fn, blocks); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// callPar invokes children asynchronously and waits for all of them.
+func callPar(c *core.Ctx, blocks int, fns ...core.FuncID) error {
+	cookies := make([]core.Cookie, 0, len(fns))
+	for _, fn := range fns {
+		ck, err := c.Async(fn, blocks)
+		if err != nil {
+			return err
+		}
+		cookies = append(cookies, ck)
+	}
+	for _, ck := range cookies {
+		if err := c.Wait(ck); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package workloads
+
+import (
+	"testing"
+
+	"jord/internal/core"
+)
+
+func deploy(t *testing.T, name string) (*core.System, *Workload) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Seed = 11
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	w, err := Build(name, sys, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, w
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	sys, _ := deploy(t, "hipster")
+	if _, err := Build("nope", sys, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestAllWorkloadsRunCleanly(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sys, w := deploy(t, name)
+			res := sys.RunLoad(core.LoadSpec{
+				RPS: 100_000, Warmup: 50, Measure: 300,
+				Root: w.Selector(),
+			})
+			if res.Completed != 300 {
+				t.Fatalf("completed = %d, want 300", res.Completed)
+			}
+			if res.Latency.Percentile(99) <= 0 {
+				t.Fatal("no latencies recorded")
+			}
+		})
+	}
+}
+
+func TestSelectedFunctionsRegistered(t *testing.T) {
+	want := map[string][]string{
+		"hipster": {"GC", "PO"},
+		"hotel":   {"SN", "MR"},
+		"media":   {"UU", "RP"},
+		"social":  {"F", "CP"},
+	}
+	for name, abbrevs := range want {
+		_, w := deploy(t, name)
+		for _, a := range abbrevs {
+			if _, ok := w.Selected[a]; !ok {
+				t.Errorf("%s: selected function %s missing", name, a)
+			}
+		}
+	}
+}
+
+func TestSelectorWeightsRespected(t *testing.T) {
+	_, w := deploy(t, "hipster")
+	sel := w.Selector()
+	counts := map[core.FuncID]int{}
+	for i := 0; i < 10000; i++ {
+		fn, blocks := sel()
+		counts[fn]++
+		if blocks < 8 || blocks > 23 {
+			t.Fatalf("blocks = %d, want [8,23]", blocks)
+		}
+	}
+	// Browse has weight 0.50: expect roughly half.
+	browse := counts[w.roots[2].fn]
+	if browse < 4500 || browse > 5500 {
+		t.Fatalf("browse share = %d/10000, want ~5000", browse)
+	}
+}
+
+// TestNestingDepthShape verifies the paper's fan-out parameters: Media
+// averages ~12 nested invocations per request, the other workloads ~2-4.
+func TestNestingDepthShape(t *testing.T) {
+	nested := func(name string) float64 {
+		sys, w := deploy(t, name)
+		res := sys.RunLoad(core.LoadSpec{
+			RPS: 100_000, Warmup: 20, Measure: 400,
+			Root: w.Selector(),
+		})
+		// AllInvocations counts roots + children.
+		return float64(res.AllInvocations-res.Completed) / float64(res.Completed)
+	}
+	hip := nested("hipster")
+	med := nested("media")
+	if hip < 1.5 || hip > 4.5 {
+		t.Errorf("hipster fan-out = %.1f, want ~2-3", hip)
+	}
+	if med < 9 || med > 16 {
+		t.Errorf("media fan-out = %.1f, want ~12", med)
+	}
+	if med < 3*hip {
+		t.Errorf("media (%.1f) should fan out far more than hipster (%.1f)", med, hip)
+	}
+}
+
+// TestServiceTimeCDFShape checks Figure 10's headline properties: most
+// invocations are a few microseconds; Social has a tail near 75 us.
+func TestServiceTimeCDFShape(t *testing.T) {
+	run := func(name string) *core.Results {
+		sys, w := deploy(t, name)
+		return sys.RunLoad(core.LoadSpec{
+			RPS: 20_000, Warmup: 50, Measure: 600,
+			Root: w.Selector(),
+		})
+	}
+	hip := run("hipster")
+	if p75 := hip.ServiceTime.Percentile(75); p75 > 5_000 {
+		t.Errorf("hipster p75 service = %d ns, want < 5 us (Fig 10)", p75)
+	}
+	soc := run("social")
+	p99 := soc.ServiceTime.Percentile(99)
+	if p99 < 50_000 || p99 > 110_000 {
+		t.Errorf("social p99 service = %d ns, want ~75 us tail", p99)
+	}
+	// Social's heavy functions are a minority: median stays small.
+	if p50 := soc.ServiceTime.Percentile(50); p50 > 10_000 {
+		t.Errorf("social p50 = %d ns, want light median", p50)
+	}
+}
+
+// TestWorkloadDeterminism: same seed, same results.
+func TestWorkloadDeterminism(t *testing.T) {
+	run := func() int64 {
+		cfg := core.DefaultConfig()
+		cfg.Seed = 5
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		w := MustBuild("hotel", sys, 5)
+		res := sys.RunLoad(core.LoadSpec{
+			RPS: 500_000, Warmup: 50, Measure: 300,
+			Root: w.Selector(),
+		})
+		return res.Latency.Percentile(99)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic workload run: %d vs %d", a, b)
+	}
+}

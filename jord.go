@@ -1,0 +1,161 @@
+// Package jord is the public API of the Jord reproduction: a
+// single-address-space Function-as-a-Service runtime with hardware/
+// software co-designed in-process memory isolation (Li et al.,
+// "Single-Address-Space FaaS with Jord", ISCA 2025), built on a
+// deterministic full-system simulation substrate.
+//
+// # Quick start
+//
+//	cfg := jord.DefaultConfig()
+//	sys, err := jord.NewSystem(cfg)
+//	...
+//	hello := sys.MustRegister("hello", func(c *jord.Ctx) error {
+//	    c.ExecNS(500)          // 500 ns of compute
+//	    return nil
+//	})
+//	req := sys.RunOnce(hello, 4) // invoke with a 4-cache-block ArgBuf
+//
+// Functions run inside isolated protection domains: they can allocate
+// VMAs (Ctx.Mmap), invoke other functions synchronously (Ctx.Call) or
+// asynchronously (Ctx.Async/Ctx.Wait) with zero-copy ArgBuf handoff, and
+// any access outside their domain faults (Ctx.Load/Ctx.Store).
+//
+// # Systems under study
+//
+// Config selects the paper's comparison systems: baseline Jord
+// (VariantPlainList), the insecure no-isolation upper bound JordNI
+// (VariantNoIsolation), the B-tree VMA table JordBT (VariantBTree), and
+// the enhanced NightCore baseline (Config.NightCore).
+//
+// # Experiments
+//
+// The experiments subpackage (driven by cmd/jordsim) regenerates every
+// table and figure of the paper's evaluation; see DESIGN.md and
+// EXPERIMENTS.md at the repository root.
+package jord
+
+import (
+	"jord/internal/core"
+	"jord/internal/mem/vmatable"
+	"jord/internal/privlib"
+	"jord/internal/sim/topo"
+	"jord/internal/vlb"
+	"jord/internal/workloads"
+)
+
+// Core runtime types.
+type (
+	// System is one Jord worker server: machine model, PrivLib,
+	// orchestrators, executors, and a function registry.
+	System = core.System
+	// Config assembles a worker server.
+	Config = core.Config
+	// Ctx is the programming interface visible to a function body.
+	Ctx = core.Ctx
+	// FuncID names a registered function.
+	FuncID = core.FuncID
+	// Cookie identifies an asynchronous invocation.
+	Cookie = core.Cookie
+	// LoadSpec configures an open-loop load run.
+	LoadSpec = core.LoadSpec
+	// Results aggregates a run's measurements.
+	Results = core.Results
+	// Breakdown is a per-invocation mean service-time breakdown.
+	Breakdown = core.Breakdown
+	// RootSelector picks root functions for the load generator.
+	RootSelector = core.RootSelector
+	// Request is one function invocation request.
+	Request = core.Request
+)
+
+// Memory / isolation types.
+type (
+	// Perm is a VMA permission mask.
+	Perm = vmatable.Perm
+	// PDID identifies a protection domain.
+	PDID = vmatable.PDID
+	// Fault is the hardware fault raised on an isolation violation.
+	Fault = privlib.Fault
+	// Variant selects the isolation implementation under study.
+	Variant = privlib.Variant
+	// MachineConfig describes the simulated machine (Table 2).
+	MachineConfig = topo.Config
+	// VLBConfig sizes the per-core I/D-VLBs.
+	VLBConfig = vlb.Config
+	// Workload is one of the paper's four applications deployed on a
+	// system.
+	Workload = workloads.Workload
+)
+
+// Permissions.
+const (
+	PermNone = vmatable.PermNone
+	PermR    = vmatable.PermR
+	PermW    = vmatable.PermW
+	PermX    = vmatable.PermX
+	PermRW   = vmatable.PermRW
+	PermRX   = vmatable.PermRX
+	PermRWX  = vmatable.PermRWX
+)
+
+// System variants (paper §5, plus the §2.2 MPK comparison point).
+const (
+	VariantPlainList   = privlib.PlainList
+	VariantNoIsolation = privlib.NoIsolation
+	VariantBTree       = privlib.BTree
+	VariantMPK         = privlib.MPK
+)
+
+// DispatchPolicy selects the orchestrator's load balancer.
+type DispatchPolicy = core.DispatchPolicy
+
+// Dispatch policies (§3.3 uses JBSQ; the rest support the ablation).
+const (
+	DispatchJBSQ       = core.DispatchJBSQ
+	DispatchJSQ        = core.DispatchJSQ
+	DispatchRoundRobin = core.DispatchRoundRobin
+	DispatchRandom     = core.DispatchRandom
+)
+
+// NewSystem builds and boots a worker server.
+func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// DefaultConfig is the paper's 32-core evaluation setup (Table 2).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Multi-server deployment (§3.3's network path for internal requests).
+type (
+	// Cluster is a set of worker servers behind a front-end load
+	// balancer, sharing one virtual timeline; saturated servers forward
+	// nested requests to their peers over the network.
+	Cluster = core.Cluster
+	// ClusterConfig assembles a cluster.
+	ClusterConfig = core.ClusterConfig
+)
+
+// NewCluster boots a multi-server deployment.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return core.NewCluster(cfg) }
+
+// DefaultClusterConfig is a 4-server cluster of 32-core machines.
+func DefaultClusterConfig() ClusterConfig { return core.DefaultClusterConfig() }
+
+// Machine presets.
+var (
+	// MachineQFlex32 is the paper's primary 32-core machine.
+	MachineQFlex32 = topo.QFlex32
+	// MachineFPGA2 models the two-core OpenXiangShan FPGA prototype.
+	MachineFPGA2 = topo.FPGA2
+	// MachineScale returns the 16-256 core scaling configurations.
+	MachineScale = topo.Scale
+	// MachineDualSocket256 is the 2x128-core system of §6.3.
+	MachineDualSocket256 = topo.DualSocket256
+)
+
+// BuildWorkload deploys one of the paper's workloads ("hipster", "hotel",
+// "media", "social") onto a system.
+func BuildWorkload(name string, sys *System, seed uint64) (*Workload, error) {
+	return workloads.Build(name, sys, seed)
+}
+
+// WorkloadNames lists the available workloads.
+func WorkloadNames() []string { return workloads.Names() }

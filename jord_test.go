@@ -1,0 +1,118 @@
+package jord_test
+
+import (
+	"errors"
+	"testing"
+
+	"jord"
+)
+
+// TestPublicAPIQuickstart exercises the README quick-start path through
+// the facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys, err := jord.NewSystem(jord.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	helper := sys.MustRegister("helper", func(c *jord.Ctx) error {
+		c.ExecNS(300)
+		return nil
+	})
+	greet := sys.MustRegister("greet", func(c *jord.Ctx) error {
+		c.ExecNS(500)
+		buf, err := c.Mmap(4096, jord.PermRW)
+		if err != nil {
+			return err
+		}
+		defer c.Munmap(buf)
+		ck, err := c.Async(helper, 2)
+		if err != nil {
+			return err
+		}
+		if err := c.Call(helper, 2); err != nil {
+			return err
+		}
+		return c.Wait(ck)
+	})
+
+	req := sys.RunOnce(greet, 8)
+	if req == nil || req.Trace.Exec == 0 {
+		t.Fatal("request did not run")
+	}
+	if req.Trace.Isolation == 0 {
+		t.Fatal("no isolation charged under the default (isolated) variant")
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	if got := jord.WorkloadNames(); len(got) != 4 {
+		t.Fatalf("workloads = %v", got)
+	}
+	sys, err := jord.NewSystem(jord.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := jord.BuildWorkload("hipster", sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.RunLoad(jord.LoadSpec{
+		RPS: 500_000, Warmup: 50, Measure: 300,
+		Root: w.Selector(),
+	})
+	if res.Completed != 300 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if _, err := jord.BuildWorkload("bogus", sys, 1); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+}
+
+func TestPublicAPIVariants(t *testing.T) {
+	for _, variant := range []jord.Variant{
+		jord.VariantPlainList, jord.VariantNoIsolation, jord.VariantBTree,
+	} {
+		cfg := jord.DefaultConfig()
+		cfg.Variant = variant
+		sys, err := jord.NewSystem(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		fn := sys.MustRegister("f", func(c *jord.Ctx) error { c.ExecNS(100); return nil })
+		if r := sys.RunOnce(fn, 2); r == nil {
+			t.Fatalf("%v: no completion", variant)
+		}
+		sys.Close()
+	}
+}
+
+func TestPublicAPIFaults(t *testing.T) {
+	sys, err := jord.NewSystem(jord.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	var probeErr error
+	fn := sys.MustRegister("forger", func(c *jord.Ctx) error {
+		probeErr = c.Load(0xdead0000)
+		return nil
+	})
+	sys.RunOnce(fn, 1)
+	var f *jord.Fault
+	if !errors.As(probeErr, &f) {
+		t.Fatalf("forged load: %v, want *jord.Fault", probeErr)
+	}
+}
+
+func TestMachinePresets(t *testing.T) {
+	for _, cfg := range []jord.MachineConfig{
+		jord.MachineQFlex32(), jord.MachineFPGA2(),
+		jord.MachineScale(64), jord.MachineDualSocket256(),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
