@@ -12,10 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
 	"jord"
+	"jord/internal/cliutil"
 	"jord/internal/experiments"
 )
 
@@ -61,18 +63,25 @@ func parseSystem(name string) (experiments.SystemKind, error) {
 
 func main() {
 	var (
-		workload = flag.String("workload", "hipster", "hipster|hotel|media|social")
-		system   = flag.String("system", "jord", "jord|jordni|jordbt|nightcore")
+		workload = cliutil.NewChoice("hipster", "hipster", "hotel", "media", "social")
+		system   = cliutil.NewChoice("jord", "jord", "jordni", "jordbt", "nightcore")
 		loads    = flag.String("loads", "1,2,4,8", "comma-separated offered loads in MRPS")
 		warmup   = flag.Uint64("warmup", 300, "warmup requests")
 		measure  = flag.Uint64("measure", 3000, "measured requests")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		trials   = flag.Int("trials", 1, "independent trials per point (SimFlex-style sampling; >1 adds 95% CIs)")
 	)
+	flag.Var(workload, "workload", workload.Allowed())
+	flag.Var(system, "system", system.Allowed())
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "jordbench: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *trials > 1 {
-		runSampled(*workload, *system, *loads, *warmup, *measure, *seed, *trials)
+		runSampled(workload.Value(), system.Value(), *loads, *warmup, *measure, *seed, *trials)
 		return
 	}
 
@@ -84,7 +93,7 @@ func main() {
 		}
 		cfg := jord.DefaultConfig()
 		cfg.Seed = *seed
-		switch *system {
+		switch system.Value() {
 		case "jord":
 			cfg.Variant = jord.VariantPlainList
 		case "jordni":
@@ -94,13 +103,13 @@ func main() {
 		case "nightcore":
 			cfg.NightCore = true
 		default:
-			log.Fatalf("unknown system %q", *system)
+			log.Fatalf("unknown system %q", system.Value())
 		}
 		sys, err := jord.NewSystem(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		w, err := jord.BuildWorkload(*workload, sys, *seed)
+		w, err := jord.BuildWorkload(workload.Value(), sys, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -112,7 +121,7 @@ func main() {
 		})
 		freq := sys.M.Cfg.FreqGHz
 		fmt.Printf("%s\t%s\t%.3f\t%.3f\t%.2f\t%.2f\t%.2f\t%.2f\t%.3f\n",
-			*workload, *system, mrps, res.MeasuredRPS(freq)/1e6,
+			workload.Value(), system.Value(), mrps, res.MeasuredRPS(freq)/1e6,
 			float64(res.Latency.Percentile(50))/1000,
 			float64(res.Latency.Percentile(99))/1000,
 			float64(res.Latency.Percentile(99.9))/1000,

@@ -1,0 +1,174 @@
+// Command jordd is the live Jord worker daemon: the paper's runtime
+// architecture — JBSQ orchestrators, suspendable executor continuations,
+// internal/external queues, pmove/pcopy ArgBuf ownership transfer —
+// running on real goroutines behind an HTTP gateway.
+//
+// Usage:
+//
+//	jordd [-addr :8034] [-executors N] [-orchestrators N] [-jbsq 4]
+//	      [-queue-cap 256] [-num-pds 4096] [-max-inflight N]
+//	      [-timeout 30s] [-drain-timeout 30s] [-max-body 1048576]
+//
+// Endpoints:
+//
+//	POST /invoke/{fn}  run a function; the body is its ArgBuf payload
+//	GET  /healthz      200 while serving, 503 while draining
+//	GET  /statsz       live JSON counters and latency percentiles
+//
+// Built-in functions (a demo function set exercising the runtime,
+// including nested calls): echo, upper, hash, sleep, fanout, chain.
+// SIGINT/SIGTERM drains gracefully: health goes 503, in-flight requests
+// finish (bounded by -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"jord"
+	"jord/internal/cliutil"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jordd: ")
+
+	var (
+		addr          = flag.String("addr", ":8034", "HTTP listen address")
+		executors     = cliutil.NewNonNegInt(0)
+		orchestrators = cliutil.NewNonNegInt(0)
+		jbsq          = cliutil.NewNonNegInt(0)
+		queueCap      = cliutil.NewNonNegInt(0)
+		numPDs        = cliutil.NewNonNegInt(0)
+		maxInflight   = cliutil.NewNonNegInt(0)
+		timeout       = flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+		maxBody       = flag.Int64("max-body", 1<<20, "max /invoke payload bytes")
+	)
+	flag.Var(executors, "executors", "executor goroutines (0 = GOMAXPROCS)")
+	flag.Var(orchestrators, "orchestrators", "orchestrator goroutines (0 = executors/8)")
+	flag.Var(jbsq, "jbsq", "JBSQ(k) per-executor queue bound (0 = 4)")
+	flag.Var(queueCap, "queue-cap", "external queue capacity per orchestrator (0 = 256)")
+	flag.Var(numPDs, "num-pds", "protection-domain space size (0 = 4096)")
+	flag.Var(maxInflight, "max-inflight", "admission cap on concurrent requests (0 = auto)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "jordd: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := jord.DefaultServerConfig()
+	cfg.Addr = *addr
+	cfg.Pool.Executors = executors.Value()
+	cfg.Pool.Orchestrators = orchestrators.Value()
+	cfg.Pool.JBSQBound = jbsq.Value()
+	cfg.Pool.ExternalQueueCap = queueCap.Value()
+	cfg.Pool.NumPDs = numPDs.Value()
+	cfg.MaxInflight = maxInflight.Value()
+	cfg.RequestTimeout = *timeout
+	if *timeout == 0 {
+		cfg.RequestTimeout = -1 // explicit "none"
+	}
+	cfg.DrainTimeout = *drainTimeout
+	cfg.MaxBodyBytes = *maxBody
+
+	d := jord.NewServer(cfg)
+	registerBuiltins(d)
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	// Serve returns the moment Shutdown begins (ErrServerClosed), so main
+	// must wait for the drain itself to finish before exiting or it would
+	// kill the very requests Shutdown is waiting on.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		s := <-sigs
+		log.Printf("caught %v, draining (up to %v)", s, cfg.DrainTimeout)
+		if err := d.Shutdown(context.Background()); err != nil {
+			log.Printf("drain: %v", err)
+		}
+	}()
+
+	pc := cfg.Pool.Normalized()
+	log.Printf("serving on %s: %d executors / %d orchestrators, JBSQ(%d), %d PDs",
+		ln.Addr(), pc.Executors, pc.Orchestrators, pc.JBSQBound, pc.NumPDs)
+	if err := d.Serve(ln); err != nil {
+		log.Fatal(err)
+	}
+	<-drained
+	log.Print("drained")
+}
+
+// registerBuiltins deploys the demo function set. fanout and chain make
+// nested calls, exercising the internal-queue path (§3.3) over HTTP.
+func registerBuiltins(d *jord.Server) {
+	d.MustRegister("echo", func(ctx jord.LiveCtx) ([]byte, error) {
+		return ctx.Payload(), nil
+	})
+	d.MustRegister("upper", func(ctx jord.LiveCtx) ([]byte, error) {
+		return []byte(strings.ToUpper(string(ctx.Payload()))), nil
+	})
+	d.MustRegister("hash", func(ctx jord.LiveCtx) ([]byte, error) {
+		sum := sha256.Sum256(ctx.Payload())
+		return []byte(hex.EncodeToString(sum[:])), nil
+	})
+	d.MustRegister("sleep", func(ctx jord.LiveCtx) ([]byte, error) {
+		dur, err := time.ParseDuration(strings.TrimSpace(string(ctx.Payload())))
+		if err != nil {
+			return nil, fmt.Errorf("payload must be a duration like 5ms: %w", err)
+		}
+		if dur < 0 || dur > time.Second {
+			return nil, fmt.Errorf("duration %v out of range [0, 1s]", dur)
+		}
+		time.Sleep(dur)
+		return []byte(fmt.Sprintf("slept %v", dur)), nil
+	})
+	// fanout hashes every whitespace-separated word of the payload in
+	// parallel nested invocations and returns one digest per line.
+	d.MustRegister("fanout", func(ctx jord.LiveCtx) ([]byte, error) {
+		words := strings.Fields(string(ctx.Payload()))
+		cookies := make([]jord.LiveCookie, len(words))
+		for i, w := range words {
+			ck, err := ctx.Async("hash", []byte(w))
+			if err != nil {
+				return nil, err
+			}
+			cookies[i] = ck
+		}
+		var out strings.Builder
+		for _, ck := range cookies {
+			b, err := ctx.Wait(ck)
+			if err != nil {
+				return nil, err
+			}
+			out.Write(b)
+			out.WriteByte('\n')
+		}
+		return []byte(out.String()), nil
+	})
+	// chain runs upper -> hash sequentially: a two-deep call chain.
+	d.MustRegister("chain", func(ctx jord.LiveCtx) ([]byte, error) {
+		up, err := ctx.Call("upper", ctx.Payload())
+		if err != nil {
+			return nil, err
+		}
+		return ctx.Call("hash", up)
+	})
+}

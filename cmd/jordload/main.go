@@ -1,0 +1,130 @@
+// Command jordload drives a running jordd with open-loop Poisson traffic —
+// the same arrival model the simulator's load generator uses — and reports
+// client-observed latency percentiles and status counts.
+//
+// Open loop means arrivals are scheduled by the Poisson process alone:
+// slow responses do not slow the offered load, so saturation shows up as
+// latency growth and 429s rather than a silently reduced request rate.
+//
+// Usage:
+//
+//	jordload [-addr 127.0.0.1:8034] [-fn echo] [-rps 100] [-duration 10s]
+//	         [-payload hello] [-timeout 5s] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"jord/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jordload: ")
+
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8034", "jordd host:port")
+		fn       = flag.String("fn", "echo", "function to invoke")
+		rps      = flag.Float64("rps", 100, "offered load in requests/second (open loop)")
+		duration = flag.Duration("duration", 10*time.Second, "load duration")
+		payload  = flag.String("payload", "hello", "request payload")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+		seed     = flag.Uint64("seed", 1, "arrival-process seed")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "jordload: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *rps <= 0 || *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "jordload: -rps and -duration must be positive")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	url := fmt.Sprintf("http://%s/invoke/%s", *addr, *fn)
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        4096,
+			MaxIdleConnsPerHost: 4096,
+		},
+	}
+
+	var (
+		hist     metrics.Histogram // client-observed latency, ns (2xx only)
+		mu       sync.Mutex
+		statuses = make(map[int]uint64)
+		netErrs  uint64
+		sent     uint64
+		inflight sync.WaitGroup
+	)
+	fire := func() {
+		defer inflight.Done()
+		t0 := time.Now()
+		resp, err := client.Post(url, "application/octet-stream", strings.NewReader(*payload))
+		if err != nil {
+			mu.Lock()
+			netErrs++
+			mu.Unlock()
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			hist.Record(time.Since(t0).Nanoseconds())
+		}
+		mu.Lock()
+		statuses[resp.StatusCode]++
+		mu.Unlock()
+	}
+
+	log.Printf("offering %.0f rps of %q to %s for %v", *rps, *fn, url, *duration)
+	rng := rand.New(rand.NewSource(int64(*seed)))
+	start := time.Now()
+	next := start
+	for {
+		// Exponential inter-arrival gap: Poisson arrivals at -rps.
+		next = next.Add(time.Duration(rng.ExpFloat64() / *rps * float64(time.Second)))
+		if next.Sub(start) > *duration {
+			break
+		}
+		time.Sleep(time.Until(next))
+		sent++
+		inflight.Add(1)
+		go fire()
+	}
+	inflight.Wait()
+	elapsed := time.Since(start)
+
+	snap := hist.Snapshot()
+	fmt.Printf("\nsent            %d (offered %.1f rps over %v)\n", sent, float64(sent)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+	fmt.Printf("ok              %d (achieved %.1f rps)\n", snap.Count, float64(snap.Count)/elapsed.Seconds())
+	codes := make([]int, 0, len(statuses))
+	for c := range statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Printf("status %d      %d\n", c, statuses[c])
+	}
+	if netErrs > 0 {
+		fmt.Printf("network errors  %d\n", netErrs)
+	}
+	if snap.Count > 0 {
+		fmt.Printf("latency (ms)    p50 %.3f   p99 %.3f   p99.9 %.3f   mean %.3f   max %.3f\n",
+			float64(snap.P50)/1e6, float64(snap.P99)/1e6, float64(snap.P999)/1e6,
+			snap.Mean/1e6, float64(snap.Max)/1e6)
+	}
+}

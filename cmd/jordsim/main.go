@@ -16,21 +16,33 @@ import (
 	"fmt"
 	"os"
 
+	"jord/internal/cliutil"
 	"jord/internal/experiments"
 	"jord/internal/sim/topo"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table4|fig9|fig10|fig11|fig12|fig13|fig14|overheads|motivation|coldstart|dispatch|mpk|cluster|params|all")
-		workload   = flag.String("workload", "", "restrict fig9 to one workload (hipster|hotel|media|social)")
-		scaleName  = flag.String("scale", "quick", "measurement scale: quick|full")
-		seed       = flag.Uint64("seed", 1, "simulation seed")
+		experiment = cliutil.NewChoice("all",
+			"table4", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+			"overheads", "motivation", "coldstart", "dispatch", "mpk",
+			"cluster", "params", "all")
+		workload  = cliutil.NewChoice("", "", "hipster", "hotel", "media", "social")
+		scaleName = cliutil.NewChoice("quick", "quick", "full")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
 	)
+	flag.Var(experiment, "experiment", experiment.Allowed())
+	flag.Var(workload, "workload", "restrict fig9 to one workload ("+workload.Allowed()+")")
+	flag.Var(scaleName, "scale", "measurement scale: "+scaleName.Allowed())
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "jordsim: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	sc := experiments.Quick
-	if *scaleName == "full" {
+	if scaleName.Value() == "full" {
 		sc = experiments.Full
 	}
 
@@ -43,7 +55,7 @@ func main() {
 			}
 			fmt.Println(r.Render())
 		case "fig9":
-			r, err := experiments.RunFig9(sc, *workload, *seed)
+			r, err := experiments.RunFig9(sc, workload.Value(), *seed)
 			if err != nil {
 				return err
 			}
@@ -122,8 +134,8 @@ func main() {
 		return nil
 	}
 
-	names := []string{*experiment}
-	if *experiment == "all" {
+	names := []string{experiment.Value()}
+	if experiment.Value() == "all" {
 		names = []string{
 			"params", "motivation", "coldstart", "table4",
 			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14",

@@ -12,15 +12,23 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"jord"
+	"jord/internal/cliutil"
 	"jord/internal/core"
 	"jord/internal/privlib"
 )
 
 func main() {
-	nested := flag.Int("nested", 2, "number of nested invocations the traced function makes")
+	nested := cliutil.NewNonNegInt(2)
+	flag.Var(nested, "nested", "number of nested invocations the traced function makes (>= 0)")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "jordtrace: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	sys, err := jord.NewSystem(jord.DefaultConfig())
 	if err != nil {
@@ -34,7 +42,7 @@ func main() {
 	})
 	root := sys.MustRegister("traced", func(c *jord.Ctx) error {
 		c.ExecNS(800)
-		for i := 0; i < *nested; i++ {
+		for i := 0; i < nested.Value(); i++ {
 			if err := c.Call(child, 4); err != nil {
 				return err
 			}
@@ -53,7 +61,7 @@ func main() {
 	freq := sys.M.Cfg.FreqGHz
 	ns := func(c int64) float64 { return float64(c) / freq }
 
-	fmt.Printf("one external request through the Figure 4 flow (%d nested calls)\n\n", *nested)
+	fmt.Printf("one external request through the Figure 4 flow (%d nested calls)\n\n", nested.Value())
 	fmt.Println("orchestrator:  enqueue -> JBSQ dispatch -> enqueue into executor")
 	fmt.Printf("  dispatch           %8.0f ns\n", ns(int64(req.Trace.Dispatch)))
 	fmt.Println("executor:      cget, mmap stack/heap, pcopy code, pmove ArgBuf, ccall")

@@ -1,0 +1,108 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+// TestChoiceSet is the table-driven contract for the enum flags every jord
+// command uses: valid values parse, anything else errors (which flag turns
+// into usage + exit 2).
+func TestChoiceSet(t *testing.T) {
+	cases := []struct {
+		name    string
+		def     string
+		allowed []string
+		set     string
+		wantErr bool
+		want    string
+	}{
+		{"valid member", "all", []string{"all", "fig9", "table4"}, "fig9", false, "fig9"},
+		{"default kept without Set", "all", []string{"all", "fig9"}, "", true, "all"},
+		{"unknown value", "all", []string{"all", "fig9"}, "fig8", true, "all"},
+		{"case sensitive", "quick", []string{"quick", "full"}, "Full", true, "quick"},
+		{"empty allowed when listed", "", []string{"", "hipster", "hotel"}, "", false, ""},
+		{"whitespace not trimmed", "jord", []string{"jord", "nightcore"}, " jord", true, "jord"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewChoice(tc.def, tc.allowed...)
+			err := c.Set(tc.set)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Set(%q) err = %v, wantErr %v", tc.set, err, tc.wantErr)
+			}
+			if c.Value() != tc.want {
+				t.Fatalf("Value() = %q, want %q", c.Value(), tc.want)
+			}
+		})
+	}
+}
+
+func TestChoicePanicsOnBadDefault(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("default outside the allowed set should panic")
+		}
+	}()
+	NewChoice("bogus", "a", "b")
+}
+
+func TestNonNegIntSet(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr bool
+		want    int
+	}{
+		{"0", false, 0},
+		{"17", false, 17},
+		{"-1", true, 3},
+		{"1.5", true, 3},
+		{"x", true, 3},
+	}
+	for _, tc := range cases {
+		n := NewNonNegInt(3)
+		err := n.Set(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Fatalf("Set(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+		}
+		if n.Value() != tc.want {
+			t.Fatalf("Set(%q): Value() = %d, want %d", tc.in, n.Value(), tc.want)
+		}
+	}
+}
+
+// TestFlagSetIntegration proves the end-to-end behavior the commands rely
+// on: an unknown enum value makes Parse fail (exit 2 + usage under
+// ExitOnError), a valid one succeeds.
+func TestFlagSetIntegration(t *testing.T) {
+	newFS := func() (*flag.FlagSet, *Choice, *NonNegInt) {
+		fs := flag.NewFlagSet("jordsim", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		exp := NewChoice("all", "all", "fig9", "table4")
+		fs.Var(exp, "experiment", "table4|fig9|all")
+		nested := NewNonNegInt(2)
+		fs.Var(nested, "nested", "nested calls (>= 0)")
+		return fs, exp, nested
+	}
+
+	fs, exp, _ := newFS()
+	if err := fs.Parse([]string{"-experiment", "table4"}); err != nil || exp.Value() != "table4" {
+		t.Fatalf("valid parse: err=%v value=%q", err, exp.Value())
+	}
+
+	fs, _, _ = newFS()
+	if err := fs.Parse([]string{"-experiment", "fig99"}); err == nil {
+		t.Fatal("unknown -experiment value should fail Parse")
+	}
+
+	fs, _, _ = newFS()
+	if err := fs.Parse([]string{"-nested", "-3"}); err == nil {
+		t.Fatal("negative -nested should fail Parse")
+	}
+
+	fs, _, _ = newFS()
+	if err := fs.Parse([]string{"-bogusflag"}); err == nil {
+		t.Fatal("unknown flag should fail Parse")
+	}
+}

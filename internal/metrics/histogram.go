@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 )
 
 // subBits gives 2^subBits sub-buckets per power of two: ~1.5% worst-case
@@ -16,7 +17,13 @@ const subBits = 6
 
 // Histogram is a log-linear histogram of non-negative int64 samples
 // (typically nanoseconds or cycles). The zero value is ready to use.
+//
+// All methods are safe for concurrent use: the simulator records from a
+// single goroutine, but the live serving path (internal/server) records
+// from every executor at once. Recording takes one uncontended mutex
+// acquisition, which is negligible next to the work being measured.
 type Histogram struct {
+	mu      sync.Mutex
 	buckets []uint64
 	count   uint64
 	sum     float64
@@ -51,6 +58,7 @@ func (h *Histogram) Record(v int64) {
 		v = 0
 	}
 	idx := bucketIndex(uint64(v))
+	h.mu.Lock()
 	if idx >= len(h.buckets) {
 		nb := make([]uint64, idx+1)
 		copy(nb, h.buckets)
@@ -65,13 +73,24 @@ func (h *Histogram) Record(v int64) {
 	}
 	h.count++
 	h.sum += float64(v)
+	h.mu.Unlock()
 }
 
 // Count returns the number of samples.
-func (h *Histogram) Count() uint64 { return h.count }
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
 
 // Mean returns the sample mean (0 for an empty histogram).
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.mean()
+}
+
+func (h *Histogram) mean() float64 {
 	if h.count == 0 {
 		return 0
 	}
@@ -79,13 +98,28 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Min and Max return the exact extreme samples.
-func (h *Histogram) Min() int64 { return h.min }
-func (h *Histogram) Max() int64 { return h.max }
+func (h *Histogram) Min() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+func (h *Histogram) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
 
 // Percentile returns an upper bound for the p-th percentile (p in [0,100])
 // with the histogram's relative precision. The 100th percentile returns
 // the exact maximum.
 func (h *Histogram) Percentile(p float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.percentile(p)
+}
+
+func (h *Histogram) percentile(p float64) int64 {
 	if h.count == 0 {
 		return 0
 	}
@@ -122,6 +156,8 @@ type CDFPoint struct {
 // CDF returns the cumulative distribution at bucket granularity, skipping
 // empty buckets.
 func (h *Histogram) CDF() []CDFPoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 {
 		return nil
 	}
@@ -138,31 +174,72 @@ func (h *Histogram) CDF() []CDFPoint {
 }
 
 // Merge adds all samples of other into h (min/max/mean exact; bucket
-// resolution preserved).
+// resolution preserved). Merging a histogram into itself is a no-op.
 func (h *Histogram) Merge(other *Histogram) {
-	if other.count == 0 {
+	if h == other {
 		return
 	}
-	if len(other.buckets) > len(h.buckets) {
-		nb := make([]uint64, len(other.buckets))
+	// Snapshot other first so the two locks are never held together
+	// (concurrent a.Merge(b) and b.Merge(a) must not deadlock).
+	other.mu.Lock()
+	if other.count == 0 {
+		other.mu.Unlock()
+		return
+	}
+	obuckets := make([]uint64, len(other.buckets))
+	copy(obuckets, other.buckets)
+	ocount, osum, omin, omax := other.count, other.sum, other.min, other.max
+	other.mu.Unlock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(obuckets) > len(h.buckets) {
+		nb := make([]uint64, len(obuckets))
 		copy(nb, h.buckets)
 		h.buckets = nb
 	}
-	for i, c := range other.buckets {
+	for i, c := range obuckets {
 		h.buckets[i] += c
 	}
-	if h.count == 0 || other.min < h.min {
-		h.min = other.min
+	if h.count == 0 || omin < h.min {
+		h.min = omin
 	}
-	if other.max > h.max {
-		h.max = other.max
+	if omax > h.max {
+		h.max = omax
 	}
-	h.count += other.count
-	h.sum += other.sum
+	h.count += ocount
+	h.sum += osum
+}
+
+// Snapshot is a one-shot consistent view of the headline statistics,
+// for readers (like the live /statsz endpoint) that must not interleave
+// with concurrent Record calls.
+type Snapshot struct {
+	Count          uint64
+	Mean           float64
+	Min, Max       int64
+	P50, P99, P999 int64
+}
+
+// Snapshot returns a consistent Snapshot under one lock acquisition.
+func (h *Histogram) Snapshot() Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Snapshot{
+		Count: h.count,
+		Mean:  h.mean(),
+		Min:   h.min,
+		Max:   h.max,
+		P50:   h.percentile(50),
+		P99:   h.percentile(99),
+		P999:  h.percentile(99.9),
+	}
 }
 
 // String summarizes the distribution.
 func (h *Histogram) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return fmt.Sprintf("n=%d mean=%.0f p50=%d p99=%d max=%d",
-		h.count, h.Mean(), h.Percentile(50), h.Percentile(99), h.max)
+		h.count, h.mean(), h.percentile(50), h.percentile(99), h.max)
 }

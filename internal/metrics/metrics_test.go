@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"sync"
 	"math/rand/v2"
 	"sort"
 	"testing"
@@ -193,5 +194,85 @@ func TestThroughputUnderSLONonMonotone(t *testing.T) {
 	got := ThroughputUnderSLO(pts, 20_000)
 	if got < 1e6 || got >= 2e6 {
 		t.Fatalf("got %.2e, want crossing in [1e6, 2e6)", got)
+	}
+}
+
+// TestConcurrentRecord hammers one histogram from 8 goroutines while a
+// reader polls percentiles — the live serving path's access pattern
+// (executors record, /statsz reads). Run under -race in CI.
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const (
+		goroutines = 8
+		perG       = 20000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = h.Percentile(99)
+				_ = h.Snapshot()
+				_ = h.String()
+			}
+		}
+	}()
+	var other Histogram
+	other.Record(5)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Record(int64(g*perG + i))
+				if i%4096 == 0 {
+					// Concurrent merges must be safe too.
+					var scratch Histogram
+					scratch.Merge(&other)
+				}
+			}
+		}(g)
+	}
+	// Wait for writers, then stop the reader.
+	wgDone := make(chan struct{})
+	go func() { wg.Wait(); close(wgDone) }()
+	close(stop)
+	<-wgDone
+
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("count = %d, want %d (lost updates)", got, goroutines*perG)
+	}
+	if h.Min() != 0 || h.Max() != goroutines*perG-1 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+// TestMergeSelfAndCross checks the snapshot-based Merge: self-merge is a
+// no-op and cross-merges from multiple goroutines neither deadlock nor
+// lose samples.
+func TestMergeSelfAndCross(t *testing.T) {
+	var a, b Histogram
+	for i := int64(0); i < 100; i++ {
+		a.Record(i)
+		b.Record(i + 1000)
+	}
+	a.Merge(&a)
+	if a.Count() != 100 {
+		t.Fatalf("self-merge changed count: %d", a.Count())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() { defer wg.Done(); a.Merge(&b) }()
+		go func() { defer wg.Done(); b.Merge(&a) }()
+	}
+	wg.Wait()
+	if a.Count() == 0 || b.Count() == 0 {
+		t.Fatal("merge lost everything")
 	}
 }

@@ -1,0 +1,55 @@
+// Package admission implements the gateway's load shedding: a hard cap on
+// concurrently admitted external requests. Together with the pool's
+// bounded external queues it gives the live path the same two-level
+// backpressure the paper's worker has (bounded orchestrator queues in
+// front of JBSQ-bounded executor queues): beyond capacity, clients get an
+// immediate 429 instead of unbounded queueing.
+package admission
+
+import "sync/atomic"
+
+// Controller is a concurrency-safe admission gate. The zero value admits
+// nothing; use New.
+type Controller struct {
+	max      int64
+	inflight atomic.Int64
+
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// New returns a Controller admitting at most max concurrent requests
+// (max <= 0 means unlimited).
+func New(max int) *Controller {
+	return &Controller{max: int64(max)}
+}
+
+// Admit tries to take one slot. It returns a release function and true on
+// success; the caller must invoke release exactly once when the request
+// finishes. On false the request must be rejected (429).
+func (c *Controller) Admit() (release func(), ok bool) {
+	if n := c.inflight.Add(1); c.max > 0 && n > c.max {
+		c.inflight.Add(-1)
+		c.rejected.Add(1)
+		return nil, false
+	}
+	c.admitted.Add(1)
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			c.inflight.Add(-1)
+		}
+	}, true
+}
+
+// Inflight returns the number of currently admitted requests.
+func (c *Controller) Inflight() int64 { return c.inflight.Load() }
+
+// Admitted returns the cumulative admitted count.
+func (c *Controller) Admitted() uint64 { return c.admitted.Load() }
+
+// Rejected returns the cumulative rejected count.
+func (c *Controller) Rejected() uint64 { return c.rejected.Load() }
+
+// Max returns the configured cap (0 = unlimited).
+func (c *Controller) Max() int64 { return c.max }

@@ -1,0 +1,221 @@
+// Package gateway is the live serving path's HTTP front end: the three
+// jordd endpoints (POST /invoke/{fn}, GET /healthz, GET /statsz) in front
+// of the worker pool, with admission control, per-request deadlines, and
+// drain awareness. It plays the role tinyFaaS-style reverse proxies and
+// faasd's gateway play in single-binary FaaS daemons, but dispatches into
+// in-process protection domains instead of containers.
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"jord/internal/server/admission"
+	"jord/internal/server/pool"
+	"jord/internal/server/router"
+)
+
+// Gateway wires the HTTP surface to the pool.
+type Gateway struct {
+	Reg  *router.Registry
+	Pool *pool.Pool
+	Adm  *admission.Controller
+
+	// RequestTimeout is the per-request deadline applied to every
+	// invocation (0 = none). Requests that exceed it — queued or running —
+	// answer 504.
+	RequestTimeout time.Duration
+
+	// MaxBodyBytes bounds /invoke payloads (0 = 1 MiB).
+	MaxBodyBytes int64
+
+	draining atomic.Bool
+}
+
+// SetDraining flips the health signal: while draining, /healthz answers
+// 503 so load balancers stop routing here, and /invoke refuses new work.
+func (g *Gateway) SetDraining(v bool) { g.draining.Store(v) }
+
+// Draining reports the drain state.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+// Handler returns the gateway's HTTP mux.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /invoke/{fn}", g.handleInvoke)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /statsz", g.handleStatsz)
+	return mux
+}
+
+func (g *Gateway) maxBody() int64 {
+	if g.MaxBodyBytes > 0 {
+		return g.MaxBodyBytes
+	}
+	return 1 << 20
+}
+
+func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	fn := r.PathValue("fn")
+	if g.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if g.Reg.Lookup(fn) == nil {
+		http.Error(w, fmt.Sprintf("unknown function %q", fn), http.StatusNotFound)
+		return
+	}
+	release, ok := g.Adm.Admit()
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "saturated: too many requests in flight", http.StatusTooManyRequests)
+		return
+	}
+	defer release()
+
+	payload, err := io.ReadAll(io.LimitReader(r.Body, g.maxBody()+1))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(payload)) > g.maxBody() {
+		http.Error(w, "payload too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	ctx := r.Context()
+	if g.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.RequestTimeout)
+		defer cancel()
+	}
+
+	resp, err := g.Pool.Invoke(ctx, fn, payload)
+	if err != nil {
+		g.writeInvokeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(resp)
+}
+
+// writeInvokeError maps pool errors onto HTTP statuses: saturation is
+// backpressure (429), deadlines are gateway timeouts (504), drain is 503,
+// anything else — including isolation faults and function errors — is a
+// plain 500 with the message.
+func (g *Gateway) writeInvokeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, pool.ErrSaturated):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, pool.ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, pool.ErrUnknownFunction):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if g.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// FuncStatsz is one function's row in the /statsz report. Latencies are
+// microseconds, measured arrival -> completion on the live path.
+type FuncStatsz struct {
+	Name          string  `json:"name"`
+	Count         uint64  `json:"count"`
+	Errors        uint64  `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Us         float64 `json:"p50_us"`
+	P99Us         float64 `json:"p99_us"`
+	P999Us        float64 `json:"p999_us"`
+	MeanUs        float64 `json:"mean_us"`
+	MaxUs         float64 `json:"max_us"`
+}
+
+// Statsz is the /statsz document.
+type Statsz struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+
+	Inflight int64  `json:"inflight"`
+	Admitted uint64 `json:"admitted"`
+	Rejected uint64 `json:"rejected"` // gateway admission rejections
+
+	PoolDispatched uint64 `json:"pool_dispatched"`
+	PoolCompleted  uint64 `json:"pool_completed"`
+	PoolExpired    uint64 `json:"pool_expired"`
+	PoolRejected   uint64 `json:"pool_rejected"` // external-queue 429s
+
+	ExternalQueue int    `json:"external_queue_depth"`
+	InternalQueue int    `json:"internal_queue_depth"`
+	ExecutorQueue int    `json:"executor_queue_depth"`
+	LivePDs       int    `json:"live_pds"`
+	Faults        uint64 `json:"isolation_faults"`
+
+	Funcs []FuncStatsz `json:"funcs"`
+}
+
+// Snapshot assembles the current stats document.
+func (g *Gateway) Snapshot() Statsz {
+	st := g.Pool.Stats()
+	ext, internal, execQ := g.Pool.QueueDepths()
+	uptime := time.Since(g.Pool.StartedAt()).Seconds()
+	doc := Statsz{
+		UptimeSeconds:  uptime,
+		Draining:       g.draining.Load(),
+		Inflight:       g.Adm.Inflight(),
+		Admitted:       g.Adm.Admitted(),
+		Rejected:       g.Adm.Rejected(),
+		PoolDispatched: st.Dispatched.Load(),
+		PoolCompleted:  st.Completed.Load(),
+		PoolExpired:    st.Expired.Load(),
+		PoolRejected:   st.Rejected.Load(),
+		ExternalQueue:  ext,
+		InternalQueue:  internal,
+		ExecutorQueue:  execQ,
+		LivePDs:        g.Pool.Table().LivePDs(),
+		Faults:         g.Pool.Table().Faults(),
+	}
+	for _, fs := range st.Funcs() {
+		snap := fs.Latency.Snapshot()
+		row := FuncStatsz{
+			Name:   fs.Name,
+			Count:  fs.Count.Load(),
+			Errors: fs.Errors.Load(),
+			P50Us:  float64(snap.P50) / 1e3,
+			P99Us:  float64(snap.P99) / 1e3,
+			P999Us: float64(snap.P999) / 1e3,
+			MeanUs: snap.Mean / 1e3,
+			MaxUs:  float64(snap.Max) / 1e3,
+		}
+		if uptime > 0 {
+			row.ThroughputRPS = float64(row.Count) / uptime
+		}
+		doc.Funcs = append(doc.Funcs, row)
+	}
+	return doc
+}
+
+func (g *Gateway) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(g.Snapshot())
+}

@@ -1,0 +1,132 @@
+package pool
+
+import (
+	"fmt"
+	"time"
+
+	"jord/internal/mem/vmatable"
+	"jord/internal/server/router"
+)
+
+// Ctx is the live programming interface a function body sees — the same
+// Listing 1 surface as the simulator's core.Ctx (call/async/wait over
+// zero-copy ArgBufs), implemented over real goroutines. It satisfies
+// router.Ctx.
+type Ctx struct {
+	pool *Pool
+	cont *continuation
+}
+
+var _ router.Ctx = (*Ctx)(nil)
+
+// PD returns the protection domain this invocation runs in.
+func (c *Ctx) PD() PDID { return c.cont.pd }
+
+// FuncName names the function this invocation runs.
+func (c *Ctx) FuncName() string { return c.cont.req.fn.Name }
+
+// Payload returns the invocation's input ArgBuf contents. The read is
+// permission-checked against this invocation's PD; since the runtime
+// pmoved the buffer in before entering the function, the check can only
+// fail if the body leaked the buffer away (e.g. via a nested call that is
+// still holding it) — which is exactly the misuse the check exists to
+// catch, so it panics the invocation (recovered into a 500).
+func (c *Ctx) Payload() []byte {
+	b, err := c.cont.req.buf.Read(c.cont.pd)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Call invokes fn synchronously: submit, then suspend until the callee
+// finishes (Listing 1: jord::call).
+func (c *Ctx) Call(fn string, payload []byte) ([]byte, error) {
+	ck, err := c.Async(fn, payload)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(ck)
+}
+
+// Async submits a nested invocation of fn and returns a cookie to Wait on
+// (Listing 1: jord::async). The child's ArgBuf is allocated in this PD,
+// populated, then pmoved to the runtime domain — the child request rides
+// the internal queue, which has absolute dispatch priority (§3.3).
+func (c *Ctx) Async(fn string, payload []byte) (router.Cookie, error) {
+	p := c.pool
+	cont := c.cont
+	def := p.reg.Lookup(fn)
+	if def == nil {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownFunction, fn)
+	}
+	// Allocate the child's ArgBuf in the caller's PD and hand it to the
+	// runtime (pmove), exactly as core.Ctx.submit stages nested calls.
+	buf := p.tab.NewVMA(cont.pd, payload, vmatable.PermRW)
+	if err := buf.Pmove(cont.pd, ExecutorPD, vmatable.PermRW); err != nil {
+		return 0, err
+	}
+	child := &request{
+		fn:       def,
+		buf:      buf,
+		external: false,
+		arrival:  time.Now(),
+		deadline: cont.req.deadline, // nested work inherits the deadline
+		parent:   cont,
+		done:     make(chan struct{}),
+	}
+	cont.mu.Lock()
+	cont.children = append(cont.children, child)
+	ck := router.Cookie(len(cont.children) - 1)
+	cont.mu.Unlock()
+	cont.exec.orch.submitInternal(child)
+	return ck, nil
+}
+
+// Wait blocks until the invocation named by cookie completes, suspending
+// the continuation (cexit) if necessary, and hands the result ArgBuf back
+// to this PD (Listing 1: jord::wait).
+func (c *Ctx) Wait(ck router.Cookie) ([]byte, error) {
+	cont := c.cont
+	cont.mu.Lock()
+	if int(ck) < 0 || int(ck) >= len(cont.children) {
+		cont.mu.Unlock()
+		return nil, fmt.Errorf("pool: wait on unknown cookie %d", ck)
+	}
+	child := cont.children[ck]
+	if child == nil {
+		cont.mu.Unlock()
+		return nil, fmt.Errorf("pool: wait on already-collected cookie %d", ck)
+	}
+	cont.children[ck] = nil
+
+	// Decide atomically with the child's completion handshake whether to
+	// suspend: finish() closes child.done before it checks cont.waiting
+	// under this same lock, so exactly one side sees the other.
+	suspend := false
+	select {
+	case <-child.done:
+	default:
+		cont.waiting = child
+		suspend = true
+	}
+	cont.mu.Unlock()
+
+	if suspend {
+		// cexit: hand the executor back; it runs other work until the
+		// child completes and readyResume re-centers us.
+		cont.exec.suspends.Add(1)
+		cont.yieldCh <- struct{}{}
+		<-cont.resumeCh
+	}
+
+	if child.err != nil {
+		return nil, child.err
+	}
+	// Collect: the result ArgBuf returns to this PD (pmove) and is read
+	// in place — zero-copy, like the simulator's collect path.
+	if err := child.buf.Pmove(ExecutorPD, cont.pd, vmatable.PermRW); err != nil {
+		return nil, err
+	}
+	return child.buf.Read(cont.pd)
+}

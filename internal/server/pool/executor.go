@@ -1,0 +1,290 @@
+package pool
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jord/internal/mem/vmatable"
+)
+
+// executor is the live port of core.Executor: one worker goroutine with a
+// bounded queue of dispatched-but-unstarted requests and a list of
+// suspended continuations ready to resume. Resumptions have priority so
+// in-flight work drains before new work starts (§3.4). The executor never
+// blocks inside a function: invocations run as continuation goroutines
+// that hand the "core" back when they finish or suspend on a nested call.
+type executor struct {
+	pool *Pool
+	id   int
+	orch *orchestrator
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*request
+	resume []*continuation
+	closed bool
+
+	// qlen mirrors len(queue) for the orchestrators' lock-free JBSQ
+	// probes (the live stand-in for the simulator's cross-core queue-
+	// length loads).
+	qlen atomic.Int32
+
+	started   atomic.Uint64
+	completed atomic.Uint64
+	suspends  atomic.Uint64
+}
+
+func newExecutor(p *Pool, id int) *executor {
+	e := &executor{pool: p, id: id}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// enqueue accepts a dispatched request (called by orchestrators, never
+// while holding o.mu and e.mu together).
+func (e *executor) enqueue(r *request) {
+	e.mu.Lock()
+	e.queue = append(e.queue, r)
+	e.qlen.Store(int32(len(e.queue)))
+	e.cond.Signal()
+	e.mu.Unlock()
+}
+
+// readyResume queues a suspended continuation for resumption.
+func (e *executor) readyResume(c *continuation) {
+	e.mu.Lock()
+	e.resume = append(e.resume, c)
+	e.cond.Signal()
+	e.mu.Unlock()
+}
+
+// wake re-checks the loop condition (a PD was freed).
+func (e *executor) wake() {
+	e.mu.Lock()
+	e.cond.Signal()
+	e.mu.Unlock()
+}
+
+func (e *executor) close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// run is the executor loop: resume suspended continuations first, then
+// start queued requests (only while PDs are available — suspended
+// continuations hold theirs, cf. privlib.HasFreePDs), else sleep.
+func (e *executor) run() {
+	defer e.pool.loops.Done()
+	e.mu.Lock()
+	for {
+		if len(e.resume) > 0 {
+			c := e.resume[0]
+			e.resume = e.resume[1:]
+			e.mu.Unlock()
+			e.resumeContinuation(c)
+			e.mu.Lock()
+			continue
+		}
+		if idx := e.nextRunnable(); idx >= 0 {
+			r := e.queue[idx]
+			e.queue = append(e.queue[:idx], e.queue[idx+1:]...)
+			e.qlen.Store(int32(len(e.queue)))
+			e.mu.Unlock()
+			// Capacity freed: a stalled orchestrator can dispatch again.
+			e.orch.capacityFreed()
+			e.startInvocation(r)
+			e.mu.Lock()
+			continue
+		}
+		if e.closed && len(e.queue) == 0 && len(e.resume) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		// Nothing runnable: empty queues, or queued work gated on PD
+		// supply (a Cput or a resumption will wake us — resumptions are
+		// what free PDs, so this cannot livelock).
+		e.cond.Wait()
+	}
+}
+
+// nextRunnable returns the index of the first queued request allowed to
+// start under the current PD supply, or -1. Internal (nested) requests may
+// take any free PD; external requests must leave PDReserve PDs behind for
+// the children that suspended parents wait on — §3.3's internal priority
+// extended from queue slots to the PD resource, so a PD-starved external
+// at the head of the queue cannot block an internal behind it. The check
+// here is advisory (lock-free against the table); Cget re-checks
+// atomically and losers are requeued. Called with e.mu held.
+func (e *executor) nextRunnable() int {
+	if len(e.queue) == 0 {
+		return -1
+	}
+	free := e.pool.tab.FreeCount()
+	if free <= 0 {
+		return -1
+	}
+	extOK := free > e.pool.cfg.PDReserve
+	for i, r := range e.queue {
+		if r.external && !extOK {
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+// requeueFront puts a request back at the head of the queue (lost a PD
+// race between the capacity check and Cget).
+func (e *executor) requeueFront(r *request) {
+	e.mu.Lock()
+	e.queue = append([]*request{r}, e.queue...)
+	e.qlen.Store(int32(len(e.queue)))
+	e.mu.Unlock()
+}
+
+// startInvocation is the live Figure 4 flow: initialize the PD (code
+// pcopy, ArgBuf pmove), launch the continuation goroutine (ccall), and —
+// if it finishes without suspending — tear everything down.
+func (e *executor) startInvocation(r *request) {
+	p := e.pool
+
+	// Deadline/cancellation check at dequeue: a request that died in the
+	// queue is completed without running (the gateway already answered).
+	if r.canceled.Load() {
+		p.finish(r, context.Canceled)
+		return
+	}
+	if !r.deadline.IsZero() && time.Now().After(r.deadline) {
+		p.stats.Expired.Add(1)
+		p.finish(r, context.DeadlineExceeded)
+		return
+	}
+
+	reserve := 0
+	if r.external {
+		reserve = p.cfg.PDReserve
+	}
+	pd, err := p.tab.CgetAbove(reserve)
+	if err != nil {
+		// PD supply changed between the loop's capacity check and now;
+		// put the request back and let the loop stall until a Cput.
+		e.requeueFront(r)
+		return
+	}
+	c := &continuation{
+		req:      r,
+		exec:     e,
+		pd:       pd,
+		yieldCh:  make(chan struct{}),
+		resumeCh: make(chan struct{}),
+	}
+
+	// --- Initialize PD (Figure 4): share code, transfer the ArgBuf ---
+	code := p.code[r.fn.ID]
+	if err := code.Pcopy(ExecutorPD, pd, vmatable.PermRX); err != nil {
+		_ = p.tab.Cput(pd)
+		p.finish(r, err)
+		return
+	}
+	if err := r.buf.Pmove(ExecutorPD, pd, vmatable.PermRW); err != nil {
+		_ = code.Pmove(pd, ExecutorPD, vmatable.PermRX)
+		_ = p.tab.Cput(pd)
+		p.finish(r, err)
+		return
+	}
+
+	e.started.Add(1)
+	// --- Enter the PD (ccall): launch the continuation and lend it the
+	// executor until it yields ---
+	go c.run(p)
+	<-c.yieldCh
+	if c.finished {
+		e.finishInvocation(c)
+	}
+	// Otherwise the continuation suspended on a nested call; it comes
+	// back through the resume list when its child completes.
+}
+
+// resumeContinuation re-enters a suspended continuation (center) after its
+// awaited child completed.
+func (e *executor) resumeContinuation(c *continuation) {
+	c.resumeCh <- struct{}{}
+	<-c.yieldCh
+	if c.finished {
+		e.finishInvocation(c)
+	}
+}
+
+// finishInvocation is the right half of Figure 4: write the outputs into
+// the ArgBuf, transfer it back to the runtime domain, revoke the code
+// grant, destroy the PD, then complete the request.
+func (e *executor) finishInvocation(c *continuation) {
+	p := e.pool
+	r := c.req
+
+	ferr := c.err
+	if ferr == nil {
+		// The function writes its outputs into the ArgBuf while its PD
+		// still owns it.
+		if err := r.buf.Write(c.pd, c.resp); err != nil {
+			ferr = err
+		}
+	}
+	// Transfer the ArgBuf (now holding outputs) back to the runtime
+	// domain, and revoke the PD's code grant (pmove back onto the
+	// executor domain's retained permission).
+	if err := r.buf.Pmove(c.pd, ExecutorPD, vmatable.PermRW); err != nil && ferr == nil {
+		ferr = err
+	}
+	if err := p.code[r.fn.ID].Pmove(c.pd, ExecutorPD, vmatable.PermRX); err != nil && ferr == nil {
+		ferr = err
+	}
+	if err := p.tab.Cput(c.pd); err != nil && ferr == nil {
+		ferr = err
+	}
+	e.completed.Add(1)
+	p.finish(r, ferr)
+}
+
+// continuation is one executing function instance: its goroutine, its
+// protection domain, and its nested-call state — the live analogue of
+// core.Continuation. The yield/resume channels are the cexit/center
+// handshake with the owning executor.
+type continuation struct {
+	req  *request
+	exec *executor
+	pd   PDID
+
+	// yieldCh: continuation -> executor, "I finished or suspended".
+	// resumeCh: executor -> continuation, "your child completed, go on".
+	yieldCh  chan struct{}
+	resumeCh chan struct{}
+
+	mu       sync.Mutex
+	waiting  *request   // child currently suspended on
+	children []*request // Async cookies index into this
+
+	finished bool
+	resp     []byte
+	err      error
+}
+
+// run executes the function body and hands the executor back. A panicking
+// body is caught and surfaced as an invocation error — one function must
+// not take down the worker (the whole point of the paper's isolation).
+func (c *continuation) run(p *Pool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			c.err = fmt.Errorf("function %s panicked: %v", c.req.fn.Name, rec)
+		}
+		c.finished = true
+		c.yieldCh <- struct{}{}
+	}()
+	ctx := &Ctx{pool: p, cont: c}
+	c.resp, c.err = c.req.fn.Body(ctx)
+}

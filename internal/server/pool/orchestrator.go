@@ -1,0 +1,147 @@
+package pool
+
+import "sync"
+
+// orchestrator is the live port of core.Orchestrator: it owns an external
+// and an internal request queue and JBSQ-dispatches into its executor
+// group. Internal (nested) requests have absolute priority and bypass the
+// JBSQ bound — §3.3's deadlock avoidance: a saturated system keeps
+// dispatching the children its suspended parents are waiting on.
+type orchestrator struct {
+	pool  *Pool
+	id    int
+	group []*executor
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	extQ   []*request
+	intQ   []*request
+	closed bool
+
+	// rr rotates the JBSQ scan's starting point so ties spread across the
+	// group instead of always landing on the first executor.
+	rr int
+}
+
+func newOrchestrator(p *Pool, id int) *orchestrator {
+	o := &orchestrator{pool: p, id: id}
+	o.cond = sync.NewCond(&o.mu)
+	return o
+}
+
+// submitExternal enqueues an external request, applying the bounded-queue
+// admission check (ErrSaturated -> the gateway's 429).
+func (o *orchestrator) submitExternal(r *request) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed || o.pool.draining.Load() {
+		return ErrDraining
+	}
+	if len(o.extQ) >= o.pool.cfg.ExternalQueueCap {
+		return ErrSaturated
+	}
+	o.extQ = append(o.extQ, r)
+	o.cond.Signal()
+	return nil
+}
+
+// submitInternal enqueues a nested request from a function running on one
+// of this orchestrator's executors. The internal queue is unbounded:
+// rejecting it would deadlock the suspended parent (§3.3).
+func (o *orchestrator) submitInternal(r *request) {
+	o.mu.Lock()
+	o.intQ = append(o.intQ, r)
+	o.cond.Signal()
+	o.mu.Unlock()
+}
+
+// capacityFreed is called by executors after each dequeue: a stalled
+// orchestrator (all queues at the JBSQ bound) re-probes. Signal and Wait
+// both run under o.mu, so the wakeup cannot be lost between the probe and
+// the Wait.
+func (o *orchestrator) capacityFreed() {
+	o.mu.Lock()
+	o.cond.Signal()
+	o.mu.Unlock()
+}
+
+func (o *orchestrator) close() {
+	o.mu.Lock()
+	o.closed = true
+	o.cond.Broadcast()
+	o.mu.Unlock()
+}
+
+func (o *orchestrator) depths() (ext, internal int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.extQ), len(o.intQ)
+}
+
+// run is the dispatch loop: pick the next request — internal queue first —
+// then JBSQ it into the group. The mutex is held across the probe so an
+// executor's capacityFreed cannot slip between a failed probe and the
+// Wait; it is released around the actual enqueue to keep the executor and
+// orchestrator locks disjoint (no lock-order cycles).
+func (o *orchestrator) run() {
+	defer o.pool.loops.Done()
+	o.mu.Lock()
+	for {
+		if o.closed && len(o.intQ) == 0 && len(o.extQ) == 0 {
+			o.mu.Unlock()
+			return
+		}
+		var r *request
+		internal := false
+		switch {
+		case len(o.intQ) > 0:
+			r, internal = o.intQ[0], true
+		case len(o.extQ) > 0:
+			r = o.extQ[0]
+		default:
+			o.cond.Wait()
+			continue
+		}
+
+		target := o.jbsq(internal)
+		if target == nil {
+			// Every executor queue is at the bound: wait for a dequeue
+			// (capacityFreed) or a new internal arrival.
+			o.cond.Wait()
+			continue
+		}
+
+		// Pop from the owning queue, then hand off outside the lock.
+		if internal {
+			o.intQ = o.intQ[1:]
+		} else {
+			o.extQ = o.extQ[1:]
+		}
+		o.mu.Unlock()
+		target.enqueue(r)
+		o.pool.stats.Dispatched.Add(1)
+		o.mu.Lock()
+	}
+}
+
+// jbsq scans the executor group and returns the member with the shortest
+// queue (Join-Bounded-Shortest-Queue). External requests only dispatch
+// below the JBSQ bound; internal requests ignore it (bypassBound). The
+// queue lengths are atomic reads — like the simulator's cross-core probe
+// loads, they are racy against concurrent enqueues by other orchestrators,
+// which bounds (not eliminates) queue depth exactly as real JBSQ does.
+func (o *orchestrator) jbsq(bypassBound bool) *executor {
+	var best *executor
+	bestLen := int32(1 << 30)
+	o.rr++
+	for i := range o.group {
+		e := o.group[(o.rr+i)%len(o.group)]
+		if l := e.qlen.Load(); l < bestLen {
+			bestLen, best = l, e
+		}
+	}
+	if !bypassBound && best != nil && bestLen >= int32(o.pool.cfg.JBSQBound) {
+		return nil
+	}
+	return best
+}

@@ -1,0 +1,269 @@
+// Package pool is the live serving path's runtime: a faithful port of the
+// paper's worker-server architecture (§3.3/§3.4, Figure 4) from the
+// deterministic simulator (internal/core) onto real goroutines.
+//
+//   - Orchestrator goroutines accept external requests from the HTTP
+//     gateway and internal (nested) requests from executors, and dispatch
+//     both into per-executor bounded queues with JBSQ load balancing.
+//     Internal requests have absolute priority and bypass the JBSQ bound,
+//     the paper's §3.3 deadlock-avoidance design.
+//   - Executor goroutines run each invocation as a suspendable
+//     continuation goroutine inside a fresh protection domain: a nested
+//     Call suspends the continuation (cexit) and returns the executor to
+//     its loop, so executors never block on children.
+//   - Per-invocation ArgBufs are VMAs whose ownership moves between
+//     protection domains with pmove/pcopy, enforced by software permission
+//     checks (Table) that mirror internal/privlib's security policy.
+//
+// Where the simulator charges modelled latencies for these operations, the
+// live path pays their real cost; the semantics — who may touch what, in
+// which domain, in what order — are the same.
+package pool
+
+import (
+	"fmt"
+	"sync"
+
+	"jord/internal/mem/vmatable"
+)
+
+// PDID and Perm are shared with the simulated memory system so the live
+// and simulated paths speak the same protection vocabulary.
+type (
+	PDID = vmatable.PDID
+	Perm = vmatable.Perm
+)
+
+// ExecutorPD is the protection domain of trusted runtime code
+// (orchestrators, executors, the gateway) — the live analogue of
+// privlib.ExecutorPD.
+const ExecutorPD PDID = 0
+
+// Fault is an isolation violation on the live path: a PD touched a VMA it
+// holds no (sufficient) permission for, or misused the PD lifecycle. It
+// mirrors privlib.Fault.
+type Fault struct {
+	Op     string // the PrivLib-style operation ("pmove", "read", "cput", ...)
+	PD     PDID   // the offending protection domain
+	Detail string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("jord fault: %s from pd %d: %s", f.Op, f.PD, f.Detail)
+}
+
+// Table manages the live PD space: a free list of PD IDs plus fault
+// accounting. It is the live-path analogue of PrivLib's cget/cput PD
+// free list, safe for concurrent use.
+type Table struct {
+	mu   sync.Mutex
+	free []PDID
+	live map[PDID]bool
+
+	// onFree, when set (by the pool), runs after every Cput so executors
+	// stalled on PD exhaustion can re-check capacity.
+	onFree func()
+
+	cgets, cputs uint64
+	faults       uint64
+}
+
+// NewTable creates a PD space with IDs 1..numPDs (0 is ExecutorPD).
+func NewTable(numPDs int) *Table {
+	if numPDs < 1 {
+		numPDs = 1
+	}
+	t := &Table{live: map[PDID]bool{ExecutorPD: true}}
+	for id := numPDs; id >= 1; id-- {
+		t.free = append(t.free, PDID(id))
+	}
+	return t
+}
+
+// Cget allocates a fresh protection domain (Table 1: cget).
+func (t *Table) Cget() (PDID, error) { return t.CgetAbove(0) }
+
+// CgetAbove allocates a PD only while more than reserve remain free.
+// Executors start external requests with the pool's internal-reserve
+// floor and internal (nested) requests with reserve 0, extending §3.3's
+// internal-priority deadlock avoidance from queue slots to the PD
+// resource: the last PDs are always available to the children that
+// suspended parents are waiting on.
+func (t *Table) CgetAbove(reserve int) (PDID, error) {
+	t.mu.Lock()
+	if len(t.free) <= reserve {
+		if len(t.free) == 0 {
+			// True exhaustion is an accounted fault; a reserve-gated
+			// refusal is ordinary backpressure.
+			t.faults++
+		}
+		t.mu.Unlock()
+		return 0, &Fault{Op: "cget", PD: ExecutorPD, Detail: "protection domain space exhausted"}
+	}
+	pd := t.free[len(t.free)-1]
+	t.free = t.free[:len(t.free)-1]
+	t.live[pd] = true
+	t.cgets++
+	t.mu.Unlock()
+	return pd, nil
+}
+
+// Cput destroys a protection domain, returning its ID to the free list
+// (Table 1: cput).
+func (t *Table) Cput(pd PDID) error {
+	t.mu.Lock()
+	if pd == ExecutorPD || !t.live[pd] {
+		t.faults++
+		t.mu.Unlock()
+		return &Fault{Op: "cput", PD: pd, Detail: "not a live user protection domain"}
+	}
+	delete(t.live, pd)
+	t.free = append(t.free, pd)
+	t.cputs++
+	cb := t.onFree
+	t.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+	return nil
+}
+
+// HasFree reports whether a Cget can currently succeed. Executors check it
+// before starting new work, exactly as the simulator's executors consult
+// privlib.HasFreePDs (suspended continuations hold PDs; starting new work
+// with none free would fault).
+func (t *Table) HasFree() bool { return t.FreeCount() > 0 }
+
+// FreeCount returns the number of free PDs.
+func (t *Table) FreeCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.free)
+}
+
+// LivePDs returns the number of currently allocated user PDs.
+func (t *Table) LivePDs() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.live) - 1 // minus ExecutorPD
+}
+
+// Faults returns the cumulative isolation-violation count.
+func (t *Table) Faults() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.faults
+}
+
+func (t *Table) fault(f *Fault) error {
+	t.mu.Lock()
+	t.faults++
+	t.mu.Unlock()
+	return f
+}
+
+// VMA is a live in-address-space buffer with per-PD permissions — the live
+// analogue of a simulated VMA plus its VTE permission sub-array (Fig. 8).
+// ArgBufs, function code regions, and scratch buffers are all VMAs. Every
+// read, write, and permission transfer is checked against the caller's
+// protection domain, so a function touching a buffer it does not own
+// faults exactly as it would under the paper's hardware checks.
+type VMA struct {
+	table *Table
+	mu    sync.Mutex
+	perms map[PDID]Perm
+	data  []byte
+}
+
+// NewVMA allocates a buffer owned by pd with the given permission
+// (PrivLib: mmap into pd).
+func (t *Table) NewVMA(owner PDID, data []byte, perm Perm) *VMA {
+	return &VMA{table: t, perms: map[PDID]Perm{owner: perm}, data: data}
+}
+
+// Pmove transfers this VMA's permission from one PD to another, removing
+// it from the source (Table 1: pmove — ownership transfer, the zero-copy
+// ArgBuf handoff of §3.4).
+func (v *VMA) Pmove(from, to PDID, perm Perm) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	held := v.perms[from]
+	if held&perm != perm {
+		return v.table.fault(&Fault{Op: "pmove", PD: from,
+			Detail: fmt.Sprintf("holds %v, cannot transfer %v", held, perm)})
+	}
+	delete(v.perms, from)
+	v.perms[to] |= perm
+	return nil
+}
+
+// Pcopy grants a copy of this VMA's permission to another PD while the
+// source keeps its own (Table 1: pcopy — e.g. sharing a function's code
+// region with a fresh invocation PD).
+func (v *VMA) Pcopy(from, to PDID, perm Perm) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	held := v.perms[from]
+	if held&perm != perm {
+		return v.table.fault(&Fault{Op: "pcopy", PD: from,
+			Detail: fmt.Sprintf("holds %v, cannot grant %v", held, perm)})
+	}
+	v.perms[to] |= perm
+	return nil
+}
+
+// Check verifies pd holds want on this VMA (the live stand-in for the
+// hardware VLB/VTW permission check on each access).
+func (v *VMA) Check(pd PDID, want Perm) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.check(pd, want)
+}
+
+func (v *VMA) check(pd PDID, want Perm) error {
+	if v.perms[pd]&want != want {
+		op := "access"
+		switch want {
+		case vmatable.PermR:
+			op = "read"
+		case vmatable.PermW:
+			op = "write"
+		case vmatable.PermX, vmatable.PermRX:
+			op = "execute"
+		}
+		return v.table.fault(&Fault{Op: op, PD: pd,
+			Detail: fmt.Sprintf("holds %v, needs %v", v.perms[pd], want)})
+	}
+	return nil
+}
+
+// Read returns the buffer contents after a permission check. The returned
+// slice aliases the VMA's storage (zero-copy, like the paper's ArgBufs);
+// callers must hold the permission for as long as they use it.
+func (v *VMA) Read(pd PDID) ([]byte, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.check(pd, vmatable.PermR); err != nil {
+		return nil, err
+	}
+	return v.data, nil
+}
+
+// Write replaces the buffer contents after a permission check (a function
+// writing its outputs into its ArgBuf before handing it back).
+func (v *VMA) Write(pd PDID, data []byte) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.check(pd, vmatable.PermW); err != nil {
+		return err
+	}
+	v.data = data
+	return nil
+}
+
+// Len returns the current payload size in bytes.
+func (v *VMA) Len() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.data)
+}

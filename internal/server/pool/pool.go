@@ -1,0 +1,369 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jord/internal/mem/vmatable"
+	"jord/internal/metrics"
+	"jord/internal/server/router"
+)
+
+// Errors returned by the external invoke path. The gateway maps them onto
+// HTTP statuses (429 / 404 / 503).
+var (
+	// ErrSaturated means the target orchestrator's external queue is at
+	// capacity — the admission-control backpressure signal.
+	ErrSaturated = errors.New("pool: saturated: external queue full")
+	// ErrUnknownFunction means no function is registered under the name.
+	ErrUnknownFunction = errors.New("pool: unknown function")
+	// ErrDraining means the pool no longer accepts external work.
+	ErrDraining = errors.New("pool: draining")
+)
+
+// Config sizes one live worker pool. The shape mirrors core.Config: a few
+// orchestrators dispatching into many executors, JBSQ-bounded.
+type Config struct {
+	// Orchestrators is the number of dispatcher goroutines. Executors are
+	// partitioned among them into proximity groups. 0 picks one per 8
+	// executors (minimum 1), matching the simulator's default ratio.
+	Orchestrators int
+
+	// Executors is the number of executor goroutines. 0 picks GOMAXPROCS.
+	Executors int
+
+	// JBSQBound is the queue-depth bound k of JBSQ(k). External requests
+	// are dispatched only to executors below the bound; internal (nested)
+	// requests bypass it (§3.3).
+	JBSQBound int
+
+	// ExternalQueueCap bounds each orchestrator's external queue; arrivals
+	// beyond it are rejected with ErrSaturated (the gateway's 429).
+	// 0 defaults to 256.
+	ExternalQueueCap int
+
+	// NumPDs sizes the protection-domain space. Every in-flight
+	// invocation — including suspended parents of nested calls — holds
+	// one PD, so this must exceed MaxInflight × (1 + max nesting depth).
+	// 0 defaults to 4096.
+	NumPDs int
+
+	// PDReserve is the number of PDs held back from *external* requests:
+	// executors start an external invocation only while more than
+	// PDReserve PDs are free, while internal (nested) requests may
+	// consume the reserve. Without it, every PD can end up held by a
+	// suspended parent whose child then cannot start — the PD-space
+	// analogue of the queue deadlock §3.3's internal priority exists to
+	// prevent. 0 defaults to NumPDs/8 (minimum 1). The reserve guarantees
+	// progress for depth-1 call chains; deeper fan-outs additionally need
+	// NumPDs sized per the rule above.
+	PDReserve int
+}
+
+// Normalized returns the configuration with every zero field replaced by
+// its default — what a pool built from c will actually run with.
+func (c Config) Normalized() Config {
+	c.normalize()
+	return c
+}
+
+func (c *Config) normalize() {
+	if c.Executors <= 0 {
+		c.Executors = runtime.GOMAXPROCS(0)
+	}
+	if c.Orchestrators <= 0 {
+		c.Orchestrators = c.Executors / 8
+		if c.Orchestrators < 1 {
+			c.Orchestrators = 1
+		}
+	}
+	if c.Orchestrators > c.Executors {
+		c.Orchestrators = c.Executors
+	}
+	if c.JBSQBound < 1 {
+		c.JBSQBound = 4
+	}
+	if c.ExternalQueueCap <= 0 {
+		c.ExternalQueueCap = 256
+	}
+	if c.NumPDs <= 0 {
+		c.NumPDs = 4096
+	}
+	if c.PDReserve <= 0 {
+		c.PDReserve = c.NumPDs / 8
+		if c.PDReserve < 1 {
+			c.PDReserve = 1
+		}
+	}
+	if c.PDReserve >= c.NumPDs {
+		c.PDReserve = c.NumPDs - 1
+	}
+}
+
+// request is one invocation flowing through the live runtime — the live
+// analogue of core.Request.
+type request struct {
+	fn       *router.Func
+	buf      *VMA // the ArgBuf carrying inputs and outputs
+	external bool
+
+	arrival  time.Time
+	deadline time.Time // zero = none; nested requests inherit the parent's
+
+	parent *continuation // nested-call linkage
+
+	canceled atomic.Bool // external caller gave up (ctx done)
+
+	// done closes once the request finished (resp/err valid). err is
+	// written before done closes.
+	done chan struct{}
+	err  error
+}
+
+// FuncStats accumulates per-function live measurements.
+type FuncStats struct {
+	Name    string
+	Count   atomic.Uint64 // completed invocations (external + nested)
+	Errors  atomic.Uint64
+	Latency metrics.Histogram // arrival -> completion, ns
+}
+
+// Stats is the pool-wide counter set.
+type Stats struct {
+	perFunc map[string]*FuncStats // immutable after Start
+	funcs   []*FuncStats          // registration order
+
+	Dispatched atomic.Uint64 // orchestrator -> executor handoffs
+	Completed  atomic.Uint64 // finished invocations
+	Expired    atomic.Uint64 // dequeued past their deadline
+	Rejected   atomic.Uint64 // ErrSaturated external submissions
+}
+
+// FuncStats returns the accumulator for a function name (nil if unknown).
+func (s *Stats) FuncStats(name string) *FuncStats { return s.perFunc[name] }
+
+// Funcs returns the per-function accumulators in registration order.
+func (s *Stats) Funcs() []*FuncStats { return s.funcs }
+
+// Pool is the live worker runtime: orchestrators, executors, the PD table,
+// per-function code VMAs, and measurement state.
+type Pool struct {
+	cfg   Config
+	reg   *router.Registry
+	tab   *Table
+	orchs []*orchestrator
+	execs []*executor
+
+	// code holds each function's code VMA (owned by ExecutorPD with RX),
+	// from which invocation PDs receive execute permission via pcopy,
+	// indexed by router.Func.ID.
+	code []*VMA
+
+	stats Stats
+
+	rr       atomic.Uint64 // round-robin external submission
+	draining atomic.Bool
+	started  atomic.Bool
+	startAt  time.Time
+
+	inflight sync.WaitGroup // external requests in flight
+	loops    sync.WaitGroup // orchestrator/executor goroutines
+}
+
+// New assembles a pool over a function registry. Start must be called
+// before Invoke; registration closes at Start.
+func New(cfg Config, reg *router.Registry) *Pool {
+	cfg.normalize()
+	return &Pool{cfg: cfg, reg: reg, tab: NewTable(cfg.NumPDs)}
+}
+
+// Config returns the normalized configuration.
+func (p *Pool) Config() Config { return p.cfg }
+
+// Table exposes the PD table (tests, stats).
+func (p *Pool) Table() *Table { return p.tab }
+
+// Stats exposes the live counters.
+func (p *Pool) Stats() *Stats { return &p.stats }
+
+// StartedAt returns when the pool started serving.
+func (p *Pool) StartedAt() time.Time { return p.startAt }
+
+// Start freezes the registry, loads every function's code VMA, and launches
+// the orchestrator and executor goroutines.
+func (p *Pool) Start() {
+	if !p.started.CompareAndSwap(false, true) {
+		return
+	}
+	p.reg.Freeze()
+	funcs := p.reg.Funcs()
+	p.code = make([]*VMA, len(funcs))
+	p.stats.perFunc = make(map[string]*FuncStats, len(funcs))
+	for _, f := range funcs {
+		// Register loads the function code into an executable VMA owned
+		// by the executor domain (cf. core.System.Register).
+		p.code[f.ID] = p.tab.NewVMA(ExecutorPD, nil, vmatable.PermRX)
+		fs := &FuncStats{Name: f.Name}
+		p.stats.perFunc[f.Name] = fs
+		p.stats.funcs = append(p.stats.funcs, fs)
+	}
+
+	for i := 0; i < p.cfg.Executors; i++ {
+		p.execs = append(p.execs, newExecutor(p, i))
+	}
+	for i := 0; i < p.cfg.Orchestrators; i++ {
+		p.orchs = append(p.orchs, newOrchestrator(p, i))
+	}
+	// Partition executors among orchestrators round-robin (the simulator
+	// balances group sizes the same way; there is no mesh distance to
+	// break ties by on the live path).
+	for i, e := range p.execs {
+		o := p.orchs[i%len(p.orchs)]
+		o.group = append(o.group, e)
+		e.orch = o
+	}
+	// A freed PD may unblock any executor stalled in its capacity check.
+	p.tab.onFree = func() {
+		for _, e := range p.execs {
+			e.wake()
+		}
+	}
+	for _, e := range p.execs {
+		p.loops.Add(1)
+		go e.run()
+	}
+	for _, o := range p.orchs {
+		p.loops.Add(1)
+		go o.run()
+	}
+	p.startAt = time.Now()
+}
+
+// Invoke runs one external request through the live runtime: stage the
+// ArgBuf, submit to an orchestrator, wait for completion or ctx expiry.
+// The orchestrator is chosen round-robin, as the simulator spreads
+// arrivals by request ID.
+func (p *Pool) Invoke(ctx context.Context, fn string, payload []byte) ([]byte, error) {
+	if !p.started.Load() {
+		return nil, errors.New("pool: not started")
+	}
+	if p.draining.Load() {
+		return nil, ErrDraining
+	}
+	def := p.reg.Lookup(fn)
+	if def == nil {
+		return nil, ErrUnknownFunction
+	}
+	// Stage the request payload into a fresh ArgBuf owned by the runtime
+	// domain (§3.3: "orchestrators save these requests into ArgBufs").
+	r := &request{
+		fn:       def,
+		buf:      p.tab.NewVMA(ExecutorPD, payload, vmatable.PermRW),
+		external: true,
+		arrival:  time.Now(),
+		done:     make(chan struct{}),
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		r.deadline = dl
+	}
+	p.inflight.Add(1)
+	o := p.orchs[int(p.rr.Add(1))%len(p.orchs)]
+	if err := o.submitExternal(r); err != nil {
+		p.inflight.Done()
+		p.stats.Rejected.Add(1)
+		return nil, err
+	}
+	select {
+	case <-r.done:
+		if r.err != nil {
+			return nil, r.err
+		}
+		// The executor pmoved the result ArgBuf back to the runtime
+		// domain; read it from there.
+		return r.buf.Read(ExecutorPD)
+	case <-ctx.Done():
+		// Abandon: the request still drains through the runtime (and
+		// releases its inflight slot there), but the caller leaves now.
+		r.canceled.Store(true)
+		return nil, ctx.Err()
+	}
+}
+
+// finish completes a request: record stats, publish the error, close done,
+// and either release the external in-flight slot or wake the suspended
+// parent continuation. Exactly one finish happens per submitted request.
+func (p *Pool) finish(r *request, err error) {
+	r.err = err
+	fs := p.stats.perFunc[r.fn.Name]
+	fs.Latency.Record(time.Since(r.arrival).Nanoseconds())
+	fs.Count.Add(1)
+	if err != nil {
+		fs.Errors.Add(1)
+	}
+	p.stats.Completed.Add(1)
+	close(r.done) // before the parent handshake: Wait re-checks done under the lock
+
+	if r.external {
+		p.inflight.Done()
+		return
+	}
+	// Nested request: make the parent runnable if it suspended on us
+	// (cf. executor.finishInvocation in the simulator).
+	parent := r.parent
+	parent.mu.Lock()
+	resume := parent.waiting == r
+	if resume {
+		parent.waiting = nil
+	}
+	parent.mu.Unlock()
+	if resume {
+		parent.exec.readyResume(parent)
+	}
+}
+
+// QueueDepths reports current external, internal, and executor queue
+// occupancy — the /statsz gauges.
+func (p *Pool) QueueDepths() (ext, internal, execQ int) {
+	for _, o := range p.orchs {
+		e, i := o.depths()
+		ext += e
+		internal += i
+	}
+	for _, e := range p.execs {
+		execQ += int(e.qlen.Load())
+	}
+	return ext, internal, execQ
+}
+
+// Draining reports whether the pool has stopped accepting external work.
+func (p *Pool) Draining() bool { return p.draining.Load() }
+
+// Drain stops accepting external requests, waits for all in-flight work
+// (including nested calls) to complete, then shuts the loops down. It
+// returns ctx.Err() if the context expires first, leaving the loops
+// running so stragglers still complete.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		p.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	for _, o := range p.orchs {
+		o.close()
+	}
+	for _, e := range p.execs {
+		e.close()
+	}
+	p.loops.Wait()
+	return nil
+}

@@ -1,0 +1,129 @@
+// Package router holds the live serving path's function registry: the
+// mapping from HTTP-visible function names to registered Go bodies. It is
+// the live analogue of the simulator's function registry in internal/core
+// (System.Register), and it defines the programming interface live
+// functions see — the same shape as the paper's Listing 1 (call / async /
+// wait over zero-copy ArgBufs), expressed over byte payloads instead of
+// simulated cache blocks.
+package router
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Cookie identifies an asynchronous invocation for Wait (Listing 1).
+type Cookie int
+
+// Ctx is the interface a live function body programs against. It is
+// implemented by internal/server/pool.Ctx; it lives here so the registry
+// does not depend on the runtime that executes its functions.
+type Ctx interface {
+	// Payload returns the invocation's input ArgBuf contents. The read is
+	// permission-checked against the invocation's protection domain.
+	Payload() []byte
+	// Call invokes another registered function synchronously, suspending
+	// this continuation until the callee finishes (Listing 1: jord::call).
+	Call(fn string, payload []byte) ([]byte, error)
+	// Async submits a nested invocation and returns immediately
+	// (Listing 1: jord::async).
+	Async(fn string, payload []byte) (Cookie, error)
+	// Wait blocks on an Async cookie and returns the callee's result
+	// (Listing 1: jord::wait).
+	Wait(ck Cookie) ([]byte, error)
+	// FuncName names the function this invocation runs.
+	FuncName() string
+}
+
+// Body is a live function body: input via ctx.Payload, output via the
+// returned byte slice (written back into the invocation's ArgBuf).
+type Body func(ctx Ctx) ([]byte, error)
+
+// Func is one registered live function.
+type Func struct {
+	ID   int
+	Name string
+	Body Body
+}
+
+// Registry maps function names to bodies. Registration happens before the
+// pool starts (Freeze); lookups are concurrent afterwards.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*Func
+	list   []*Func
+	frozen bool
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{byName: make(map[string]*Func)}
+}
+
+// Register deploys a function under name. It fails on duplicate or empty
+// names and after the registry is frozen (the pool has started).
+func (r *Registry) Register(name string, body Body) (*Func, error) {
+	if name == "" {
+		return nil, fmt.Errorf("router: empty function name")
+	}
+	if body == nil {
+		return nil, fmt.Errorf("router: registering %s: nil body", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.frozen {
+		return nil, fmt.Errorf("router: registering %s: registry frozen (server already started)", name)
+	}
+	if _, dup := r.byName[name]; dup {
+		return nil, fmt.Errorf("router: duplicate function %q", name)
+	}
+	f := &Func{ID: len(r.list), Name: name, Body: body}
+	r.byName[name] = f
+	r.list = append(r.list, f)
+	return f, nil
+}
+
+// MustRegister is Register for static function sets.
+func (r *Registry) MustRegister(name string, body Body) *Func {
+	f, err := r.Register(name, body)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Freeze closes the registry for further registration.
+func (r *Registry) Freeze() {
+	r.mu.Lock()
+	r.frozen = true
+	r.mu.Unlock()
+}
+
+// Lookup resolves a function name (nil if unknown).
+func (r *Registry) Lookup(name string) *Func {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byName[name]
+}
+
+// Funcs returns all registered functions in registration order.
+func (r *Registry) Funcs() []*Func {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Func, len(r.list))
+	copy(out, r.list)
+	return out
+}
+
+// Names returns the registered function names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.list))
+	for _, f := range r.list {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jord/internal/server/pool"
+	"jord/internal/server/router"
+)
+
+// TestSaturationBackpressure floods a deliberately tiny pool far past its
+// external queue capacity and checks the two §3.3 properties at once:
+// externals beyond capacity are shed with 429 (ErrSaturated backpressure,
+// not hangs), while every admitted request — whose nested internal call
+// must jump the saturated external queue — completes correctly.
+func TestSaturationBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Pool = pool.Config{
+		Executors:        1,
+		Orchestrators:    1,
+		JBSQBound:        1,
+		ExternalQueueCap: 4,
+		NumPDs:           64,
+	}
+	// Admission must not mask queue saturation: make ErrSaturated from the
+	// orchestrator's external queue the only backpressure source.
+	cfg.MaxInflight = 100000
+	cfg.RequestTimeout = 30 * time.Second
+	_, base := startDaemon(t, cfg, func(d *Daemon) {
+		d.MustRegister("leaf", func(ctx router.Ctx) ([]byte, error) {
+			time.Sleep(2 * time.Millisecond) // hold the executor so queues build
+			return ctx.Payload(), nil
+		})
+		d.MustRegister("root", func(ctx router.Ctx) ([]byte, error) {
+			return ctx.Call("leaf", ctx.Payload())
+		})
+	})
+	client := newClient()
+
+	const n = 150
+	var (
+		ok, rejected atomic.Uint64
+		wg           sync.WaitGroup
+	)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := fmt.Sprintf("p%d", i)
+			resp, err := client.Post(base+"/invoke/root", "application/octet-stream",
+				strings.NewReader(payload))
+			if err != nil {
+				errs <- err
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs <- err
+				return
+			}
+			switch resp.StatusCode {
+			case http.StatusOK:
+				if string(body) != payload {
+					errs <- fmt.Errorf("request %d: got %q, want %q", i, body, payload)
+					return
+				}
+				ok.Add(1)
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					errs <- fmt.Errorf("request %d: 429 without Retry-After", i)
+					return
+				}
+				rejected.Add(1)
+			default:
+				errs <- fmt.Errorf("request %d: unexpected status %d: %s", i, resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if ok.Load() == 0 {
+		t.Fatal("no request was served under saturation")
+	}
+	if rejected.Load() == 0 {
+		t.Fatalf("no request was shed: queue cap %d absorbed %d concurrent arrivals",
+			cfg.Pool.ExternalQueueCap, n)
+	}
+	if got := ok.Load() + rejected.Load(); got != n {
+		t.Fatalf("accounted for %d of %d requests", got, n)
+	}
+	t.Logf("saturation: %d served, %d shed with 429", ok.Load(), rejected.Load())
+}

@@ -1,0 +1,190 @@
+// Package server assembles the live serving subsystem (jordd): the HTTP
+// gateway, admission control, and the goroutine-backed worker pool that
+// runs Jord's runtime architecture — JBSQ orchestrators, suspendable
+// executor continuations, internal/external queues, and privlib-style
+// per-invocation ArgBuf permission transfers — against real traffic.
+//
+// Where internal/core executes this architecture on the deterministic
+// simulation engine to reproduce the paper's numbers, this package
+// executes the same architecture on the Go runtime to serve requests:
+//
+//	d := server.New(server.DefaultConfig())
+//	d.MustRegister("echo", func(ctx router.Ctx) ([]byte, error) {
+//	    return ctx.Payload(), nil
+//	})
+//	log.Fatal(d.ListenAndServe())
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"jord/internal/server/admission"
+	"jord/internal/server/gateway"
+	"jord/internal/server/pool"
+	"jord/internal/server/router"
+)
+
+// Config assembles one live worker daemon.
+type Config struct {
+	// Addr is the HTTP listen address (default ":8034").
+	Addr string
+
+	// Pool sizes the worker runtime (see pool.Config).
+	Pool pool.Config
+
+	// MaxInflight caps concurrently admitted external requests; beyond it
+	// the gateway answers 429 immediately (0 defaults to 4× the pool's
+	// executor count × JBSQ bound — enough to keep every executor queue
+	// full without unbounded buffering).
+	MaxInflight int
+
+	// RequestTimeout is the per-request deadline (default 30s; <0 = none).
+	RequestTimeout time.Duration
+
+	// DrainTimeout bounds graceful shutdown (default 30s).
+	DrainTimeout time.Duration
+
+	// MaxBodyBytes bounds /invoke payloads (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+// DefaultConfig returns the default daemon setup.
+func DefaultConfig() Config {
+	return Config{
+		Addr:           ":8034",
+		RequestTimeout: 30 * time.Second,
+		DrainTimeout:   30 * time.Second,
+	}
+}
+
+func (c *Config) normalize() {
+	if c.Addr == "" {
+		c.Addr = ":8034"
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RequestTimeout < 0 {
+		c.RequestTimeout = 0
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+}
+
+// Daemon is one live Jord worker server.
+type Daemon struct {
+	Cfg Config
+	Reg *router.Registry
+
+	pool *pool.Pool
+	gw   *gateway.Gateway
+	http *http.Server
+
+	addr    atomic.Value // string; set once serving
+	started atomic.Bool
+}
+
+// New builds a daemon. Register functions, then ListenAndServe or Serve.
+func New(cfg Config) *Daemon {
+	cfg.normalize()
+	return &Daemon{Cfg: cfg, Reg: router.New()}
+}
+
+// Register deploys a function on the live path (cf. core.System.Register
+// on the simulated path).
+func (d *Daemon) Register(name string, body router.Body) error {
+	_, err := d.Reg.Register(name, body)
+	return err
+}
+
+// MustRegister is Register for static function sets.
+func (d *Daemon) MustRegister(name string, body router.Body) {
+	d.Reg.MustRegister(name, body)
+}
+
+// start freezes registration and builds the runtime stack.
+func (d *Daemon) start() error {
+	if !d.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("server: already started")
+	}
+	d.pool = pool.New(d.Cfg.Pool, d.Reg)
+	d.pool.Start()
+	maxInflight := d.Cfg.MaxInflight
+	if maxInflight <= 0 {
+		pc := d.pool.Config()
+		maxInflight = 4 * pc.Executors * pc.JBSQBound
+	}
+	d.gw = &gateway.Gateway{
+		Reg:            d.Reg,
+		Pool:           d.pool,
+		Adm:            admission.New(maxInflight),
+		RequestTimeout: d.Cfg.RequestTimeout,
+		MaxBodyBytes:   d.Cfg.MaxBodyBytes,
+	}
+	d.http = &http.Server{Handler: d.gw.Handler()}
+	return nil
+}
+
+// Pool exposes the worker runtime (tests, stats).
+func (d *Daemon) Pool() *pool.Pool { return d.pool }
+
+// Gateway exposes the HTTP layer (tests, stats).
+func (d *Daemon) Gateway() *gateway.Gateway { return d.gw }
+
+// Addr returns the bound listen address once serving ("" before).
+func (d *Daemon) Addr() string {
+	if v := d.addr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// Serve runs the daemon on an existing listener until Shutdown or error.
+func (d *Daemon) Serve(ln net.Listener) error {
+	if err := d.start(); err != nil {
+		return err
+	}
+	d.addr.Store(ln.Addr().String())
+	err := d.http.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe binds Config.Addr and serves until Shutdown or error.
+func (d *Daemon) ListenAndServe() error {
+	ln, err := net.Listen("tcp", d.Cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return d.Serve(ln)
+}
+
+// Shutdown drains gracefully: flip /healthz to 503 and refuse new
+// invocations, finish everything in flight (bounded by DrainTimeout), then
+// close the listener. Safe to call once serving.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	if d.gw == nil {
+		return fmt.Errorf("server: not started")
+	}
+	d.gw.SetDraining(true)
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.Cfg.DrainTimeout)
+		defer cancel()
+	}
+	// Stop accepting connections and wait for in-flight HTTP handlers —
+	// each of which waits on its invocation — then drain the pool's
+	// internal state and stop the runtime goroutines.
+	if err := d.http.Shutdown(ctx); err != nil {
+		return err
+	}
+	return d.pool.Drain(ctx)
+}

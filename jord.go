@@ -32,12 +32,21 @@
 // The experiments subpackage (driven by cmd/jordsim) regenerates every
 // table and figure of the paper's evaluation; see DESIGN.md and
 // EXPERIMENTS.md at the repository root.
+//
+// # Live serving
+//
+// NewServer builds a live worker daemon (cmd/jordd) that runs the same
+// runtime architecture on real goroutines behind an HTTP gateway —
+// POST /invoke/{fn}, GET /healthz, GET /statsz — with functions written
+// against LiveCtx instead of Ctx.
 package jord
 
 import (
 	"jord/internal/core"
 	"jord/internal/mem/vmatable"
 	"jord/internal/privlib"
+	"jord/internal/server"
+	"jord/internal/server/router"
 	"jord/internal/sim/topo"
 	"jord/internal/vlb"
 	"jord/internal/workloads"
@@ -150,6 +159,38 @@ var (
 	// MachineDualSocket256 is the 2x128-core system of §6.3.
 	MachineDualSocket256 = topo.DualSocket256
 )
+
+// Live serving (cmd/jordd). Where System runs Jord's runtime architecture
+// on the deterministic simulator to reproduce the paper's numbers, Server
+// runs the same architecture — JBSQ orchestrators, suspendable executor
+// continuations, internal/external queues, pmove/pcopy ArgBuf transfer —
+// on real goroutines behind an HTTP gateway to serve real traffic.
+type (
+	// Server is one live Jord worker daemon.
+	Server = server.Daemon
+	// ServerConfig assembles a live daemon (gateway + pool sizing).
+	ServerConfig = server.Config
+	// LiveCtx is the programming interface visible to a live function
+	// body (the live analogue of Ctx).
+	LiveCtx = router.Ctx
+	// LiveFunc is a live function body.
+	LiveFunc = router.Body
+	// LiveCookie identifies an asynchronous live invocation.
+	LiveCookie = router.Cookie
+)
+
+// NewServer builds a live worker daemon. Register functions on it, then
+// ListenAndServe:
+//
+//	d := jord.NewServer(jord.DefaultServerConfig())
+//	d.MustRegister("echo", func(ctx jord.LiveCtx) ([]byte, error) {
+//	    return ctx.Payload(), nil
+//	})
+//	log.Fatal(d.ListenAndServe())
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// DefaultServerConfig returns the default live daemon setup.
+func DefaultServerConfig() ServerConfig { return server.DefaultConfig() }
 
 // BuildWorkload deploys one of the paper's workloads ("hipster", "hotel",
 // "media", "social") onto a system.
