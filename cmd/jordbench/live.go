@@ -1,0 +1,211 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"jord/internal/metrics"
+	"jord/internal/server/pool"
+	"jord/internal/server/router"
+)
+
+// liveScenario is one measured workload against the in-process live pool.
+type liveScenario struct {
+	name string
+	fn   string // root function to invoke
+	desc string
+}
+
+// liveResult is one scenario's row in BENCH_live.json.
+type liveResult struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Requests    int    `json:"requests"`
+	Workers     int    `json:"workers"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Us         float64 `json:"p50_us"`
+	P99Us         float64 `json:"p99_us"`
+	P999Us        float64 `json:"p999_us"`
+	MeanUs        float64 `json:"mean_us"`
+
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// liveReport is the whole BENCH_live.json document.
+type liveReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	Executors     int `json:"executors"`
+	Orchestrators int `json:"orchestrators"`
+	JBSQBound     int `json:"jbsq_bound"`
+	NumPDs        int `json:"num_pds"`
+
+	Scenarios []liveResult `json:"scenarios"`
+}
+
+// runLive benchmarks the live serving path in-process — no HTTP, no
+// network — and writes BENCH_live.json. The scenarios mirror the Go
+// benchmarks in internal/server/pool (BenchmarkInvoke, BenchmarkNestedCall)
+// but measure end-to-end throughput, latency percentiles, and whole-process
+// allocation cost under sustained concurrent load, which per-op Go
+// benchmarks cannot see.
+func runLive(out string, requests, workers int) {
+	reg := router.New()
+	reg.MustRegister("echo", func(ctx router.Ctx) ([]byte, error) {
+		return ctx.Payload(), nil
+	})
+	reg.MustRegister("leaf", func(ctx router.Ctx) ([]byte, error) {
+		return ctx.Payload(), nil
+	})
+	reg.MustRegister("chain", func(ctx router.Ctx) ([]byte, error) {
+		return ctx.Call("leaf", ctx.Payload())
+	})
+	reg.MustRegister("fanout2", func(ctx router.Ctx) ([]byte, error) {
+		ck1, err := ctx.Async("leaf", ctx.Payload())
+		if err != nil {
+			return nil, err
+		}
+		ck2, err := ctx.Async("leaf", ctx.Payload())
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ctx.Wait(ck1); err != nil {
+			return nil, err
+		}
+		return ctx.Wait(ck2)
+	})
+
+	cfg := pool.Config{JBSQBound: 4}
+	p := pool.New(cfg, reg)
+	p.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := p.Drain(ctx); err != nil {
+			log.Printf("drain: %v", err)
+		}
+	}()
+	eff := p.Config()
+
+	report := liveReport{
+		GeneratedBy:   "jordbench -live",
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Executors:     eff.Executors,
+		Orchestrators: eff.Orchestrators,
+		JBSQBound:     eff.JBSQBound,
+		NumPDs:        eff.NumPDs,
+	}
+
+	scenarios := []liveScenario{
+		{name: "echo", fn: "echo", desc: "external invocation, no nesting (cget/pmove/run/pmove/cput)"},
+		{name: "nested_chain", fn: "chain", desc: "root -> leaf synchronous call: one suspend/resume per request"},
+		{name: "fanout2", fn: "fanout2", desc: "root with two async children waited in turn"},
+	}
+	payload := []byte("jordbench-live-payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+
+	for _, sc := range scenarios {
+		res, err := runLiveScenario(p, sc, payload, requests, workers)
+		if err != nil {
+			log.Fatalf("%s: %v", sc.name, err)
+		}
+		log.Printf("%-12s %9.0f req/s  p50 %6.1fus  p99 %6.1fus  %6.2f allocs/op",
+			sc.name, res.ThroughputRPS, res.P50Us, res.P99Us, res.AllocsPerOp)
+		report.Scenarios = append(report.Scenarios, res)
+	}
+
+	if tab := p.Table(); tab.LivePDs() != 0 || tab.Faults() != 0 {
+		log.Fatalf("pool not clean after load: live_pds=%d faults=%d", tab.LivePDs(), tab.Faults())
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
+}
+
+func runLiveScenario(p *pool.Pool, sc liveScenario, payload []byte, requests, workers int) (liveResult, error) {
+	ctx := context.Background()
+
+	// Warm up: fills the PD caches, spins up parked runners, and populates
+	// the request/continuation recycle pools so the measured window sees
+	// steady state.
+	warm := requests / 10
+	if warm > 2000 {
+		warm = 2000
+	}
+	for i := 0; i < warm; i++ {
+		if _, err := p.Invoke(ctx, sc.fn, payload); err != nil {
+			return liveResult{}, fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	var (
+		hist    metrics.ShardedHistogram
+		errCh   = make(chan error, workers)
+		perWork = requests / workers
+	)
+	hist.SetShards(workers)
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < perWork; i++ {
+				t0 := time.Now()
+				if _, err := p.Invoke(ctx, sc.fn, payload); err != nil {
+					errCh <- err
+					return
+				}
+				hist.RecordShard(w, time.Since(t0).Nanoseconds())
+			}
+			errCh <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errCh; err != nil {
+			return liveResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	n := perWork * workers
+	snap := hist.Snapshot()
+	return liveResult{
+		Name:          sc.name,
+		Description:   sc.desc,
+		Requests:      n,
+		Workers:       workers,
+		ThroughputRPS: float64(n) / elapsed.Seconds(),
+		P50Us:         float64(snap.P50) / 1e3,
+		P99Us:         float64(snap.P99) / 1e3,
+		P999Us:        float64(snap.P999) / 1e3,
+		MeanUs:        snap.Mean / 1e3,
+		AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / float64(n),
+		BytesPerOp:    float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+	}, nil
+}

@@ -4,8 +4,17 @@
 // Usage:
 //
 //	jordbench -workload hotel -system jord -loads 1,2,4,6 [-measure 5000]
+//	jordbench -live [-live-out BENCH_live.json] [-live-requests 50000] [-live-workers 16]
 //
 // Loads are in MRPS. Systems: jord | jordni | jordbt | nightcore.
+//
+// With -live, instead of sweeping the simulator, jordbench drives the live
+// serving path (internal/server/pool) in-process under sustained concurrent
+// load and writes BENCH_live.json: throughput, latency percentiles, and
+// allocations per operation for an external echo, a nested synchronous
+// chain, and a two-way async fanout. This is the checked-in regression
+// baseline for the hot-path engineering (PD caches, VTE permission arrays,
+// continuation recycling); regenerate it with `go run ./cmd/jordbench -live`.
 package main
 
 import (
@@ -70,6 +79,11 @@ func main() {
 		measure  = flag.Uint64("measure", 3000, "measured requests")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		trials   = flag.Int("trials", 1, "independent trials per point (SimFlex-style sampling; >1 adds 95% CIs)")
+
+		live         = flag.Bool("live", false, "benchmark the live serving path instead of the simulator")
+		liveOut      = flag.String("live-out", "BENCH_live.json", "output file for -live ('-' = stdout)")
+		liveRequests = flag.Int("live-requests", 50000, "measured requests per -live scenario")
+		liveWorkers  = flag.Int("live-workers", 16, "concurrent clients for -live")
 	)
 	flag.Var(workload, "workload", workload.Allowed())
 	flag.Var(system, "system", system.Allowed())
@@ -78,6 +92,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "jordbench: unexpected arguments: %v\n", flag.Args())
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *live {
+		if *liveRequests < 1 || *liveWorkers < 1 {
+			fmt.Fprintln(os.Stderr, "jordbench: -live-requests and -live-workers must be positive")
+			flag.Usage()
+			os.Exit(2)
+		}
+		runLive(*liveOut, *liveRequests, *liveWorkers)
+		return
 	}
 
 	if *trials > 1 {

@@ -8,12 +8,18 @@
 //	jordd [-addr :8034] [-executors N] [-orchestrators N] [-jbsq 4]
 //	      [-queue-cap 256] [-num-pds 4096] [-max-inflight N]
 //	      [-timeout 30s] [-drain-timeout 30s] [-max-body 1048576]
+//	      [-pprof addr]
 //
 // Endpoints:
 //
 //	POST /invoke/{fn}  run a function; the body is its ArgBuf payload
 //	GET  /healthz      200 while serving, 503 while draining
 //	GET  /statsz       live JSON counters and latency percentiles
+//	GET  /varz         runtime internals: pool config, PD supply, queues
+//
+// With -pprof addr, net/http/pprof is served on a separate listener (keep
+// it off the public address), e.g. `-pprof localhost:6060` then
+// `go tool pprof http://localhost:6060/debug/pprof/profile`.
 //
 // Built-in functions (a demo function set exercising the runtime,
 // including nested calls): echo, upper, hash, sleep, fanout, chain.
@@ -29,6 +35,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 	"os"
 	"os/signal"
 	"strings"
@@ -54,6 +62,7 @@ func main() {
 		timeout       = flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
 		maxBody       = flag.Int64("max-body", 1<<20, "max /invoke payload bytes")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Var(executors, "executors", "executor goroutines (0 = GOMAXPROCS)")
 	flag.Var(orchestrators, "orchestrators", "orchestrator goroutines (0 = executors/8)")
@@ -85,6 +94,21 @@ func main() {
 
 	d := jord.NewServer(cfg)
 	registerBuiltins(d)
+
+	if *pprofAddr != "" {
+		// pprof rides DefaultServeMux (the blank net/http/pprof import) on
+		// its own listener so profiling never shares a port with /invoke.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof listen: %v", err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {

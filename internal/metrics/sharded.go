@@ -1,0 +1,71 @@
+package metrics
+
+// ShardedHistogram spreads Record traffic across per-shard Histograms so
+// concurrent recorders (the live path's executors) never contend on one
+// mutex, and merges the shards on every read. Writers are expected to be
+// orders of magnitude more frequent than readers (/statsz polls, test
+// assertions), so the merge cost sits on the cold side.
+//
+// The zero value is ready to use: until SetShards is called, all records
+// land in a single fallback histogram, which keeps the type drop-in
+// compatible with Histogram for single-recorder users.
+type ShardedHistogram struct {
+	// shards are individually heap-allocated so adjacent shards do not
+	// share cache lines through one backing array.
+	shards   []*Histogram
+	fallback Histogram
+}
+
+// SetShards sizes the histogram for n concurrent recorders. It must be
+// called before any Record traffic (the live pool calls it at Start, while
+// the registry is frozen and no executor is running).
+func (s *ShardedHistogram) SetShards(n int) {
+	s.shards = make([]*Histogram, n)
+	for i := range s.shards {
+		s.shards[i] = &Histogram{}
+	}
+}
+
+// RecordShard adds one sample on the given shard. Out-of-range shards
+// (including any shard before SetShards) fall back to the shared histogram.
+func (s *ShardedHistogram) RecordShard(shard int, v int64) {
+	if shard >= 0 && shard < len(s.shards) {
+		s.shards[shard].Record(v)
+		return
+	}
+	s.fallback.Record(v)
+}
+
+// Record adds one sample on the fallback shard (single-recorder use).
+func (s *ShardedHistogram) Record(v int64) { s.fallback.Record(v) }
+
+// merged folds the fallback and every shard into one histogram.
+func (s *ShardedHistogram) merged() *Histogram {
+	var m Histogram
+	m.Merge(&s.fallback)
+	for _, h := range s.shards {
+		m.Merge(h)
+	}
+	return &m
+}
+
+// Count returns the total number of samples across all shards.
+func (s *ShardedHistogram) Count() uint64 {
+	n := s.fallback.Count()
+	for _, h := range s.shards {
+		n += h.Count()
+	}
+	return n
+}
+
+// Mean returns the sample mean across all shards.
+func (s *ShardedHistogram) Mean() float64 { return s.merged().Mean() }
+
+// Percentile returns the merged p-th percentile.
+func (s *ShardedHistogram) Percentile(p float64) int64 { return s.merged().Percentile(p) }
+
+// Snapshot returns the merged headline statistics.
+func (s *ShardedHistogram) Snapshot() Snapshot { return s.merged().Snapshot() }
+
+// String summarizes the merged distribution.
+func (s *ShardedHistogram) String() string { return s.merged().String() }

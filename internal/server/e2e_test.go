@@ -152,6 +152,26 @@ func TestEndToEndNestedChain(t *testing.T) {
 			t.Fatalf("%s: degenerate latency histogram p50=%f p99=%f", name, f.P50Us, f.P99Us)
 		}
 	}
+
+	resp, err = client.Get(base + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vz gateway.Varz
+	err = json.NewDecoder(resp.Body).Decode(&vz)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vz.Executors <= 0 || vz.NumPDs <= 0 || vz.PDReserve <= 0 || vz.PDShards <= 0 {
+		t.Fatalf("/varz config not populated: %+v", vz)
+	}
+	if vz.PDFree != vz.NumPDs || vz.PDLive != 0 {
+		t.Fatalf("/varz PD supply at quiescence: free=%d live=%d num=%d", vz.PDFree, vz.PDLive, vz.NumPDs)
+	}
+	if vz.Cgets < 2*n || vz.Cgets != vz.Cputs {
+		t.Fatalf("/varz churn: cgets=%d cputs=%d, want matched and >= %d", vz.Cgets, vz.Cputs, 2*n)
+	}
 }
 
 // TestEndToEndUnknownAndDrain covers the gateway's error surface: 404 for

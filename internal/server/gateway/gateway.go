@@ -1,7 +1,7 @@
-// Package gateway is the live serving path's HTTP front end: the three
-// jordd endpoints (POST /invoke/{fn}, GET /healthz, GET /statsz) in front
-// of the worker pool, with admission control, per-request deadlines, and
-// drain awareness. It plays the role tinyFaaS-style reverse proxies and
+// Package gateway is the live serving path's HTTP front end: the jordd
+// endpoints (POST /invoke/{fn}, GET /healthz, GET /statsz, GET /varz) in
+// front of the worker pool, with admission control, per-request deadlines,
+// and drain awareness. It plays the role tinyFaaS-style reverse proxies and
 // faasd's gateway play in single-binary FaaS daemons, but dispatches into
 // in-process protection domains instead of containers.
 package gateway
@@ -51,6 +51,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /invoke/{fn}", g.handleInvoke)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /statsz", g.handleStatsz)
+	mux.HandleFunc("GET /varz", g.handleVarz)
 	return mux
 }
 
@@ -218,4 +219,58 @@ func (g *Gateway) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(g.Snapshot())
+}
+
+// Varz is the /varz document: the pool's effective configuration plus the
+// runtime gauges an operator checks first when the hot path misbehaves —
+// PD supply (free count vs reserve), allocation churn, and queue depths.
+// Where /statsz is per-function serving metrics, /varz is the runtime's
+// own internals.
+type Varz struct {
+	Executors        int `json:"executors"`
+	Orchestrators    int `json:"orchestrators"`
+	JBSQBound        int `json:"jbsq_bound"`
+	ExternalQueueCap int `json:"external_queue_cap"`
+	NumPDs           int `json:"num_pds"`
+	PDReserve        int `json:"pd_reserve"`
+	PDShards         int `json:"pd_shards"`
+
+	PDFree   int    `json:"pd_free"`
+	PDLive   int    `json:"pd_live"`
+	Cgets    uint64 `json:"cgets"`
+	Cputs    uint64 `json:"cputs"`
+	Faults   uint64 `json:"isolation_faults"`
+	Draining bool   `json:"draining"`
+
+	ExternalQueue int `json:"external_queue_depth"`
+	InternalQueue int `json:"internal_queue_depth"`
+	ExecutorQueue int `json:"executor_queue_depth"`
+}
+
+func (g *Gateway) handleVarz(w http.ResponseWriter, _ *http.Request) {
+	cfg := g.Pool.Config().Normalized()
+	tab := g.Pool.Table()
+	ext, internal, execQ := g.Pool.QueueDepths()
+	doc := Varz{
+		Executors:        cfg.Executors,
+		Orchestrators:    cfg.Orchestrators,
+		JBSQBound:        cfg.JBSQBound,
+		ExternalQueueCap: cfg.ExternalQueueCap,
+		NumPDs:           cfg.NumPDs,
+		PDReserve:        cfg.PDReserve,
+		PDShards:         tab.Shards(),
+		PDFree:           tab.FreeCount(),
+		PDLive:           tab.LivePDs(),
+		Cgets:            tab.Cgets(),
+		Cputs:            tab.Cputs(),
+		Faults:           tab.Faults(),
+		Draining:         g.draining.Load(),
+		ExternalQueue:    ext,
+		InternalQueue:    internal,
+		ExecutorQueue:    execQ,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
 }

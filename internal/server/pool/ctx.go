@@ -10,8 +10,10 @@ import (
 
 // Ctx is the live programming interface a function body sees — the same
 // Listing 1 surface as the simulator's core.Ctx (call/async/wait over
-// zero-copy ArgBufs), implemented over real goroutines. It satisfies
-// router.Ctx.
+// zero-copy ArgBufs), implemented over real goroutines. It is embedded in
+// the continuation (no per-invocation allocation) and satisfies
+// router.Ctx. It must not be retained past the function body's return:
+// the invocation's bookkeeping recycles once the body finishes.
 type Ctx struct {
 	pool *Pool
 	cont *continuation
@@ -64,17 +66,15 @@ func (c *Ctx) Async(fn string, payload []byte) (router.Cookie, error) {
 	// runtime (pmove), exactly as core.Ctx.submit stages nested calls.
 	buf := p.tab.NewVMA(cont.pd, payload, vmatable.PermRW)
 	if err := buf.Pmove(cont.pd, ExecutorPD, vmatable.PermRW); err != nil {
+		putVMA(buf)
 		return 0, err
 	}
-	child := &request{
-		fn:       def,
-		buf:      buf,
-		external: false,
-		arrival:  time.Now(),
-		deadline: cont.req.deadline, // nested work inherits the deadline
-		parent:   cont,
-		done:     make(chan struct{}),
-	}
+	child := p.getRequest()
+	child.fn = def
+	child.buf = buf
+	child.arrival = time.Now()
+	child.deadline = cont.req.deadline // nested work inherits the deadline
+	child.parent = cont
 	cont.mu.Lock()
 	cont.children = append(cont.children, child)
 	ck := router.Cookie(len(cont.children) - 1)
@@ -101,12 +101,10 @@ func (c *Ctx) Wait(ck router.Cookie) ([]byte, error) {
 	cont.children[ck] = nil
 
 	// Decide atomically with the child's completion handshake whether to
-	// suspend: finish() closes child.done before it checks cont.waiting
+	// suspend: finish() flips child.completed and checks cont.waiting
 	// under this same lock, so exactly one side sees the other.
 	suspend := false
-	select {
-	case <-child.done:
-	default:
+	if !child.completed {
 		cont.waiting = child
 		suspend = true
 	}
@@ -120,13 +118,19 @@ func (c *Ctx) Wait(ck router.Cookie) ([]byte, error) {
 		<-cont.resumeCh
 	}
 
-	if child.err != nil {
-		return nil, child.err
-	}
-	// Collect: the result ArgBuf returns to this PD (pmove) and is read
-	// in place — zero-copy, like the simulator's collect path.
-	if err := child.buf.Pmove(ExecutorPD, cont.pd, vmatable.PermRW); err != nil {
+	if err := child.err; err != nil {
+		c.pool.releaseRequest(child)
 		return nil, err
 	}
-	return child.buf.Read(cont.pd)
+	// Collect: the result ArgBuf returns to this PD (pmove) and is read
+	// in place — zero-copy, like the simulator's collect path. Once read,
+	// the child request and ArgBuf structure recycle; the returned bytes
+	// stay valid (see VMA.Read).
+	if err := child.buf.Pmove(ExecutorPD, cont.pd, vmatable.PermRW); err != nil {
+		c.pool.putRequest(child)
+		return nil, err
+	}
+	b, err := child.buf.Read(cont.pd)
+	c.pool.releaseRequest(child)
+	return b, err
 }

@@ -1,0 +1,94 @@
+package pool
+
+// deque is a growable ring buffer used for every queue on the hot path:
+// executor run queues, resume lists, and the orchestrators' external and
+// internal queues. The slice-based queues it replaces reallocated on every
+// front-insert (`append([]*T{x}, q...)`) and shifted on every mid-delete;
+// the ring buffer makes PushFront/PopFront O(1) and amortizes growth, so a
+// steady-state queue stops allocating entirely. Not safe for concurrent
+// use — callers hold their own locks, as the queues always did.
+type deque[T any] struct {
+	buf  []T
+	head int // index of the front element
+	n    int // number of elements
+}
+
+// Len returns the number of queued elements.
+func (d *deque[T]) Len() int { return d.n }
+
+// grow doubles the backing array, re-linearizing the ring at index 0.
+func (d *deque[T]) grow() {
+	nc := len(d.buf) * 2
+	if nc == 0 {
+		nc = 8
+	}
+	nb := make([]T, nc)
+	for i := 0; i < d.n; i++ {
+		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf, d.head = nb, 0
+}
+
+// PushBack appends x at the tail.
+func (d *deque[T]) PushBack(x T) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = x
+	d.n++
+}
+
+// PushFront prepends x at the head (requeue after a lost PD race).
+func (d *deque[T]) PushFront(x T) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = x
+	d.n++
+}
+
+// PopFront removes and returns the head element. ok is false when empty.
+func (d *deque[T]) PopFront() (x T, ok bool) {
+	if d.n == 0 {
+		return x, false
+	}
+	var zero T
+	x = d.buf[d.head]
+	d.buf[d.head] = zero // drop the reference so pooled objects can recycle
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	return x, true
+}
+
+// At returns the i-th element from the front without removing it.
+// i must be in [0, Len).
+func (d *deque[T]) At(i int) T {
+	return d.buf[(d.head+i)%len(d.buf)]
+}
+
+// RemoveAt removes and returns the i-th element from the front, shifting
+// whichever side of the ring is shorter. i must be in [0, Len). The common
+// cases — i == 0 (dequeue) and i near the head (skipping a PD-gated
+// external in front of an internal) — touch only a few slots.
+func (d *deque[T]) RemoveAt(i int) T {
+	m := len(d.buf)
+	x := d.buf[(d.head+i)%m]
+	var zero T
+	if i < d.n-i-1 {
+		// Shift the front forward over the hole.
+		for j := i; j > 0; j-- {
+			d.buf[(d.head+j)%m] = d.buf[(d.head+j-1)%m]
+		}
+		d.buf[d.head] = zero
+		d.head = (d.head + 1) % m
+	} else {
+		// Shift the back backward over the hole.
+		for j := i; j < d.n-1; j++ {
+			d.buf[(d.head+j)%m] = d.buf[(d.head+j+1)%m]
+		}
+		d.buf[(d.head+d.n-1)%m] = zero
+	}
+	d.n--
+	return x
+}

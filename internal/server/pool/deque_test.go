@@ -1,0 +1,114 @@
+package pool
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDequeFIFO(t *testing.T) {
+	var d deque[int]
+	if _, ok := d.PopFront(); ok {
+		t.Fatal("pop on empty deque should fail")
+	}
+	for i := 0; i < 100; i++ {
+		d.PushBack(i)
+	}
+	if d.Len() != 100 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	for i := 0; i < 100; i++ {
+		x, ok := d.PopFront()
+		if !ok || x != i {
+			t.Fatalf("pop %d = %d, %v", i, x, ok)
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("len after drain = %d", d.Len())
+	}
+}
+
+func TestDequePushFront(t *testing.T) {
+	var d deque[int]
+	d.PushBack(2)
+	d.PushBack(3)
+	d.PushFront(1)
+	d.PushFront(0)
+	for i := 0; i < 4; i++ {
+		if got := d.At(i); got != i {
+			t.Fatalf("At(%d) = %d", i, got)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if x, _ := d.PopFront(); x != i {
+			t.Fatalf("pop = %d, want %d", x, i)
+		}
+	}
+}
+
+func TestDequeWrapAround(t *testing.T) {
+	// Force head to migrate through the ring repeatedly.
+	var d deque[int]
+	next, want := 0, 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			d.PushBack(next)
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			x, ok := d.PopFront()
+			if !ok || x != want {
+				t.Fatalf("round %d: pop = %d/%v, want %d", round, x, ok, want)
+			}
+			want++
+		}
+	}
+	for d.Len() > 0 {
+		x, _ := d.PopFront()
+		if x != want {
+			t.Fatalf("drain: pop = %d, want %d", x, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained %d, pushed %d", want, next)
+	}
+}
+
+// TestDequeRemoveAt cross-checks RemoveAt against a reference slice under
+// randomized push/remove traffic, covering both shift directions and the
+// ring wrap.
+func TestDequeRemoveAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var d deque[int]
+	var ref []int
+	next := 0
+	for op := 0; op < 5000; op++ {
+		switch {
+		case d.Len() == 0 || rng.Intn(3) != 0:
+			if rng.Intn(4) == 0 {
+				d.PushFront(next)
+				ref = append([]int{next}, ref...)
+			} else {
+				d.PushBack(next)
+				ref = append(ref, next)
+			}
+			next++
+		default:
+			i := rng.Intn(d.Len())
+			got := d.RemoveAt(i)
+			want := ref[i]
+			ref = append(ref[:i], ref[i+1:]...)
+			if got != want {
+				t.Fatalf("op %d: RemoveAt(%d) = %d, want %d", op, i, got, want)
+			}
+		}
+		if d.Len() != len(ref) {
+			t.Fatalf("op %d: len %d != ref %d", op, d.Len(), len(ref))
+		}
+		for i, want := range ref {
+			if got := d.At(i); got != want {
+				t.Fatalf("op %d: At(%d) = %d, want %d", op, i, got, want)
+			}
+		}
+	}
+}

@@ -14,20 +14,25 @@ import (
 // bounded queue of dispatched-but-unstarted requests and a list of
 // suspended continuations ready to resume. Resumptions have priority so
 // in-flight work drains before new work starts (§3.4). The executor never
-// blocks inside a function: invocations run as continuation goroutines
-// that hand the "core" back when they finish or suspend on a nested call.
+// blocks inside a function: invocations run as continuations on pooled
+// runner goroutines that hand the "core" back when they finish or suspend
+// on a nested call.
 type executor struct {
 	pool *Pool
 	id   int
 	orch *orchestrator
 
+	// pds is this executor's private PD free-list cache over the table's
+	// sharded global pool — cget/cput usually touch only this list.
+	pds *pdCache
+
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []*request
-	resume []*continuation
+	queue  deque[*request]
+	resume deque[*continuation]
 	closed bool
 
-	// qlen mirrors len(queue) for the orchestrators' lock-free JBSQ
+	// qlen mirrors queue.Len() for the orchestrators' lock-free JBSQ
 	// probes (the live stand-in for the simulator's cross-core queue-
 	// length loads).
 	qlen atomic.Int32
@@ -38,7 +43,7 @@ type executor struct {
 }
 
 func newExecutor(p *Pool, id int) *executor {
-	e := &executor{pool: p, id: id}
+	e := &executor{pool: p, id: id, pds: p.tab.newCache()}
 	e.cond = sync.NewCond(&e.mu)
 	return e
 }
@@ -47,8 +52,8 @@ func newExecutor(p *Pool, id int) *executor {
 // while holding o.mu and e.mu together).
 func (e *executor) enqueue(r *request) {
 	e.mu.Lock()
-	e.queue = append(e.queue, r)
-	e.qlen.Store(int32(len(e.queue)))
+	e.queue.PushBack(r)
+	e.qlen.Store(int32(e.queue.Len()))
 	e.cond.Signal()
 	e.mu.Unlock()
 }
@@ -56,7 +61,7 @@ func (e *executor) enqueue(r *request) {
 // readyResume queues a suspended continuation for resumption.
 func (e *executor) readyResume(c *continuation) {
 	e.mu.Lock()
-	e.resume = append(e.resume, c)
+	e.resume.PushBack(c)
 	e.cond.Signal()
 	e.mu.Unlock()
 }
@@ -82,18 +87,15 @@ func (e *executor) run() {
 	defer e.pool.loops.Done()
 	e.mu.Lock()
 	for {
-		if len(e.resume) > 0 {
-			c := e.resume[0]
-			e.resume = e.resume[1:]
+		if c, ok := e.resume.PopFront(); ok {
 			e.mu.Unlock()
 			e.resumeContinuation(c)
 			e.mu.Lock()
 			continue
 		}
 		if idx := e.nextRunnable(); idx >= 0 {
-			r := e.queue[idx]
-			e.queue = append(e.queue[:idx], e.queue[idx+1:]...)
-			e.qlen.Store(int32(len(e.queue)))
+			r := e.queue.RemoveAt(idx)
+			e.qlen.Store(int32(e.queue.Len()))
 			e.mu.Unlock()
 			// Capacity freed: a stalled orchestrator can dispatch again.
 			e.orch.capacityFreed()
@@ -101,13 +103,23 @@ func (e *executor) run() {
 			e.mu.Lock()
 			continue
 		}
-		if e.closed && len(e.queue) == 0 && len(e.resume) == 0 {
+		if e.closed && e.queue.Len() == 0 && e.resume.Len() == 0 {
 			e.mu.Unlock()
 			return
 		}
-		// Nothing runnable: empty queues, or queued work gated on PD
-		// supply (a Cput or a resumption will wake us — resumptions are
-		// what free PDs, so this cannot livelock).
+		if e.queue.Len() > 0 {
+			// Queued work gated on PD supply. Publish that we are about to
+			// stall, then re-check: Cput increments the free counter before
+			// testing the flag, so either our re-check sees the new supply
+			// or the Cput sees the flag and wakes us — no lost wakeup.
+			e.pool.pdWait.Store(true)
+			if e.nextRunnable() >= 0 {
+				continue
+			}
+		}
+		// Nothing runnable: a dispatch, a resumption, or a Cput (via
+		// pdWait) will wake us — resumptions are what free PDs, so this
+		// cannot livelock.
 		e.cond.Wait()
 	}
 }
@@ -118,10 +130,11 @@ func (e *executor) run() {
 // the children that suspended parents wait on — §3.3's internal priority
 // extended from queue slots to the PD resource, so a PD-starved external
 // at the head of the queue cannot block an internal behind it. The check
-// here is advisory (lock-free against the table); Cget re-checks
+// here is advisory (one atomic load against the table); Cget re-checks
 // atomically and losers are requeued. Called with e.mu held.
 func (e *executor) nextRunnable() int {
-	if len(e.queue) == 0 {
+	n := e.queue.Len()
+	if n == 0 {
 		return -1
 	}
 	free := e.pool.tab.FreeCount()
@@ -129,8 +142,8 @@ func (e *executor) nextRunnable() int {
 		return -1
 	}
 	extOK := free > e.pool.cfg.PDReserve
-	for i, r := range e.queue {
-		if r.external && !extOK {
+	for i := 0; i < n; i++ {
+		if e.queue.At(i).external && !extOK {
 			continue
 		}
 		return i
@@ -142,26 +155,28 @@ func (e *executor) nextRunnable() int {
 // race between the capacity check and Cget).
 func (e *executor) requeueFront(r *request) {
 	e.mu.Lock()
-	e.queue = append([]*request{r}, e.queue...)
-	e.qlen.Store(int32(len(e.queue)))
+	e.queue.PushFront(r)
+	e.qlen.Store(int32(e.queue.Len()))
 	e.mu.Unlock()
 }
 
-// startInvocation is the live Figure 4 flow: initialize the PD (code
-// pcopy, ArgBuf pmove), launch the continuation goroutine (ccall), and —
-// if it finishes without suspending — tear everything down.
+// startInvocation is the live Figure 4 flow: initialize the PD (ArgBuf
+// pmove; code regions are global-RX VMAs, the VTE G bit, so no per-
+// invocation code grant is needed), run the continuation on a pooled
+// runner goroutine (ccall), and — if it finishes without suspending —
+// tear everything down.
 func (e *executor) startInvocation(r *request) {
 	p := e.pool
 
 	// Deadline/cancellation check at dequeue: a request that died in the
 	// queue is completed without running (the gateway already answered).
 	if r.canceled.Load() {
-		p.finish(r, context.Canceled)
+		p.finish(e.id, r, context.Canceled)
 		return
 	}
 	if !r.deadline.IsZero() && time.Now().After(r.deadline) {
 		p.stats.Expired.Add(1)
-		p.finish(r, context.DeadlineExceeded)
+		p.finish(e.id, r, context.DeadlineExceeded)
 		return
 	}
 
@@ -169,39 +184,34 @@ func (e *executor) startInvocation(r *request) {
 	if r.external {
 		reserve = p.cfg.PDReserve
 	}
-	pd, err := p.tab.CgetAbove(reserve)
+	pd, err := p.tab.cgetCached(reserve, e.pds)
 	if err != nil {
 		// PD supply changed between the loop's capacity check and now;
 		// put the request back and let the loop stall until a Cput.
 		e.requeueFront(r)
 		return
 	}
-	c := &continuation{
-		req:      r,
-		exec:     e,
-		pd:       pd,
-		yieldCh:  make(chan struct{}),
-		resumeCh: make(chan struct{}),
-	}
+	c := p.getCont()
+	c.req = r
+	c.exec = e
+	c.pd = pd
 
-	// --- Initialize PD (Figure 4): share code, transfer the ArgBuf ---
-	code := p.code[r.fn.ID]
-	if err := code.Pcopy(ExecutorPD, pd, vmatable.PermRX); err != nil {
-		_ = p.tab.Cput(pd)
-		p.finish(r, err)
-		return
-	}
+	// --- Initialize PD (Figure 4): the function's code VMA is global RX
+	// (every PD may execute it — the Fig. 8 G bit), so only the ArgBuf
+	// ownership transfer remains per-invocation. ---
 	if err := r.buf.Pmove(ExecutorPD, pd, vmatable.PermRW); err != nil {
-		_ = code.Pmove(pd, ExecutorPD, vmatable.PermRX)
-		_ = p.tab.Cput(pd)
-		p.finish(r, err)
+		_ = p.tab.cputCached(pd, e.pds)
+		p.putCont(c)
+		p.finish(e.id, r, err)
 		return
 	}
 
 	e.started.Add(1)
-	// --- Enter the PD (ccall): launch the continuation and lend it the
-	// executor until it yields ---
-	go c.run(p)
+	// --- Enter the PD (ccall): hand the continuation to a pooled runner
+	// goroutine and lend it the executor until it yields ---
+	rn := p.getRunner()
+	c.runner = rn
+	rn.work <- c
 	<-c.yieldCh
 	if c.finished {
 		e.finishInvocation(c)
@@ -221,8 +231,8 @@ func (e *executor) resumeContinuation(c *continuation) {
 }
 
 // finishInvocation is the right half of Figure 4: write the outputs into
-// the ArgBuf, transfer it back to the runtime domain, revoke the code
-// grant, destroy the PD, then complete the request.
+// the ArgBuf, transfer it back to the runtime domain, destroy the PD, then
+// complete the request and recycle the continuation and its runner.
 func (e *executor) finishInvocation(c *continuation) {
 	p := e.pool
 	r := c.req
@@ -236,29 +246,51 @@ func (e *executor) finishInvocation(c *continuation) {
 		}
 	}
 	// Transfer the ArgBuf (now holding outputs) back to the runtime
-	// domain, and revoke the PD's code grant (pmove back onto the
-	// executor domain's retained permission).
+	// domain and destroy the PD. The code region is global (G bit), so
+	// there is no per-invocation grant to revoke.
 	if err := r.buf.Pmove(c.pd, ExecutorPD, vmatable.PermRW); err != nil && ferr == nil {
 		ferr = err
 	}
-	if err := p.code[r.fn.ID].Pmove(c.pd, ExecutorPD, vmatable.PermRX); err != nil && ferr == nil {
-		ferr = err
-	}
-	if err := p.tab.Cput(c.pd); err != nil && ferr == nil {
+	if err := p.tab.cputCached(c.pd, e.pds); err != nil && ferr == nil {
 		ferr = err
 	}
 	e.completed.Add(1)
-	p.finish(r, ferr)
+	// The runner finished its final yield and is parked on its work
+	// channel again; re-pool it, then recycle the continuation.
+	p.putRunner(c.runner)
+	p.putCont(c)
+	p.finish(e.id, r, ferr)
 }
 
-// continuation is one executing function instance: its goroutine, its
-// protection domain, and its nested-call state — the live analogue of
+// runner is a parked goroutine that executes continuations. Instead of
+// spawning a goroutine per invocation, executors hand continuations to
+// pooled runners over a channel (park/unpark instead of spawn/exit); a
+// runner whose continuation suspends stays bound to it until the final
+// resume, exactly as the invocation-private goroutine did.
+type runner struct {
+	work chan *continuation
+}
+
+// loop executes continuations until the pool closes the work channel.
+// After execute's final yieldCh send, the runner touches nothing of the
+// continuation — the executor re-pools the runner (and recycles the
+// continuation) on its side of the handshake.
+func (rn *runner) loop(p *Pool) {
+	for c := range rn.work {
+		c.execute(p)
+	}
+}
+
+// continuation is one executing function instance: its runner goroutine,
+// its protection domain, and its nested-call state — the live analogue of
 // core.Continuation. The yield/resume channels are the cexit/center
-// handshake with the owning executor.
+// handshake with the owning executor. Continuations are recycled through
+// a pool; their channels and children slice survive reuse.
 type continuation struct {
-	req  *request
-	exec *executor
-	pd   PDID
+	req    *request
+	exec   *executor
+	pd     PDID
+	runner *runner
 
 	// yieldCh: continuation -> executor, "I finished or suspended".
 	// resumeCh: executor -> continuation, "your child completed, go on".
@@ -272,12 +304,16 @@ type continuation struct {
 	finished bool
 	resp     []byte
 	err      error
+
+	// ctx is the invocation's programming interface, embedded so entering
+	// a function allocates nothing.
+	ctx Ctx
 }
 
-// run executes the function body and hands the executor back. A panicking
+// execute runs the function body and hands the executor back. A panicking
 // body is caught and surfaced as an invocation error — one function must
 // not take down the worker (the whole point of the paper's isolation).
-func (c *continuation) run(p *Pool) {
+func (c *continuation) execute(p *Pool) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			c.err = fmt.Errorf("function %s panicked: %v", c.req.fn.Name, rec)
@@ -285,6 +321,7 @@ func (c *continuation) run(p *Pool) {
 		c.finished = true
 		c.yieldCh <- struct{}{}
 	}()
-	ctx := &Ctx{pool: p, cont: c}
-	c.resp, c.err = c.req.fn.Body(ctx)
+	c.ctx.pool = p
+	c.ctx.cont = c
+	c.resp, c.err = c.req.fn.Body(&c.ctx)
 }

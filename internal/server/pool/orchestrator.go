@@ -14,8 +14,8 @@ type orchestrator struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	extQ   []*request
-	intQ   []*request
+	extQ   deque[*request]
+	intQ   deque[*request]
 	closed bool
 
 	// rr rotates the JBSQ scan's starting point so ties spread across the
@@ -37,10 +37,10 @@ func (o *orchestrator) submitExternal(r *request) error {
 	if o.closed || o.pool.draining.Load() {
 		return ErrDraining
 	}
-	if len(o.extQ) >= o.pool.cfg.ExternalQueueCap {
+	if o.extQ.Len() >= o.pool.cfg.ExternalQueueCap {
 		return ErrSaturated
 	}
-	o.extQ = append(o.extQ, r)
+	o.extQ.PushBack(r)
 	o.cond.Signal()
 	return nil
 }
@@ -50,7 +50,7 @@ func (o *orchestrator) submitExternal(r *request) error {
 // rejecting it would deadlock the suspended parent (§3.3).
 func (o *orchestrator) submitInternal(r *request) {
 	o.mu.Lock()
-	o.intQ = append(o.intQ, r)
+	o.intQ.PushBack(r)
 	o.cond.Signal()
 	o.mu.Unlock()
 }
@@ -75,7 +75,7 @@ func (o *orchestrator) close() {
 func (o *orchestrator) depths() (ext, internal int) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return len(o.extQ), len(o.intQ)
+	return o.extQ.Len(), o.intQ.Len()
 }
 
 // run is the dispatch loop: pick the next request — internal queue first —
@@ -87,17 +87,17 @@ func (o *orchestrator) run() {
 	defer o.pool.loops.Done()
 	o.mu.Lock()
 	for {
-		if o.closed && len(o.intQ) == 0 && len(o.extQ) == 0 {
+		if o.closed && o.intQ.Len() == 0 && o.extQ.Len() == 0 {
 			o.mu.Unlock()
 			return
 		}
 		var r *request
 		internal := false
 		switch {
-		case len(o.intQ) > 0:
-			r, internal = o.intQ[0], true
-		case len(o.extQ) > 0:
-			r = o.extQ[0]
+		case o.intQ.Len() > 0:
+			r, internal = o.intQ.At(0), true
+		case o.extQ.Len() > 0:
+			r = o.extQ.At(0)
 		default:
 			o.cond.Wait()
 			continue
@@ -113,9 +113,9 @@ func (o *orchestrator) run() {
 
 		// Pop from the owning queue, then hand off outside the lock.
 		if internal {
-			o.intQ = o.intQ[1:]
+			o.intQ.PopFront()
 		} else {
-			o.extQ = o.extQ[1:]
+			o.extQ.PopFront()
 		}
 		o.mu.Unlock()
 		target.enqueue(r)

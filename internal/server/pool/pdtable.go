@@ -8,21 +8,29 @@
 //     Internal requests have absolute priority and bypass the JBSQ bound,
 //     the paper's §3.3 deadlock-avoidance design.
 //   - Executor goroutines run each invocation as a suspendable
-//     continuation goroutine inside a fresh protection domain: a nested
-//     Call suspends the continuation (cexit) and returns the executor to
-//     its loop, so executors never block on children.
+//     continuation inside a fresh protection domain: a nested Call
+//     suspends the continuation (cexit) and returns the executor to its
+//     loop, so executors never block on children.
 //   - Per-invocation ArgBufs are VMAs whose ownership moves between
 //     protection domains with pmove/pcopy, enforced by software permission
-//     checks (Table) that mirror internal/privlib's security policy.
+//     checks that mirror internal/privlib's security policy.
 //
 // Where the simulator charges modelled latencies for these operations, the
-// live path pays their real cost; the semantics — who may touch what, in
-// which domain, in what order — are the same.
+// live path pays their real cost, so the hot path is engineered like the
+// paper engineers its hardware: PD allocation runs through per-executor
+// free-list caches over a sharded global pool (the live analogue of
+// PrivLib's per-core free lists), VMA permissions live in a fixed inline
+// sub-array with an overflow list (the Fig. 8 VTE layout), continuations
+// run on recycled parked goroutines, and per-function statistics shard per
+// executor. The semantics — who may touch what, in which domain, in what
+// order — are unchanged.
 package pool
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"jord/internal/mem/vmatable"
 )
@@ -52,20 +60,55 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("jord fault: %s from pd %d: %s", f.Op, f.PD, f.Detail)
 }
 
-// Table manages the live PD space: a free list of PD IDs plus fault
-// accounting. It is the live-path analogue of PrivLib's cget/cput PD
-// free list, safe for concurrent use.
-type Table struct {
+// pdBatch is how many PD IDs a per-executor cache pulls from (or flushes
+// to) the global shards at once — PrivLib refills its per-core free lists
+// in batches the same way, so the shard locks are touched once per batch,
+// not once per invocation.
+const pdBatch = 16
+
+// pdCacheMax bounds a per-executor cache; beyond it, Cput flushes a batch
+// back to the shards so free IDs cannot strand on an idle executor.
+const pdCacheMax = 2 * pdBatch
+
+// pdShard is one slice of the global free list, under its own lock.
+type pdShard struct {
 	mu   sync.Mutex
 	free []PDID
-	live map[PDID]bool
+	_    [32]byte // keep neighbouring shard locks off one cache line
+}
+
+// Table manages the live PD space: sharded free lists of PD IDs, an atomic
+// free counter for the §3.3 reserve check, per-PD live flags for lifecycle
+// (double-free) enforcement, and fault accounting. It is the live-path
+// analogue of PrivLib's cget/cput PD free list, safe for concurrent use.
+//
+// The free counter counts every unallocated PD — whether it sits in a
+// global shard or in a per-executor cache — so the internal-priority
+// reserve invariant ("external requests start only while more than
+// PDReserve PDs remain free") holds across all shards and caches: Cget
+// reserves a unit with one CAS on the counter before touching any list.
+type Table struct {
+	nfree  atomic.Int64  // unallocated PDs (shards + caches)
+	shards []pdShard     // IDs round-robined across shards
+	live   []atomic.Bool // indexed by PDID; true while allocated
+	numPDs int
+
+	// caches registered by executors (newCache); Cget steals from them
+	// when the shards run dry but the counter says IDs exist.
+	cacheMu sync.Mutex
+	caches  []*pdCache
+
+	// scan rotates the starting shard for refills and uncached gets so
+	// concurrent allocators spread across shard locks instead of all
+	// hammering shard 0.
+	scan atomic.Uint32
 
 	// onFree, when set (by the pool), runs after every Cput so executors
 	// stalled on PD exhaustion can re-check capacity.
 	onFree func()
 
-	cgets, cputs uint64
-	faults       uint64
+	cgets, cputs atomic.Uint64
+	faults       atomic.Uint64
 }
 
 // NewTable creates a PD space with IDs 1..numPDs (0 is ExecutorPD).
@@ -73,15 +116,165 @@ func NewTable(numPDs int) *Table {
 	if numPDs < 1 {
 		numPDs = 1
 	}
-	t := &Table{live: map[PDID]bool{ExecutorPD: true}}
-	for id := numPDs; id >= 1; id-- {
-		t.free = append(t.free, PDID(id))
+	// One shard per core, clamped: a floor of 4 keeps the sharded paths
+	// exercised on small machines, a ceiling of 16 bounds the scan cost
+	// when the shards run dry.
+	ns := runtime.GOMAXPROCS(0)
+	if ns < 4 {
+		ns = 4
 	}
+	if ns > 16 {
+		ns = 16
+	}
+	if ns > numPDs {
+		ns = numPDs
+	}
+	t := &Table{
+		shards: make([]pdShard, ns),
+		live:   make([]atomic.Bool, numPDs+1),
+		numPDs: numPDs,
+	}
+	t.live[ExecutorPD].Store(true)
+	for id := numPDs; id >= 1; id-- {
+		s := &t.shards[(id-1)%ns]
+		s.free = append(s.free, PDID(id))
+	}
+	t.nfree.Store(int64(numPDs))
 	return t
 }
 
+// pdCache is one executor's private PD free list. The owner refills it in
+// batches from the table's shards; other executors may steal from it under
+// its lock when the shards run dry, so no free ID can strand here.
+type pdCache struct {
+	t    *Table
+	mu   sync.Mutex
+	free []PDID
+}
+
+// newCache registers a per-executor free-list cache.
+func (t *Table) newCache() *pdCache {
+	c := &pdCache{t: t, free: make([]PDID, 0, pdCacheMax+pdBatch)}
+	t.cacheMu.Lock()
+	t.caches = append(t.caches, c)
+	t.cacheMu.Unlock()
+	return c
+}
+
+// reserveOne claims one unit of PD supply iff more than reserve units
+// remain — the atomic-counter fast path for the §3.3 reserve check. A
+// successful reservation entitles the caller to exactly one physical ID
+// from some shard or cache.
+func (t *Table) reserveOne(reserve int) bool {
+	for {
+		cur := t.nfree.Load()
+		if cur <= int64(reserve) {
+			return false
+		}
+		if t.nfree.CompareAndSwap(cur, cur-1) {
+			return true
+		}
+	}
+}
+
+// takeID redeems a successful reservation for a physical PD ID. The
+// counter guarantees an ID exists in some shard or cache; the loop rides
+// out the transient window in which a batch is in flight between lists.
+func (t *Table) takeID(cache *pdCache) PDID {
+	for {
+		if cache != nil {
+			cache.mu.Lock()
+			if n := len(cache.free); n > 0 {
+				pd := cache.free[n-1]
+				cache.free = cache.free[:n-1]
+				cache.mu.Unlock()
+				return pd
+			}
+			cache.mu.Unlock()
+			if pd, ok := t.refill(cache); ok {
+				return pd
+			}
+		} else if pd, ok := t.takeFromShards(); ok {
+			return pd
+		}
+		// Shards (and own cache) empty: the reserved ID must be in some
+		// other executor's cache — steal it.
+		if pd, ok := t.steal(cache); ok {
+			return pd
+		}
+		runtime.Gosched()
+	}
+}
+
+// takeFromShards pops one ID from the first non-empty shard, starting at
+// a rotating index.
+func (t *Table) takeFromShards() (PDID, bool) {
+	start := int(t.cgets.Load()) // cheap rotation; exactness is irrelevant
+	for j := range t.shards {
+		s := &t.shards[(start+j)%len(t.shards)]
+		s.mu.Lock()
+		if n := len(s.free); n > 0 {
+			pd := s.free[n-1]
+			s.free = s.free[:n-1]
+			s.mu.Unlock()
+			return pd, true
+		}
+		s.mu.Unlock()
+	}
+	return 0, false
+}
+
+// refill moves up to pdBatch IDs from one shard into the cache and returns
+// the first of them.
+func (t *Table) refill(cache *pdCache) (PDID, bool) {
+	start := int(t.scan.Add(1))
+	for j := range t.shards {
+		s := &t.shards[(start+j)%len(t.shards)]
+		s.mu.Lock()
+		n := len(s.free)
+		if n == 0 {
+			s.mu.Unlock()
+			continue
+		}
+		take := pdBatch
+		if take > n {
+			take = n
+		}
+		batch := s.free[n-take:]
+		pd := batch[take-1]
+		cache.mu.Lock()
+		cache.free = append(cache.free, batch[:take-1]...)
+		cache.mu.Unlock()
+		s.free = s.free[:n-take]
+		s.mu.Unlock()
+		return pd, true
+	}
+	return 0, false
+}
+
+// steal takes one ID out of another executor's cache.
+func (t *Table) steal(self *pdCache) (PDID, bool) {
+	t.cacheMu.Lock()
+	caches := t.caches
+	t.cacheMu.Unlock()
+	for _, c := range caches {
+		if c == self {
+			continue
+		}
+		c.mu.Lock()
+		if n := len(c.free); n > 0 {
+			pd := c.free[n-1]
+			c.free = c.free[:n-1]
+			c.mu.Unlock()
+			return pd, true
+		}
+		c.mu.Unlock()
+	}
+	return 0, false
+}
+
 // Cget allocates a fresh protection domain (Table 1: cget).
-func (t *Table) Cget() (PDID, error) { return t.CgetAbove(0) }
+func (t *Table) Cget() (PDID, error) { return t.cget(0, nil) }
 
 // CgetAbove allocates a PD only while more than reserve remain free.
 // Executors start external requests with the pool's internal-reserve
@@ -89,40 +282,66 @@ func (t *Table) Cget() (PDID, error) { return t.CgetAbove(0) }
 // internal-priority deadlock avoidance from queue slots to the PD
 // resource: the last PDs are always available to the children that
 // suspended parents are waiting on.
-func (t *Table) CgetAbove(reserve int) (PDID, error) {
-	t.mu.Lock()
-	if len(t.free) <= reserve {
-		if len(t.free) == 0 {
+func (t *Table) CgetAbove(reserve int) (PDID, error) { return t.cget(reserve, nil) }
+
+// cgetCached is CgetAbove through an executor's free-list cache.
+func (t *Table) cgetCached(reserve int, cache *pdCache) (PDID, error) {
+	return t.cget(reserve, cache)
+}
+
+func (t *Table) cget(reserve int, cache *pdCache) (PDID, error) {
+	if !t.reserveOne(reserve) {
+		if t.nfree.Load() <= 0 {
 			// True exhaustion is an accounted fault; a reserve-gated
 			// refusal is ordinary backpressure.
-			t.faults++
+			t.faults.Add(1)
 		}
-		t.mu.Unlock()
 		return 0, &Fault{Op: "cget", PD: ExecutorPD, Detail: "protection domain space exhausted"}
 	}
-	pd := t.free[len(t.free)-1]
-	t.free = t.free[:len(t.free)-1]
-	t.live[pd] = true
-	t.cgets++
-	t.mu.Unlock()
+	pd := t.takeID(cache)
+	t.live[pd].Store(true)
+	t.cgets.Add(1)
 	return pd, nil
 }
 
 // Cput destroys a protection domain, returning its ID to the free list
 // (Table 1: cput).
-func (t *Table) Cput(pd PDID) error {
-	t.mu.Lock()
-	if pd == ExecutorPD || !t.live[pd] {
-		t.faults++
-		t.mu.Unlock()
+func (t *Table) Cput(pd PDID) error { return t.cput(pd, nil) }
+
+// cputCached is Cput through an executor's free-list cache.
+func (t *Table) cputCached(pd PDID, cache *pdCache) error { return t.cput(pd, cache) }
+
+func (t *Table) cput(pd PDID, cache *pdCache) error {
+	if pd == ExecutorPD || int(pd) > t.numPDs || !t.live[pd].CompareAndSwap(true, false) {
+		t.faults.Add(1)
 		return &Fault{Op: "cput", PD: pd, Detail: "not a live user protection domain"}
 	}
-	delete(t.live, pd)
-	t.free = append(t.free, pd)
-	t.cputs++
-	cb := t.onFree
-	t.mu.Unlock()
-	if cb != nil {
+	if cache != nil {
+		cache.mu.Lock()
+		cache.free = append(cache.free, pd)
+		flush := len(cache.free) > pdCacheMax
+		var batch [pdBatch]PDID
+		if flush {
+			n := len(cache.free)
+			copy(batch[:], cache.free[n-pdBatch:])
+			cache.free = cache.free[:n-pdBatch]
+		}
+		cache.mu.Unlock()
+		if flush {
+			s := &t.shards[int(pd)%len(t.shards)]
+			s.mu.Lock()
+			s.free = append(s.free, batch[:]...)
+			s.mu.Unlock()
+		}
+	} else {
+		s := &t.shards[int(pd)%len(t.shards)]
+		s.mu.Lock()
+		s.free = append(s.free, pd)
+		s.mu.Unlock()
+	}
+	t.nfree.Add(1)
+	t.cputs.Add(1)
+	if cb := t.onFree; cb != nil {
 		cb()
 	}
 	return nil
@@ -134,136 +353,25 @@ func (t *Table) Cput(pd PDID) error {
 // with none free would fault).
 func (t *Table) HasFree() bool { return t.FreeCount() > 0 }
 
-// FreeCount returns the number of free PDs.
-func (t *Table) FreeCount() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.free)
-}
+// FreeCount returns the number of free PDs (global shards plus every
+// per-executor cache) — one atomic load.
+func (t *Table) FreeCount() int { return int(t.nfree.Load()) }
 
 // LivePDs returns the number of currently allocated user PDs.
-func (t *Table) LivePDs() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.live) - 1 // minus ExecutorPD
-}
+func (t *Table) LivePDs() int { return t.numPDs - t.FreeCount() }
 
 // Faults returns the cumulative isolation-violation count.
-func (t *Table) Faults() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.faults
-}
+func (t *Table) Faults() uint64 { return t.faults.Load() }
+
+// Cgets and Cputs return the cumulative successful allocation and
+// deallocation counts — exported for /varz.
+func (t *Table) Cgets() uint64 { return t.cgets.Load() }
+func (t *Table) Cputs() uint64 { return t.cputs.Load() }
+
+// Shards returns the number of global free-list shards.
+func (t *Table) Shards() int { return len(t.shards) }
 
 func (t *Table) fault(f *Fault) error {
-	t.mu.Lock()
-	t.faults++
-	t.mu.Unlock()
+	t.faults.Add(1)
 	return f
-}
-
-// VMA is a live in-address-space buffer with per-PD permissions — the live
-// analogue of a simulated VMA plus its VTE permission sub-array (Fig. 8).
-// ArgBufs, function code regions, and scratch buffers are all VMAs. Every
-// read, write, and permission transfer is checked against the caller's
-// protection domain, so a function touching a buffer it does not own
-// faults exactly as it would under the paper's hardware checks.
-type VMA struct {
-	table *Table
-	mu    sync.Mutex
-	perms map[PDID]Perm
-	data  []byte
-}
-
-// NewVMA allocates a buffer owned by pd with the given permission
-// (PrivLib: mmap into pd).
-func (t *Table) NewVMA(owner PDID, data []byte, perm Perm) *VMA {
-	return &VMA{table: t, perms: map[PDID]Perm{owner: perm}, data: data}
-}
-
-// Pmove transfers this VMA's permission from one PD to another, removing
-// it from the source (Table 1: pmove — ownership transfer, the zero-copy
-// ArgBuf handoff of §3.4).
-func (v *VMA) Pmove(from, to PDID, perm Perm) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	held := v.perms[from]
-	if held&perm != perm {
-		return v.table.fault(&Fault{Op: "pmove", PD: from,
-			Detail: fmt.Sprintf("holds %v, cannot transfer %v", held, perm)})
-	}
-	delete(v.perms, from)
-	v.perms[to] |= perm
-	return nil
-}
-
-// Pcopy grants a copy of this VMA's permission to another PD while the
-// source keeps its own (Table 1: pcopy — e.g. sharing a function's code
-// region with a fresh invocation PD).
-func (v *VMA) Pcopy(from, to PDID, perm Perm) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	held := v.perms[from]
-	if held&perm != perm {
-		return v.table.fault(&Fault{Op: "pcopy", PD: from,
-			Detail: fmt.Sprintf("holds %v, cannot grant %v", held, perm)})
-	}
-	v.perms[to] |= perm
-	return nil
-}
-
-// Check verifies pd holds want on this VMA (the live stand-in for the
-// hardware VLB/VTW permission check on each access).
-func (v *VMA) Check(pd PDID, want Perm) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.check(pd, want)
-}
-
-func (v *VMA) check(pd PDID, want Perm) error {
-	if v.perms[pd]&want != want {
-		op := "access"
-		switch want {
-		case vmatable.PermR:
-			op = "read"
-		case vmatable.PermW:
-			op = "write"
-		case vmatable.PermX, vmatable.PermRX:
-			op = "execute"
-		}
-		return v.table.fault(&Fault{Op: op, PD: pd,
-			Detail: fmt.Sprintf("holds %v, needs %v", v.perms[pd], want)})
-	}
-	return nil
-}
-
-// Read returns the buffer contents after a permission check. The returned
-// slice aliases the VMA's storage (zero-copy, like the paper's ArgBufs);
-// callers must hold the permission for as long as they use it.
-func (v *VMA) Read(pd PDID) ([]byte, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if err := v.check(pd, vmatable.PermR); err != nil {
-		return nil, err
-	}
-	return v.data, nil
-}
-
-// Write replaces the buffer contents after a permission check (a function
-// writing its outputs into its ArgBuf before handing it back).
-func (v *VMA) Write(pd PDID, data []byte) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if err := v.check(pd, vmatable.PermW); err != nil {
-		return err
-	}
-	v.data = data
-	return nil
-}
-
-// Len returns the current payload size in bytes.
-func (v *VMA) Len() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return len(v.data)
 }

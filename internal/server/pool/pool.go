@@ -105,7 +105,9 @@ func (c *Config) normalize() {
 }
 
 // request is one invocation flowing through the live runtime — the live
-// analogue of core.Request.
+// analogue of core.Request. Requests are recycled through a pool; the
+// done channel (capacity 1) carries a completion token instead of being
+// closed, so it survives reuse.
 type request struct {
 	fn       *router.Func
 	buf      *VMA // the ArgBuf carrying inputs and outputs
@@ -118,18 +120,24 @@ type request struct {
 
 	canceled atomic.Bool // external caller gave up (ctx done)
 
-	// done closes once the request finished (resp/err valid). err is
-	// written before done closes.
-	done chan struct{}
-	err  error
+	// done receives exactly one token when an EXTERNAL request finishes
+	// (err valid; written before the token). Nested requests signal
+	// completion through the completed flag instead, guarded by the
+	// parent continuation's mutex — a recycled request pointer must never
+	// deposit into a channel its new owner is already using.
+	done      chan struct{}
+	completed bool // nested only; guarded by parent.mu
+	err       error
 }
 
-// FuncStats accumulates per-function live measurements.
+// FuncStats accumulates per-function live measurements. The latency
+// histogram shards per executor so the completion path never contends on
+// one histogram mutex; reads merge the shards.
 type FuncStats struct {
 	Name    string
 	Count   atomic.Uint64 // completed invocations (external + nested)
 	Errors  atomic.Uint64
-	Latency metrics.Histogram // arrival -> completion, ns
+	Latency metrics.ShardedHistogram // arrival -> completion, ns
 }
 
 // Stats is the pool-wide counter set.
@@ -158,12 +166,28 @@ type Pool struct {
 	orchs []*orchestrator
 	execs []*executor
 
-	// code holds each function's code VMA (owned by ExecutorPD with RX),
-	// from which invocation PDs receive execute permission via pcopy,
+	// code holds each function's code VMA (global RX — the VTE G bit, so
+	// every invocation PD may execute it without a per-invocation pcopy),
 	// indexed by router.Func.ID.
 	code []*VMA
 
 	stats Stats
+
+	// reqPool and contPool recycle the per-invocation bookkeeping objects
+	// (request structs with their done channels, continuations with their
+	// handshake channels and children slices).
+	reqPool  sync.Pool
+	contPool sync.Pool
+
+	// runners holds parked runner goroutines awaiting a continuation.
+	// Only executor goroutines put runners back, so after the executor
+	// loops exit the channel is quiescent and Drain can empty it.
+	runners chan *runner
+
+	// pdWait is set by an executor about to stall on PD supply; Cput
+	// (via tab.onFree) checks it so ordinary completions skip the
+	// wake-every-executor broadcast the old path paid on every Cput.
+	pdWait atomic.Bool
 
 	rr       atomic.Uint64 // round-robin external submission
 	draining atomic.Bool
@@ -178,7 +202,91 @@ type Pool struct {
 // before Invoke; registration closes at Start.
 func New(cfg Config, reg *router.Registry) *Pool {
 	cfg.normalize()
-	return &Pool{cfg: cfg, reg: reg, tab: NewTable(cfg.NumPDs)}
+	p := &Pool{cfg: cfg, reg: reg, tab: NewTable(cfg.NumPDs)}
+	p.reqPool.New = func() any { return &request{done: make(chan struct{}, 1)} }
+	p.contPool.New = func() any {
+		return &continuation{
+			yieldCh:  make(chan struct{}),
+			resumeCh: make(chan struct{}),
+		}
+	}
+	p.runners = make(chan *runner, 4*cfg.Executors+16)
+	return p
+}
+
+// getRequest returns a recycled (or fresh) request with an empty done
+// channel and cleared linkage.
+func (p *Pool) getRequest() *request {
+	return p.reqPool.Get().(*request)
+}
+
+// putRequest recycles a request. The done channel is drained defensively
+// so a stale completion token can never leak into the next invocation.
+func (p *Pool) putRequest(r *request) {
+	select {
+	case <-r.done:
+	default:
+	}
+	r.fn = nil
+	r.buf = nil
+	r.external = false
+	r.arrival = time.Time{}
+	r.deadline = time.Time{}
+	r.parent = nil
+	r.canceled.Store(false)
+	r.completed = false
+	r.err = nil
+	p.reqPool.Put(r)
+}
+
+// releaseRequest recycles a finished request and its ArgBuf structure.
+func (p *Pool) releaseRequest(r *request) {
+	putVMA(r.buf)
+	p.putRequest(r)
+}
+
+// getCont returns a recycled (or fresh) continuation.
+func (p *Pool) getCont() *continuation {
+	return p.contPool.Get().(*continuation)
+}
+
+// putCont recycles a finished continuation. Its channels are reused (both
+// handshakes complete strictly before recycling); the children slice keeps
+// its capacity.
+func (p *Pool) putCont(c *continuation) {
+	c.req = nil
+	c.exec = nil
+	c.pd = 0
+	c.runner = nil
+	c.waiting = nil
+	c.children = c.children[:0]
+	c.finished = false
+	c.resp = nil
+	c.err = nil
+	c.ctx = Ctx{}
+	p.contPool.Put(c)
+}
+
+// getRunner pops a parked runner goroutine, or spawns one.
+func (p *Pool) getRunner() *runner {
+	select {
+	case rn := <-p.runners:
+		return rn
+	default:
+	}
+	rn := &runner{work: make(chan *continuation, 1)}
+	go rn.loop(p)
+	return rn
+}
+
+// putRunner parks a runner for reuse; if the pool is full, the runner's
+// goroutine is released instead. Called only from executor goroutines.
+func (p *Pool) putRunner(rn *runner) {
+	select {
+	case p.runners <- rn:
+	default:
+		close(rn.work)
+	}
 }
 
 // Config returns the normalized configuration.
@@ -204,10 +312,11 @@ func (p *Pool) Start() {
 	p.code = make([]*VMA, len(funcs))
 	p.stats.perFunc = make(map[string]*FuncStats, len(funcs))
 	for _, f := range funcs {
-		// Register loads the function code into an executable VMA owned
-		// by the executor domain (cf. core.System.Register).
-		p.code[f.ID] = p.tab.NewVMA(ExecutorPD, nil, vmatable.PermRX)
+		// Register loads the function code into an executable VMA shared
+		// with every PD (the Fig. 8 G bit), cf. core.System.Register.
+		p.code[f.ID] = p.tab.NewGlobalVMA(nil, vmatable.PermRX)
 		fs := &FuncStats{Name: f.Name}
+		fs.Latency.SetShards(p.cfg.Executors)
 		p.stats.perFunc[f.Name] = fs
 		p.stats.funcs = append(p.stats.funcs, fs)
 	}
@@ -226,10 +335,14 @@ func (p *Pool) Start() {
 		o.group = append(o.group, e)
 		e.orch = o
 	}
-	// A freed PD may unblock any executor stalled in its capacity check.
+	// A freed PD may unblock an executor stalled in its capacity check.
+	// The pdWait flag gates the broadcast so the common Cput pays one
+	// atomic load, not a wake of every executor.
 	p.tab.onFree = func() {
-		for _, e := range p.execs {
-			e.wake()
+		if p.pdWait.Load() && p.pdWait.Swap(false) {
+			for _, e := range p.execs {
+				e.wake()
+			}
 		}
 	}
 	for _, e := range p.execs {
@@ -260,13 +373,11 @@ func (p *Pool) Invoke(ctx context.Context, fn string, payload []byte) ([]byte, e
 	}
 	// Stage the request payload into a fresh ArgBuf owned by the runtime
 	// domain (§3.3: "orchestrators save these requests into ArgBufs").
-	r := &request{
-		fn:       def,
-		buf:      p.tab.NewVMA(ExecutorPD, payload, vmatable.PermRW),
-		external: true,
-		arrival:  time.Now(),
-		done:     make(chan struct{}),
-	}
+	r := p.getRequest()
+	r.fn = def
+	r.buf = p.tab.NewVMA(ExecutorPD, payload, vmatable.PermRW)
+	r.external = true
+	r.arrival = time.Now()
 	if dl, ok := ctx.Deadline(); ok {
 		r.deadline = dl
 	}
@@ -275,46 +386,59 @@ func (p *Pool) Invoke(ctx context.Context, fn string, payload []byte) ([]byte, e
 	if err := o.submitExternal(r); err != nil {
 		p.inflight.Done()
 		p.stats.Rejected.Add(1)
+		p.releaseRequest(r)
 		return nil, err
 	}
 	select {
 	case <-r.done:
-		if r.err != nil {
-			return nil, r.err
+		if err := r.err; err != nil {
+			p.releaseRequest(r)
+			return nil, err
 		}
 		// The executor pmoved the result ArgBuf back to the runtime
-		// domain; read it from there.
-		return r.buf.Read(ExecutorPD)
+		// domain; read it from there. The returned slice stays valid
+		// after the VMA structure recycles (see VMA.Read).
+		b, err := r.buf.Read(ExecutorPD)
+		p.releaseRequest(r)
+		return b, err
 	case <-ctx.Done():
 		// Abandon: the request still drains through the runtime (and
 		// releases its inflight slot there), but the caller leaves now.
+		// The abandoned request is NOT recycled — the runtime still owns
+		// it until its finish, after which the GC reclaims it.
 		r.canceled.Store(true)
 		return nil, ctx.Err()
 	}
 }
 
-// finish completes a request: record stats, publish the error, close done,
-// and either release the external in-flight slot or wake the suspended
-// parent continuation. Exactly one finish happens per submitted request.
-func (p *Pool) finish(r *request, err error) {
+// finish completes a request: record stats (latency on the finishing
+// executor's shard), publish the error, then signal completion — a token
+// on the done channel for external requests (Invoke's select), or the
+// completed flag under the parent's lock for nested ones (Wait's check).
+// Exactly one finish happens per submitted request. Once completion is
+// signalled the request may be recycled by its consumer, so no field is
+// touched afterwards.
+func (p *Pool) finish(shard int, r *request, err error) {
 	r.err = err
 	fs := p.stats.perFunc[r.fn.Name]
-	fs.Latency.Record(time.Since(r.arrival).Nanoseconds())
+	fs.Latency.RecordShard(shard, time.Since(r.arrival).Nanoseconds())
 	fs.Count.Add(1)
 	if err != nil {
 		fs.Errors.Add(1)
 	}
 	p.stats.Completed.Add(1)
-	close(r.done) // before the parent handshake: Wait re-checks done under the lock
-
 	if r.external {
+		r.done <- struct{}{}
 		p.inflight.Done()
 		return
 	}
-	// Nested request: make the parent runnable if it suspended on us
-	// (cf. executor.finishInvocation in the simulator).
+	// Nested request: flip completed and collect the resume decision in
+	// one critical section with Wait's suspend decision, so exactly one
+	// side sees the other (cf. executor.finishInvocation in the
+	// simulator).
 	parent := r.parent
 	parent.mu.Lock()
+	r.completed = true
 	resume := parent.waiting == r
 	if resume {
 		parent.waiting = nil
@@ -343,9 +467,9 @@ func (p *Pool) QueueDepths() (ext, internal, execQ int) {
 func (p *Pool) Draining() bool { return p.draining.Load() }
 
 // Drain stops accepting external requests, waits for all in-flight work
-// (including nested calls) to complete, then shuts the loops down. It
-// returns ctx.Err() if the context expires first, leaving the loops
-// running so stragglers still complete.
+// (including nested calls) to complete, then shuts the loops and parked
+// runner goroutines down. It returns ctx.Err() if the context expires
+// first, leaving the loops running so stragglers still complete.
 func (p *Pool) Drain(ctx context.Context) error {
 	p.draining.Store(true)
 	done := make(chan struct{})
@@ -365,5 +489,14 @@ func (p *Pool) Drain(ctx context.Context) error {
 		e.close()
 	}
 	p.loops.Wait()
-	return nil
+	// Only executor goroutines park runners; with the loops gone the
+	// channel is quiescent and every parked runner can be released.
+	for {
+		select {
+		case rn := <-p.runners:
+			close(rn.work)
+		default:
+			return nil
+		}
+	}
 }
