@@ -7,8 +7,8 @@
 //
 //	jordd [-addr :8034] [-executors N] [-orchestrators N] [-jbsq 4]
 //	      [-queue-cap 256] [-num-pds 4096] [-max-inflight N]
-//	      [-timeout 30s] [-drain-timeout 30s] [-max-body 1048576]
-//	      [-pprof addr]
+//	      [-timeout 30s] [-exec-timeout 0] [-drain-timeout 30s]
+//	      [-max-body 1048576] [-pprof addr]
 //
 // Endpoints:
 //
@@ -60,6 +60,7 @@ func main() {
 		numPDs        = cliutil.NewNonNegInt(0)
 		maxInflight   = cliutil.NewNonNegInt(0)
 		timeout       = flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
+		execTimeout   = flag.Duration("exec-timeout", 0, "watchdog threshold for stuck invocations (0 = off)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
 		maxBody       = flag.Int64("max-body", 1<<20, "max /invoke payload bytes")
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
@@ -84,6 +85,9 @@ func main() {
 	cfg.Pool.JBSQBound = jbsq.Value()
 	cfg.Pool.ExternalQueueCap = queueCap.Value()
 	cfg.Pool.NumPDs = numPDs.Value()
+	// The watchdog flags (never kills — cancellation is cooperative)
+	// invocations alive past the threshold, on /statsz and /varz counters.
+	cfg.Pool.ExecTimeout = *execTimeout
 	cfg.MaxInflight = maxInflight.Value()
 	cfg.RequestTimeout = *timeout
 	if *timeout == 0 {
@@ -153,6 +157,9 @@ func registerBuiltins(d *jord.Server) {
 		sum := sha256.Sum256(ctx.Payload())
 		return []byte(hex.EncodeToString(sum[:])), nil
 	})
+	// sleep demonstrates cooperative cancellation: it selects on Done, so
+	// an abandoned or expired request releases its executor slot and PD
+	// immediately instead of sleeping on.
 	d.MustRegister("sleep", func(ctx jord.LiveCtx) ([]byte, error) {
 		dur, err := time.ParseDuration(strings.TrimSpace(string(ctx.Payload())))
 		if err != nil {
@@ -161,8 +168,12 @@ func registerBuiltins(d *jord.Server) {
 		if dur < 0 || dur > time.Second {
 			return nil, fmt.Errorf("duration %v out of range [0, 1s]", dur)
 		}
-		time.Sleep(dur)
-		return []byte(fmt.Sprintf("slept %v", dur)), nil
+		select {
+		case <-time.After(dur):
+			return []byte(fmt.Sprintf("slept %v", dur)), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	})
 	// fanout hashes every whitespace-separated word of the payload in
 	// parallel nested invocations and returns one digest per line.

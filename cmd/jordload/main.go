@@ -9,10 +9,17 @@
 // Usage:
 //
 //	jordload [-addr 127.0.0.1:8034] [-fn echo] [-rps 100] [-duration 10s]
-//	         [-payload hello] [-timeout 5s] [-seed 1]
+//	         [-payload hello] [-timeout 5s] [-abandon 0] [-seed 1]
+//
+// -abandon cancels that fraction of requests mid-flight (after a random
+// delay up to half the client timeout) — impatient clients hanging up.
+// The server answers those with 499 if the gateway notices in time;
+// either way its /statsz Canceled counter should account for them.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +46,7 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "load duration")
 		payload  = flag.String("payload", "hello", "request payload")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+		abandon  = flag.Float64("abandon", 0, "fraction of requests canceled mid-flight [0,1]")
 		seed     = flag.Uint64("seed", 1, "arrival-process seed")
 	)
 	flag.Parse()
@@ -49,6 +57,11 @@ func main() {
 	}
 	if *rps <= 0 || *duration <= 0 {
 		fmt.Fprintln(os.Stderr, "jordload: -rps and -duration must be positive")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *abandon < 0 || *abandon > 1 {
+		fmt.Fprintln(os.Stderr, "jordload: -abandon must be in [0,1]")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -63,20 +76,41 @@ func main() {
 	}
 
 	var (
-		hist     metrics.Histogram // client-observed latency, ns (2xx only)
-		mu       sync.Mutex
-		statuses = make(map[int]uint64)
-		netErrs  uint64
-		sent     uint64
-		inflight sync.WaitGroup
+		hist      metrics.Histogram // client-observed latency, ns (2xx only)
+		mu        sync.Mutex
+		statuses  = make(map[int]uint64)
+		netErrs   uint64
+		abandoned uint64
+		sent      uint64
+		inflight  sync.WaitGroup
 	)
-	fire := func() {
+	// fire sends one request; abandonAfter > 0 cancels it after that delay
+	// (the client walks away; the runtime finds out via the closed
+	// connection / expired gateway context).
+	fire := func(abandonAfter time.Duration) {
 		defer inflight.Done()
+		ctx := context.Background()
+		if abandonAfter > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithCancel(ctx)
+			defer cancel()
+			stop := time.AfterFunc(abandonAfter, cancel)
+			defer stop.Stop()
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(*payload))
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
 		t0 := time.Now()
-		resp, err := client.Post(url, "application/octet-stream", strings.NewReader(*payload))
+		resp, err := client.Do(req)
 		if err != nil {
 			mu.Lock()
-			netErrs++
+			if errors.Is(err, context.Canceled) {
+				abandoned++
+			} else {
+				netErrs++
+			}
 			mu.Unlock()
 			return
 		}
@@ -102,8 +136,17 @@ func main() {
 		}
 		time.Sleep(time.Until(next))
 		sent++
+		// The abandonment decision (and its delay) is drawn here, on the
+		// arrival goroutine, so the run is reproducible from -seed.
+		var abandonAfter time.Duration
+		if *abandon > 0 && rng.Float64() < *abandon {
+			abandonAfter = time.Duration(rng.Float64() * float64(*timeout) / 2)
+			if abandonAfter <= 0 {
+				abandonAfter = time.Millisecond
+			}
+		}
 		inflight.Add(1)
-		go fire()
+		go fire(abandonAfter)
 	}
 	inflight.Wait()
 	elapsed := time.Since(start)
@@ -118,6 +161,9 @@ func main() {
 	sort.Ints(codes)
 	for _, c := range codes {
 		fmt.Printf("status %d      %d\n", c, statuses[c])
+	}
+	if abandoned > 0 {
+		fmt.Printf("abandoned       %d (canceled client-side)\n", abandoned)
 	}
 	if netErrs > 0 {
 		fmt.Printf("network errors  %d\n", netErrs)

@@ -107,10 +107,15 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(resp)
 }
 
+// StatusClientClosedRequest is nginx's non-standard 499: the client went
+// away before the response was ready. Pool cancellations map onto it so
+// abandoned requests are accounted as client behavior, not server errors.
+const StatusClientClosedRequest = 499
+
 // writeInvokeError maps pool errors onto HTTP statuses: saturation is
-// backpressure (429), deadlines are gateway timeouts (504), drain is 503,
-// anything else — including isolation faults and function errors — is a
-// plain 500 with the message.
+// backpressure (429), deadlines are gateway timeouts (504), cancellations
+// are client-closed-request (499), drain is 503, anything else — including
+// isolation faults and function errors — is a plain 500 with the message.
 func (g *Gateway) writeInvokeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, pool.ErrSaturated):
@@ -122,6 +127,10 @@ func (g *Gateway) writeInvokeError(w http.ResponseWriter, err error) {
 		http.Error(w, err.Error(), http.StatusNotFound)
 	case errors.Is(err, context.DeadlineExceeded):
 		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		// Usually unreachable over real HTTP (the client is gone), but it
+		// keeps the accounting honest for in-process callers and tests.
+		http.Error(w, "client closed request", StatusClientClosedRequest)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
@@ -142,6 +151,7 @@ type FuncStatsz struct {
 	Name          string  `json:"name"`
 	Count         uint64  `json:"count"`
 	Errors        uint64  `json:"errors"`
+	Watchdog      uint64  `json:"watchdog,omitempty"` // flagged past ExecTimeout
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P50Us         float64 `json:"p50_us"`
 	P99Us         float64 `json:"p99_us"`
@@ -161,8 +171,12 @@ type Statsz struct {
 
 	PoolDispatched uint64 `json:"pool_dispatched"`
 	PoolCompleted  uint64 `json:"pool_completed"`
-	PoolExpired    uint64 `json:"pool_expired"`
+	PoolExpired    uint64 `json:"pool_expired"`  // deadline-exceeded completions (504)
+	PoolCanceled   uint64 `json:"pool_canceled"` // caller-gone completions (499)
 	PoolRejected   uint64 `json:"pool_rejected"` // external-queue 429s
+	PoolOrphaned   uint64 `json:"pool_orphaned"` // children detached at parent teardown
+	PoolWatchdog   uint64 `json:"pool_watchdog"` // invocations flagged past ExecTimeout
+	PoolSwept      uint64 `json:"pool_swept"`    // dead requests reaped pre-dispatch
 
 	ExternalQueue int    `json:"external_queue_depth"`
 	InternalQueue int    `json:"internal_queue_depth"`
@@ -187,7 +201,11 @@ func (g *Gateway) Snapshot() Statsz {
 		PoolDispatched: st.Dispatched.Load(),
 		PoolCompleted:  st.Completed.Load(),
 		PoolExpired:    st.Expired.Load(),
+		PoolCanceled:   st.Canceled.Load(),
 		PoolRejected:   st.Rejected.Load(),
+		PoolOrphaned:   st.Orphaned.Load(),
+		PoolWatchdog:   st.Watchdog.Load(),
+		PoolSwept:      st.Swept.Load(),
 		ExternalQueue:  ext,
 		InternalQueue:  internal,
 		ExecutorQueue:  execQ,
@@ -197,14 +215,15 @@ func (g *Gateway) Snapshot() Statsz {
 	for _, fs := range st.Funcs() {
 		snap := fs.Latency.Snapshot()
 		row := FuncStatsz{
-			Name:   fs.Name,
-			Count:  fs.Count.Load(),
-			Errors: fs.Errors.Load(),
-			P50Us:  float64(snap.P50) / 1e3,
-			P99Us:  float64(snap.P99) / 1e3,
-			P999Us: float64(snap.P999) / 1e3,
-			MeanUs: snap.Mean / 1e3,
-			MaxUs:  float64(snap.Max) / 1e3,
+			Name:     fs.Name,
+			Count:    fs.Count.Load(),
+			Errors:   fs.Errors.Load(),
+			Watchdog: fs.Watchdog.Load(),
+			P50Us:    float64(snap.P50) / 1e3,
+			P99Us:    float64(snap.P99) / 1e3,
+			P999Us:   float64(snap.P999) / 1e3,
+			MeanUs:   snap.Mean / 1e3,
+			MaxUs:    float64(snap.Max) / 1e3,
 		}
 		if uptime > 0 {
 			row.ThroughputRPS = float64(row.Count) / uptime
@@ -227,19 +246,26 @@ func (g *Gateway) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 // Where /statsz is per-function serving metrics, /varz is the runtime's
 // own internals.
 type Varz struct {
-	Executors        int `json:"executors"`
-	Orchestrators    int `json:"orchestrators"`
-	JBSQBound        int `json:"jbsq_bound"`
-	ExternalQueueCap int `json:"external_queue_cap"`
-	NumPDs           int `json:"num_pds"`
-	PDReserve        int `json:"pd_reserve"`
-	PDShards         int `json:"pd_shards"`
+	Executors        int     `json:"executors"`
+	Orchestrators    int     `json:"orchestrators"`
+	JBSQBound        int     `json:"jbsq_bound"`
+	ExternalQueueCap int     `json:"external_queue_cap"`
+	NumPDs           int     `json:"num_pds"`
+	PDReserve        int     `json:"pd_reserve"`
+	PDShards         int     `json:"pd_shards"`
+	ExecTimeoutMs    float64 `json:"exec_timeout_ms"`   // 0 = watchdog off
+	SweepIntervalMs  float64 `json:"sweep_interval_ms"` // <= 0 = sweeper off
 
 	PDFree   int    `json:"pd_free"`
 	PDLive   int    `json:"pd_live"`
 	Cgets    uint64 `json:"cgets"`
 	Cputs    uint64 `json:"cputs"`
 	Faults   uint64 `json:"isolation_faults"`
+	Canceled uint64 `json:"canceled"` // completions with caller gone (499)
+	Expired  uint64 `json:"expired"`  // deadline-exceeded completions (504)
+	Orphaned uint64 `json:"orphaned"` // children detached at parent teardown
+	Watchdog uint64 `json:"watchdog"` // invocations flagged past ExecTimeout
+	Swept    uint64 `json:"swept"`    // dead requests reaped pre-dispatch
 	Draining bool   `json:"draining"`
 
 	ExternalQueue int `json:"external_queue_depth"`
@@ -251,6 +277,7 @@ func (g *Gateway) handleVarz(w http.ResponseWriter, _ *http.Request) {
 	cfg := g.Pool.Config().Normalized()
 	tab := g.Pool.Table()
 	ext, internal, execQ := g.Pool.QueueDepths()
+	st := g.Pool.Stats()
 	doc := Varz{
 		Executors:        cfg.Executors,
 		Orchestrators:    cfg.Orchestrators,
@@ -259,11 +286,18 @@ func (g *Gateway) handleVarz(w http.ResponseWriter, _ *http.Request) {
 		NumPDs:           cfg.NumPDs,
 		PDReserve:        cfg.PDReserve,
 		PDShards:         tab.Shards(),
+		ExecTimeoutMs:    float64(cfg.ExecTimeout) / 1e6,
+		SweepIntervalMs:  float64(cfg.SweepInterval) / 1e6,
 		PDFree:           tab.FreeCount(),
 		PDLive:           tab.LivePDs(),
 		Cgets:            tab.Cgets(),
 		Cputs:            tab.Cputs(),
 		Faults:           tab.Faults(),
+		Canceled:         st.Canceled.Load(),
+		Expired:          st.Expired.Load(),
+		Orphaned:         st.Orphaned.Load(),
+		Watchdog:         st.Watchdog.Load(),
+		Swept:            st.Swept.Load(),
 		Draining:         g.draining.Load(),
 		ExternalQueue:    ext,
 		InternalQueue:    internal,

@@ -1,7 +1,9 @@
 package pool
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"jord/internal/mem/vmatable"
@@ -26,6 +28,79 @@ func (c *Ctx) PD() PDID { return c.cont.pd }
 
 // FuncName names the function this invocation runs.
 func (c *Ctx) FuncName() string { return c.cont.req.fn.Name }
+
+// Err reports whether this invocation should stop: context.Canceled once
+// the external caller abandoned the request tree (or this invocation was
+// orphaned by its parent's teardown), context.DeadlineExceeded once the
+// inherited deadline passed, nil otherwise. Cancellation is cooperative —
+// the runtime checks it at every queue dequeue, Async, and Wait, and
+// long-running bodies should poll it (or select on Done) so stuck work
+// releases its PD and runner promptly.
+func (c *Ctx) Err() error {
+	r := c.cont.req
+	if r.canceled.Load() {
+		return context.Canceled
+	}
+	if !r.deadline.IsZero() && time.Now().After(r.deadline) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// Deadline returns the invocation's deadline (inherited from the external
+// request's context by every nested call), like context.Context.Deadline.
+func (c *Ctx) Deadline() (time.Time, bool) {
+	dl := c.cont.req.deadline
+	return dl, !dl.IsZero()
+}
+
+// cancelPollInterval is how often a Done watcher re-evaluates the
+// cancellation state. Coarse on purpose: Done is for long-running bodies
+// (milliseconds and up), and the watcher exists only while one is using it.
+const cancelPollInterval = time.Millisecond
+
+// Done returns a channel closed when Err would return non-nil, like
+// context.Context.Done — the select-friendly form of Err for bodies that
+// block on their own channels or timers. The channel (and its watcher
+// goroutine, retired at invocation teardown) is created lazily on first
+// call, so bodies that never ask pay nothing. Like Ctx itself it must not
+// be retained past the body's return.
+func (c *Ctx) Done() <-chan struct{} {
+	cont := c.cont
+	cont.mu.Lock()
+	if cont.doneCh == nil {
+		cont.doneCh = make(chan struct{})
+		cont.stopCh = make(chan struct{})
+		r := cont.req
+		go watchCancel(r.deadline, &r.canceled, cont.doneCh, cont.stopCh)
+	}
+	d := cont.doneCh
+	cont.mu.Unlock()
+	return d
+}
+
+// watchCancel closes done once the deadline passes or the canceled flag
+// flips, and exits when stop closes (invocation teardown). It captures the
+// deadline by value and the canceled flag by pointer so it never touches
+// other request fields after the request recycles; the atomic load of a
+// recycled flag in the teardown window is race-free and its result is
+// discarded with the channel.
+func watchCancel(deadline time.Time, canceled *atomic.Bool, done, stop chan struct{}) {
+	t := time.NewTicker(cancelPollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if canceled.Load() || (!deadline.IsZero() && time.Now().After(deadline)) {
+				close(done)
+				<-stop
+				return
+			}
+		}
+	}
+}
 
 // Payload returns the invocation's input ArgBuf contents. The read is
 // permission-checked against this invocation's PD; since the runtime
@@ -58,6 +133,11 @@ func (c *Ctx) Call(fn string, payload []byte) ([]byte, error) {
 func (c *Ctx) Async(fn string, payload []byte) (router.Cookie, error) {
 	p := c.pool
 	cont := c.cont
+	// A dead invocation submits no new work: once the caller is gone or
+	// the deadline passed, fan-outs stop growing and unwind instead.
+	if err := c.Err(); err != nil {
+		return 0, err
+	}
 	def := p.reg.Lookup(fn)
 	if def == nil {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownFunction, fn)
@@ -77,8 +157,12 @@ func (c *Ctx) Async(fn string, payload []byte) (router.Cookie, error) {
 	child.parent = cont
 	cont.mu.Lock()
 	cont.children = append(cont.children, child)
+	cont.live++
 	ck := router.Cookie(len(cont.children) - 1)
 	cont.mu.Unlock()
+	if !child.deadline.IsZero() {
+		p.sweepableAdd() // balanced by the child's finish
+	}
 	cont.exec.orch.submitInternal(child)
 	return ck, nil
 }
@@ -88,6 +172,15 @@ func (c *Ctx) Async(fn string, payload []byte) (router.Cookie, error) {
 // to this PD (Listing 1: jord::wait).
 func (c *Ctx) Wait(ck router.Cookie) ([]byte, error) {
 	cont := c.cont
+	// A dead invocation stops collecting: propagate the cancellation to
+	// every outstanding child (queued ones then die at dequeue or sweep;
+	// running ones observe it via their own Err) and unwind immediately.
+	// The un-collected children — including ck's — stay in the children
+	// list, where finishInvocation's orphan reaping owns their teardown.
+	if err := c.Err(); err != nil {
+		cont.cancelChildren()
+		return nil, err
+	}
 	cont.mu.Lock()
 	if int(ck) < 0 || int(ck) >= len(cont.children) {
 		cont.mu.Unlock()
@@ -99,6 +192,7 @@ func (c *Ctx) Wait(ck router.Cookie) ([]byte, error) {
 		return nil, fmt.Errorf("pool: wait on already-collected cookie %d", ck)
 	}
 	cont.children[ck] = nil
+	cont.live--
 
 	// Decide atomically with the child's completion handshake whether to
 	// suspend: finish() flips child.completed and checks cont.waiting
@@ -133,4 +227,18 @@ func (c *Ctx) Wait(ck router.Cookie) ([]byte, error) {
 	b, err := child.buf.Read(cont.pd)
 	c.pool.releaseRequest(child)
 	return b, err
+}
+
+// cancelChildren marks every outstanding (submitted, un-collected,
+// unfinished) child canceled, cascading an observed cancellation one
+// level down the call tree. Deeper descendants observe it the same way
+// when those children hit their own Async/Wait/Err checks.
+func (c *continuation) cancelChildren() {
+	c.mu.Lock()
+	for _, ch := range c.children {
+		if ch != nil && !ch.completed {
+			ch.canceled.Store(true)
+		}
+	}
+	c.mu.Unlock()
 }

@@ -32,6 +32,11 @@ type executor struct {
 	resume deque[*continuation]
 	closed bool
 
+	// active tracks this executor's started-but-unfinished invocations
+	// (running or suspended) for the ExecTimeout watchdog. Maintained only
+	// when the watchdog is enabled, so the default hot path pays nothing.
+	active []*continuation
+
 	// qlen mirrors queue.Len() for the orchestrators' lock-free JBSQ
 	// probes (the live stand-in for the simulator's cross-core queue-
 	// length loads).
@@ -108,18 +113,26 @@ func (e *executor) run() {
 			return
 		}
 		if e.queue.Len() > 0 {
-			// Queued work gated on PD supply. Publish that we are about to
-			// stall, then re-check: Cput increments the free counter before
-			// testing the flag, so either our re-check sees the new supply
-			// or the Cput sees the flag and wakes us — no lost wakeup.
-			e.pool.pdWait.Store(true)
+			// Queued work gated on PD supply. Register as a PD waiter,
+			// then re-check: Cput increments the free counter before
+			// reading the waiter count, so either our re-check sees the
+			// new supply or the Cput sees our registration and wakes us —
+			// no lost wakeup. We stay registered until we actually wake
+			// (not merely until the re-check), so another executor's
+			// re-check finding work can never consume our wakeup: the
+			// count only drops when its owner stops waiting.
+			e.pool.pdWaiters.Add(1)
 			if e.nextRunnable() >= 0 {
+				e.pool.pdWaiters.Add(-1)
 				continue
 			}
+			e.cond.Wait()
+			e.pool.pdWaiters.Add(-1)
+			continue
 		}
 		// Nothing runnable: a dispatch, a resumption, or a Cput (via
-		// pdWait) will wake us — resumptions are what free PDs, so this
-		// cannot livelock.
+		// pdWaiters) will wake us — resumptions are what free PDs, so
+		// this cannot livelock.
 		e.cond.Wait()
 	}
 }
@@ -170,13 +183,14 @@ func (e *executor) startInvocation(r *request) {
 
 	// Deadline/cancellation check at dequeue: a request that died in the
 	// queue is completed without running (the gateway already answered).
-	if r.canceled.Load() {
-		p.finish(e.id, r, context.Canceled)
+	// Deadline first, matching the sweeper's classification — an expired
+	// request is usually also marked canceled by Invoke's abandon path.
+	if !r.deadline.IsZero() && time.Now().After(r.deadline) {
+		p.finish(e.id, r, context.DeadlineExceeded)
 		return
 	}
-	if !r.deadline.IsZero() && time.Now().After(r.deadline) {
-		p.stats.Expired.Add(1)
-		p.finish(e.id, r, context.DeadlineExceeded)
+	if r.canceled.Load() {
+		p.finish(e.id, r, context.Canceled)
 		return
 	}
 
@@ -206,6 +220,13 @@ func (e *executor) startInvocation(r *request) {
 		return
 	}
 
+	if p.cfg.ExecTimeout > 0 {
+		c.startAt = time.Now()
+		e.mu.Lock()
+		e.active = append(e.active, c)
+		e.mu.Unlock()
+		p.sweepableAdd() // the watchdog needs sweeper passes while work runs
+	}
 	e.started.Add(1)
 	// --- Enter the PD (ccall): hand the continuation to a pooled runner
 	// goroutine and lend it the executor until it yields ---
@@ -231,8 +252,9 @@ func (e *executor) resumeContinuation(c *continuation) {
 }
 
 // finishInvocation is the right half of Figure 4: write the outputs into
-// the ArgBuf, transfer it back to the runtime domain, destroy the PD, then
-// complete the request and recycle the continuation and its runner.
+// the ArgBuf, transfer it back to the runtime domain, destroy the PD, reap
+// any children the body never Waited on, then complete the request and
+// recycle the continuation and its runner.
 func (e *executor) finishInvocation(c *continuation) {
 	p := e.pool
 	r := c.req
@@ -255,11 +277,107 @@ func (e *executor) finishInvocation(c *continuation) {
 		ferr = err
 	}
 	e.completed.Add(1)
+	if p.cfg.ExecTimeout > 0 {
+		e.untrack(c)
+		p.sweepableDone()
+	}
+
+	// Reap un-Waited children before the continuation can recycle — a
+	// body that Asyncs and returns (or panics) must not leave children
+	// whose finish would lock a recycled, reused continuation. Completed
+	// children release here; in-flight ones are detached: marked orphaned
+	// (their finish releases them and never resumes us) and canceled (so
+	// queued ones die at dequeue and running ones can unwind via
+	// Ctx.Err). The continuation itself is then recycled by the LAST
+	// orphan's finish, keeping its mutex valid for every child that still
+	// holds a parent pointer.
+	// Fast path: no un-collected children and no Done watcher means no
+	// other goroutine can be holding (or about to take) c.mu — both fields
+	// are written only by the body's own runner, whose final yield
+	// handshake happens-before this read. The common no-fault invocation
+	// skips the lock entirely.
+	if c.live == 0 && c.stopCh == nil {
+		p.putRunner(c.runner)
+		p.putCont(c)
+		p.finish(e.id, r, ferr)
+		return
+	}
+
+	c.mu.Lock()
+	if ch := c.stopCh; ch != nil {
+		// Stop the Ctx.Done watcher goroutine before anything recycles.
+		close(ch)
+		c.stopCh = nil
+		c.doneCh = nil
+	}
+	detached := false
+	if c.live > 0 {
+		orphans := 0
+		for i, ch := range c.children {
+			if ch == nil {
+				continue
+			}
+			if ch.completed {
+				p.releaseRequest(ch)
+				c.children[i] = nil
+			} else {
+				ch.orphaned = true
+				ch.canceled.Store(true)
+				orphans++
+			}
+		}
+		if orphans > 0 {
+			c.orphans = orphans
+			c.detached = true
+			detached = true
+			p.stats.Orphaned.Add(uint64(orphans))
+		}
+	}
+	c.mu.Unlock()
+
 	// The runner finished its final yield and is parked on its work
-	// channel again; re-pool it, then recycle the continuation.
+	// channel again; re-pool it, then recycle the continuation (unless
+	// detached — see above).
 	p.putRunner(c.runner)
-	p.putCont(c)
+	if !detached {
+		p.putCont(c)
+	}
 	p.finish(e.id, r, ferr)
+}
+
+// untrack removes a finishing continuation from the watchdog's active list.
+func (e *executor) untrack(c *continuation) {
+	e.mu.Lock()
+	for i, a := range e.active {
+		if a == c {
+			last := len(e.active) - 1
+			e.active[i] = e.active[last]
+			e.active[last] = nil
+			e.active = e.active[:last]
+			break
+		}
+	}
+	e.mu.Unlock()
+}
+
+// flagStuck flags (once per invocation) every active invocation that
+// started before cut — the ExecTimeout watchdog scan, called by the pool
+// sweeper while tracked invocations keep it armed. Flagging is an
+// operator signal (Stats.Watchdog, per-function counters, /varz), not a
+// kill: Go cannot preempt a spinning body, so teardown stays cooperative.
+func (e *executor) flagStuck(cut time.Time) {
+	p := e.pool
+	e.mu.Lock()
+	for _, c := range e.active {
+		if !c.wdFlagged && c.startAt.Before(cut) {
+			c.wdFlagged = true
+			p.stats.Watchdog.Add(1)
+			if fs := p.stats.perFunc[c.req.fn.Name]; fs != nil {
+				fs.Watchdog.Add(1)
+			}
+		}
+	}
+	e.mu.Unlock()
 }
 
 // runner is a parked goroutine that executes continuations. Instead of
@@ -300,6 +418,25 @@ type continuation struct {
 	mu       sync.Mutex
 	waiting  *request   // child currently suspended on
 	children []*request // Async cookies index into this
+	live     int        // non-nil children entries (submitted, not collected)
+
+	// detached/orphans track teardown with in-flight un-Waited children:
+	// finishInvocation leaves the continuation un-pooled and the last
+	// orphan's finish recycles it (guarded by mu).
+	detached bool
+	orphans  int
+
+	// doneCh/stopCh back Ctx.Done: lazily created on first call (guarded
+	// by mu); stopCh closing at finishInvocation retires the watcher
+	// goroutine before any recycling.
+	doneCh chan struct{}
+	stopCh chan struct{}
+
+	// startAt/wdFlagged are the ExecTimeout watchdog state, maintained
+	// only when the watchdog is on (guarded by exec.mu via the active
+	// list).
+	startAt   time.Time
+	wdFlagged bool
 
 	finished bool
 	resp     []byte

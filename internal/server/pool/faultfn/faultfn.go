@@ -1,0 +1,189 @@
+// Package faultfn is a registry of deliberately misbehaving live function
+// bodies — the fault-injection vocabulary the pool's chaos suite (and any
+// jordd operator wanting to rehearse failure) drives the runtime with.
+// Each body exercises one request-lifecycle hazard the runtime must
+// survive: panics mid-flight, fire-and-forget Asyncs whose children
+// outlive their parent, bodies that stall past every deadline, fan-outs
+// that amplify cancellation, and nesting deep enough to exhaust the PD
+// space.
+//
+// Bodies are deterministic given their payload: all randomness lives in
+// the driver, which encodes the behavior it wants in the bytes it sends.
+// Every validating body checks its own results and reports corruption as
+// an error, so recycled-object aliasing shows up as test failures rather
+// than silent wrong answers.
+package faultfn
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"jord/internal/server/router"
+)
+
+// MaxSleep caps every sleeping body so a chaos run cannot wedge on one
+// absurd payload.
+const MaxSleep = 250 * time.Millisecond
+
+// sleepFor decodes a payload byte into a bounded sleep duration.
+func sleepFor(b byte) time.Duration {
+	d := time.Duration(b) * time.Millisecond
+	if d > MaxSleep {
+		d = MaxSleep
+	}
+	return d
+}
+
+// RegisterAll deploys the whole fault vocabulary onto a registry:
+//
+//	echo         returns the payload unchanged (the aliasing canary).
+//	boom         panics immediately.
+//	slow         sleeps payload[0] milliseconds, then echoes.
+//	stuck        like slow, but ignores cancellation entirely — the body
+//	             the ExecTimeout watchdog exists for.
+//	poll         sleeps in 1ms slices, honoring ctx.Err — the cooperative
+//	             citizen that unwinds promptly when canceled.
+//	selectdone   like poll, but blocks on ctx.Done instead of polling.
+//	forget       Asyncs payload[0]%4+1 echo children and returns WITHOUT
+//	             Wait — the orphan factory.
+//	forgetboom   Asyncs children, then panics with them in flight.
+//	fan          Asyncs one echo child per payload byte, Waits for all,
+//	             and validates every result (detects cross-request
+//	             corruption); returns the concatenation.
+//	chain        recurses payload[0] levels deep (bounded by 6), one PD
+//	             per level — the PD-pressure generator.
+//
+// The names are stable API for the chaos suite and jordd -faultfns.
+func RegisterAll(reg *router.Registry) {
+	reg.MustRegister("echo", func(ctx router.Ctx) ([]byte, error) {
+		return ctx.Payload(), nil
+	})
+
+	reg.MustRegister("boom", func(ctx router.Ctx) ([]byte, error) {
+		panic("faultfn: boom")
+	})
+
+	reg.MustRegister("slow", func(ctx router.Ctx) ([]byte, error) {
+		p := ctx.Payload()
+		if len(p) > 0 {
+			time.Sleep(sleepFor(p[0]))
+		}
+		return p, nil
+	})
+
+	reg.MustRegister("stuck", func(ctx router.Ctx) ([]byte, error) {
+		p := ctx.Payload()
+		if len(p) > 0 {
+			time.Sleep(sleepFor(p[0])) // no Err check: deliberately rude
+		}
+		return p, nil
+	})
+
+	reg.MustRegister("poll", func(ctx router.Ctx) ([]byte, error) {
+		p := ctx.Payload()
+		var total time.Duration
+		if len(p) > 0 {
+			total = sleepFor(p[0])
+		}
+		for done := time.Duration(0); done < total; done += time.Millisecond {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return p, nil
+	})
+
+	reg.MustRegister("selectdone", func(ctx router.Ctx) ([]byte, error) {
+		p := ctx.Payload()
+		var total time.Duration
+		if len(p) > 0 {
+			total = sleepFor(p[0])
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(total):
+			return p, nil
+		}
+	})
+
+	forget := func(ctx router.Ctx, thenPanic bool) ([]byte, error) {
+		p := ctx.Payload()
+		n := 1
+		if len(p) > 0 {
+			n = int(p[0])%4 + 1
+		}
+		for i := 0; i < n; i++ {
+			// Children copy the parent payload plus a lane byte; a short
+			// sleep keeps them in flight past the parent's return.
+			child := append(append([]byte(nil), p...), byte(i), 5)
+			if _, err := ctx.Async("slow", child); err != nil {
+				return nil, err
+			}
+		}
+		if thenPanic {
+			panic(fmt.Sprintf("faultfn: forgetboom with %d children in flight", n))
+		}
+		return []byte("forgot"), nil // no Wait: the runtime must reap
+	}
+	reg.MustRegister("forget", func(ctx router.Ctx) ([]byte, error) {
+		return forget(ctx, false)
+	})
+	reg.MustRegister("forgetboom", func(ctx router.Ctx) ([]byte, error) {
+		return forget(ctx, true)
+	})
+
+	reg.MustRegister("fan", func(ctx router.Ctx) ([]byte, error) {
+		p := ctx.Payload()
+		cookies := make([]router.Cookie, len(p))
+		for i := range p {
+			ck, err := ctx.Async("echo", []byte{p[i]})
+			if err != nil {
+				return nil, err
+			}
+			cookies[i] = ck
+		}
+		out := make([]byte, 0, len(p))
+		for i, ck := range cookies {
+			b, err := ctx.Wait(ck)
+			if err != nil {
+				return nil, err
+			}
+			if len(b) != 1 || b[0] != p[i] {
+				return nil, fmt.Errorf("faultfn: fan lane %d got %q, want %q (aliasing?)", i, b, []byte{p[i]})
+			}
+			out = append(out, b...)
+		}
+		if !bytes.Equal(out, p) {
+			return nil, fmt.Errorf("faultfn: fan got %q, want %q (aliasing?)", out, p)
+		}
+		return out, nil
+	})
+
+	reg.MustRegister("chain", func(ctx router.Ctx) ([]byte, error) {
+		p := ctx.Payload()
+		depth := 0
+		if len(p) > 0 {
+			depth = int(p[0]) % 7
+		}
+		if depth == 0 {
+			return []byte{'*'}, nil
+		}
+		b, err := ctx.Call("chain", []byte{byte(depth - 1)})
+		if err != nil {
+			return nil, err
+		}
+		return append(b, '*'), nil
+	})
+}
+
+// Names lists the registered fault vocabulary in a stable order (the
+// chaos driver indexes into it).
+func Names() []string {
+	return []string{
+		"echo", "boom", "slow", "stuck", "poll", "selectdone",
+		"forget", "forgetboom", "fan", "chain",
+	}
+}

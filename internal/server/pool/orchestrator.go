@@ -1,6 +1,9 @@
 package pool
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // orchestrator is the live port of core.Orchestrator: it owns an external
 // and an internal request queue and JBSQ-dispatches into its executor
@@ -76,6 +79,28 @@ func (o *orchestrator) depths() (ext, internal int) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.extQ.Len(), o.intQ.Len()
+}
+
+// sweep removes requests that died before dispatch — deadline already
+// expired, or caller gone (canceled) — from both queues and appends them
+// to dead. The caller finishes the dead outside o.mu (finish takes parent
+// locks for nested requests). Without this, a dead request on a saturated
+// worker occupies a queue slot until an executor happens to dequeue it —
+// potentially forever for a PD-gated external behind a stuck body.
+func (o *orchestrator) sweep(dead []*request, now time.Time) []*request {
+	o.mu.Lock()
+	for _, q := range [2]*deque[*request]{&o.extQ, &o.intQ} {
+		for i := 0; i < q.Len(); {
+			r := q.At(i)
+			if r.canceled.Load() || (!r.deadline.IsZero() && now.After(r.deadline)) {
+				dead = append(dead, q.RemoveAt(i))
+				continue
+			}
+			i++
+		}
+	}
+	o.mu.Unlock()
+	return dead
 }
 
 // run is the dispatch loop: pick the next request — internal queue first —

@@ -371,6 +371,61 @@ func (t *Table) Cputs() uint64 { return t.cputs.Load() }
 // Shards returns the number of global free-list shards.
 func (t *Table) Shards() int { return len(t.shards) }
 
+// VerifyIdle checks the post-drain invariant the fault-injection suite
+// asserts: with no invocation in flight, every PD must be free — the
+// atomic counter equals NumPDs, the shard and cache free lists together
+// hold each user PD ID exactly once, and no live flag is set. It takes
+// every list lock, so it is for quiescent (test/drain) use only.
+func (t *Table) VerifyIdle() error {
+	if got := int(t.nfree.Load()); got != t.numPDs {
+		return fmt.Errorf("pdtable: free counter %d, want %d (PD leak)", got, t.numPDs)
+	}
+	seen := make([]bool, t.numPDs+1)
+	count := 0
+	note := func(where string, ids []PDID) error {
+		for _, pd := range ids {
+			if pd == ExecutorPD || int(pd) > t.numPDs {
+				return fmt.Errorf("pdtable: invalid PD %d on %s free list", pd, where)
+			}
+			if seen[pd] {
+				return fmt.Errorf("pdtable: PD %d on multiple free lists (aliasing)", pd)
+			}
+			seen[pd] = true
+			count++
+		}
+		return nil
+	}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		err := note("shard", s.free)
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	t.cacheMu.Lock()
+	caches := t.caches
+	t.cacheMu.Unlock()
+	for _, c := range caches {
+		c.mu.Lock()
+		err := note("cache", c.free)
+		c.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	if count != t.numPDs {
+		return fmt.Errorf("pdtable: %d PDs across free lists, want %d", count, t.numPDs)
+	}
+	for id := 1; id <= t.numPDs; id++ {
+		if t.live[id].Load() {
+			return fmt.Errorf("pdtable: PD %d still live after drain", id)
+		}
+	}
+	return nil
+}
+
 func (t *Table) fault(f *Fault) error {
 	t.faults.Add(1)
 	return f

@@ -62,6 +62,25 @@ type Config struct {
 	// progress for depth-1 call chains; deeper fan-outs additionally need
 	// NumPDs sized per the rule above.
 	PDReserve int
+
+	// SweepInterval is how often the lifecycle sweeper scans orchestrator
+	// queues for requests that died before dispatch (deadline expired or
+	// caller gone) and, when ExecTimeout is set, running invocations for
+	// watchdog flagging. Without the sweeper a dead request is only
+	// discovered when an executor dequeues it — potentially never on a
+	// saturated worker. The sweeper holds no timer while nothing is
+	// sweepable (no deadline-carrying requests, nothing watchdog-tracked),
+	// so deadline-free workloads pay nothing for it (see sweeper).
+	// 0 defaults to 5ms; < 0 disables the sweeper.
+	SweepInterval time.Duration
+
+	// ExecTimeout is the per-invocation watchdog threshold: an invocation
+	// (running or suspended on nested calls) still alive past it is
+	// flagged once on Stats.Watchdog and its function's counter — the
+	// operator signal for stuck bodies holding PDs and runners. It does
+	// not kill the body (Go cannot preempt it); cancellation stays
+	// cooperative via Ctx.Err/Ctx.Done. 0 disables the watchdog.
+	ExecTimeout time.Duration
 }
 
 // Normalized returns the configuration with every zero field replaced by
@@ -102,6 +121,9 @@ func (c *Config) normalize() {
 	if c.PDReserve >= c.NumPDs {
 		c.PDReserve = c.NumPDs - 1
 	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = 5 * time.Millisecond
+	}
 }
 
 // request is one invocation flowing through the live runtime — the live
@@ -127,6 +149,7 @@ type request struct {
 	// deposit into a channel its new owner is already using.
 	done      chan struct{}
 	completed bool // nested only; guarded by parent.mu
+	orphaned  bool // nested only; parent finished without Wait (guarded by parent.mu)
 	err       error
 }
 
@@ -134,10 +157,11 @@ type request struct {
 // histogram shards per executor so the completion path never contends on
 // one histogram mutex; reads merge the shards.
 type FuncStats struct {
-	Name    string
-	Count   atomic.Uint64 // completed invocations (external + nested)
-	Errors  atomic.Uint64
-	Latency metrics.ShardedHistogram // arrival -> completion, ns
+	Name     string
+	Count    atomic.Uint64 // completed invocations (external + nested)
+	Errors   atomic.Uint64
+	Watchdog atomic.Uint64            // invocations flagged past ExecTimeout
+	Latency  metrics.ShardedHistogram // arrival -> completion, ns
 }
 
 // Stats is the pool-wide counter set.
@@ -147,8 +171,12 @@ type Stats struct {
 
 	Dispatched atomic.Uint64 // orchestrator -> executor handoffs
 	Completed  atomic.Uint64 // finished invocations
-	Expired    atomic.Uint64 // dequeued past their deadline
+	Expired    atomic.Uint64 // finished with context.DeadlineExceeded
+	Canceled   atomic.Uint64 // finished with context.Canceled (caller gone / kin canceled)
 	Rejected   atomic.Uint64 // ErrSaturated external submissions
+	Orphaned   atomic.Uint64 // children detached at parent teardown without a Wait
+	Watchdog   atomic.Uint64 // invocations flagged stuck past ExecTimeout
+	Swept      atomic.Uint64 // dead requests reaped from orchestrator queues pre-dispatch
 }
 
 // FuncStats returns the accumulator for a function name (nil if unknown).
@@ -184,18 +212,37 @@ type Pool struct {
 	// loops exit the channel is quiescent and Drain can empty it.
 	runners chan *runner
 
-	// pdWait is set by an executor about to stall on PD supply; Cput
+	// pdWaiters counts executors currently stalled on PD supply; Cput
 	// (via tab.onFree) checks it so ordinary completions skip the
-	// wake-every-executor broadcast the old path paid on every Cput.
-	pdWait atomic.Bool
+	// wake-every-executor broadcast. A counter rather than a flag: a
+	// waiter stays registered until it actually wakes, so one executor's
+	// stall re-check finding work cannot consume another's wakeup.
+	pdWaiters atomic.Int64
 
 	rr       atomic.Uint64 // round-robin external submission
 	draining atomic.Bool
 	started  atomic.Bool
 	startAt  time.Time
 
-	inflight sync.WaitGroup // external requests in flight
-	loops    sync.WaitGroup // orchestrator/executor goroutines
+	sweepStop chan struct{} // closes when Drain stops the lifecycle sweeper
+	drainOnce sync.Once
+
+	// sweepables counts the work the sweeper exists for: deadline-carrying
+	// requests in flight plus (when ExecTimeout is on) watchdog-tracked
+	// invocations. While it is zero the sweeper parks without a timer —
+	// a pending runtime timer taxes every scheduler pass, which deadline-
+	// free workloads must not pay (see sweeper). sweepKick (cap 1) carries
+	// the counter's 0→1 wakeup.
+	sweepables atomic.Int64
+	sweepKick  chan struct{}
+
+	// inflightN counts external requests in flight (a raw counter, not a
+	// WaitGroup: Invoke increments concurrently with Drain's wait, which
+	// WaitGroup forbids from a zero counter). Decrements that cross zero
+	// while draining signal idleCh so Drain can stop waiting.
+	inflightN atomic.Int64
+	idleCh    chan struct{}  // cap 1; drain-time zero-crossing signal
+	loops     sync.WaitGroup // orchestrator/executor/sweeper goroutines
 }
 
 // New assembles a pool over a function registry. Start must be called
@@ -211,7 +258,20 @@ func New(cfg Config, reg *router.Registry) *Pool {
 		}
 	}
 	p.runners = make(chan *runner, 4*cfg.Executors+16)
+	p.idleCh = make(chan struct{}, 1)
+	p.sweepKick = make(chan struct{}, 1)
 	return p
+}
+
+// inflightDone retires one external request from the in-flight count; the
+// decrement that reaches zero during a drain wakes the waiting Drain.
+func (p *Pool) inflightDone() {
+	if p.inflightN.Add(-1) == 0 && p.draining.Load() {
+		select {
+		case p.idleCh <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // getRequest returns a recycled (or fresh) request with an empty done
@@ -235,6 +295,7 @@ func (p *Pool) putRequest(r *request) {
 	r.parent = nil
 	r.canceled.Store(false)
 	r.completed = false
+	r.orphaned = false
 	r.err = nil
 	p.reqPool.Put(r)
 }
@@ -252,7 +313,9 @@ func (p *Pool) getCont() *continuation {
 
 // putCont recycles a finished continuation. Its channels are reused (both
 // handshakes complete strictly before recycling); the children slice keeps
-// its capacity.
+// its capacity. A detached continuation (outstanding orphan children) is
+// recycled by the LAST orphan's finish, never by finishInvocation — the
+// children still lock c.mu through their parent pointers until then.
 func (p *Pool) putCont(c *continuation) {
 	c.req = nil
 	c.exec = nil
@@ -260,9 +323,16 @@ func (p *Pool) putCont(c *continuation) {
 	c.runner = nil
 	c.waiting = nil
 	c.children = c.children[:0]
+	c.live = 0
 	c.finished = false
 	c.resp = nil
 	c.err = nil
+	c.detached = false
+	c.orphans = 0
+	c.startAt = time.Time{}
+	c.wdFlagged = false
+	c.doneCh = nil
+	c.stopCh = nil
 	c.ctx = Ctx{}
 	p.contPool.Put(c)
 }
@@ -336,10 +406,12 @@ func (p *Pool) Start() {
 		e.orch = o
 	}
 	// A freed PD may unblock an executor stalled in its capacity check.
-	// The pdWait flag gates the broadcast so the common Cput pays one
-	// atomic load, not a wake of every executor.
+	// The pdWaiters count gates the broadcast so the common Cput pays one
+	// atomic load, not a wake of every executor. The count is never reset
+	// here: each waiter deregisters itself when it wakes, so a broadcast
+	// cannot strand another executor that registered concurrently.
 	p.tab.onFree = func() {
-		if p.pdWait.Load() && p.pdWait.Swap(false) {
+		if p.pdWaiters.Load() > 0 {
 			for _, e := range p.execs {
 				e.wake()
 			}
@@ -353,7 +425,95 @@ func (p *Pool) Start() {
 		p.loops.Add(1)
 		go o.run()
 	}
+	p.sweepStop = make(chan struct{})
+	if p.cfg.SweepInterval > 0 {
+		p.loops.Add(1)
+		go p.sweeper()
+	}
 	p.startAt = time.Now()
+}
+
+// sweeper is the lifecycle background loop: at SweepInterval it reaps
+// dead requests (deadline expired, caller gone) out of the orchestrator
+// queues so they stop occupying queue slots on a worker that may never
+// dequeue them, and — when ExecTimeout is set — flags invocations stuck
+// past the watchdog threshold. Executor queues are not swept; their
+// entries are checked at dequeue, which is at most JBSQBound requests away.
+//
+// A pool with nothing sweepable must not pay for the sweeper: a pending
+// runtime timer — at ANY period — taxes every scheduler pass with a timer
+// heap check, which costs ~10% on this handshake-heavy hot path. So the
+// sweeper holds no timer at all while p.sweepables is zero: it parks on
+// sweepKick, and the 0→1 transition of the counter (first deadline-
+// carrying request, or first watchdog-tracked invocation) wakes it. It
+// then ticks at SweepInterval until the count drains and it parks again.
+//
+// Requests whose caller can only vanish (canceled, no deadline, watchdog
+// off) do not arm the sweeper; they are reaped at executor dequeue, which
+// is how the pre-sweeper runtime handled all queue deaths.
+func (p *Pool) sweeper() {
+	defer p.loops.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	var dead []*request // reused across sweeps
+	for {
+		if p.sweepables.Load() == 0 {
+			select {
+			case <-p.sweepStop:
+				return
+			case <-p.sweepKick:
+				continue // re-check: the kick may be stale
+			}
+		}
+		timer.Reset(p.cfg.SweepInterval)
+		select {
+		case <-p.sweepStop:
+			return
+		case <-timer.C:
+		}
+		now := time.Now()
+		for _, o := range p.orchs {
+			dead = o.sweep(dead[:0], now)
+			for _, r := range dead {
+				p.stats.Swept.Add(1)
+				// Deadline first: an expired request is usually ALSO marked
+				// canceled (Invoke's abandon path fires at the same instant),
+				// and the deadline is the deterministic cause.
+				if !r.deadline.IsZero() && now.After(r.deadline) {
+					p.finish(-1, r, context.DeadlineExceeded)
+				} else {
+					p.finish(-1, r, context.Canceled)
+				}
+			}
+		}
+		if p.cfg.ExecTimeout > 0 {
+			cut := now.Add(-p.cfg.ExecTimeout)
+			for _, e := range p.execs {
+				e.flagStuck(cut)
+			}
+		}
+	}
+}
+
+// sweepableAdd registers one sweeper-relevant unit of work (a deadline-
+// carrying request in flight, or a watchdog-tracked invocation) and wakes
+// the parked sweeper on the zero crossing.
+func (p *Pool) sweepableAdd() {
+	if p.sweepables.Add(1) == 1 {
+		select {
+		case p.sweepKick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// sweepableDone retires one sweeper-relevant unit; at zero the sweeper's
+// next pass parks it (and its timer) again.
+func (p *Pool) sweepableDone() {
+	p.sweepables.Add(-1)
 }
 
 // Invoke runs one external request through the live runtime: stage the
@@ -364,12 +524,20 @@ func (p *Pool) Invoke(ctx context.Context, fn string, payload []byte) ([]byte, e
 	if !p.started.Load() {
 		return nil, errors.New("pool: not started")
 	}
-	if p.draining.Load() {
-		return nil, ErrDraining
-	}
 	def := p.reg.Lookup(fn)
 	if def == nil {
 		return nil, ErrUnknownFunction
+	}
+	// Count ourselves in flight BEFORE checking the drain flag, so no
+	// accepted request can strand in a queue nobody services: either our
+	// increment lands before Drain's flag flip (Drain then waits for us),
+	// or we observe the flip here and withdraw without submitting. (The
+	// other order leaves a window where Drain sees zero, shuts the loops
+	// down, and our request is enqueued into a dead pool.)
+	p.inflightN.Add(1)
+	if p.draining.Load() {
+		p.inflightDone()
+		return nil, ErrDraining
 	}
 	// Stage the request payload into a fresh ArgBuf owned by the runtime
 	// domain (§3.3: "orchestrators save these requests into ArgBufs").
@@ -381,13 +549,18 @@ func (p *Pool) Invoke(ctx context.Context, fn string, payload []byte) ([]byte, e
 	if dl, ok := ctx.Deadline(); ok {
 		r.deadline = dl
 	}
-	p.inflight.Add(1)
 	o := p.orchs[int(p.rr.Add(1))%len(p.orchs)]
 	if err := o.submitExternal(r); err != nil {
-		p.inflight.Done()
+		p.inflightDone()
 		p.stats.Rejected.Add(1)
 		p.releaseRequest(r)
 		return nil, err
+	}
+	if !r.deadline.IsZero() {
+		// A deadline makes the request sweepable; arm the sweeper for its
+		// lifetime (balanced by finish). Deadline-free requests leave the
+		// sweeper parked and timer-free.
+		p.sweepableAdd()
 	}
 	select {
 	case <-r.done:
@@ -419,17 +592,29 @@ func (p *Pool) Invoke(ctx context.Context, fn string, payload []byte) ([]byte, e
 // signalled the request may be recycled by its consumer, so no field is
 // touched afterwards.
 func (p *Pool) finish(shard int, r *request, err error) {
+	if !r.deadline.IsZero() {
+		p.sweepableDone() // balances the sweepableAdd at submission
+	}
 	r.err = err
 	fs := p.stats.perFunc[r.fn.Name]
 	fs.Latency.RecordShard(shard, time.Since(r.arrival).Nanoseconds())
 	fs.Count.Add(1)
 	if err != nil {
 		fs.Errors.Add(1)
+		// Lifecycle accounting is centralized here so queue sweeps,
+		// dequeue checks, and cooperative in-body unwinding all count the
+		// same way (the gateway maps Canceled onto 499, Expired onto 504).
+		switch {
+		case errors.Is(err, context.Canceled):
+			p.stats.Canceled.Add(1)
+		case errors.Is(err, context.DeadlineExceeded):
+			p.stats.Expired.Add(1)
+		}
 	}
 	p.stats.Completed.Add(1)
 	if r.external {
 		r.done <- struct{}{}
-		p.inflight.Done()
+		p.inflightDone()
 		return
 	}
 	// Nested request: flip completed and collect the resume decision in
@@ -439,6 +624,20 @@ func (p *Pool) finish(shard int, r *request, err error) {
 	parent := r.parent
 	parent.mu.Lock()
 	r.completed = true
+	if r.orphaned {
+		// The parent finished without Wait and detached us: nobody will
+		// ever collect this result, so the pool releases the request and
+		// its ArgBuf here. The LAST orphan also recycles the parent
+		// continuation finishInvocation left un-pooled for us.
+		parent.orphans--
+		last := parent.detached && parent.orphans == 0
+		parent.mu.Unlock()
+		p.releaseRequest(r)
+		if last {
+			p.putCont(parent)
+		}
+		return
+	}
 	resume := parent.waiting == r
 	if resume {
 		parent.waiting = nil
@@ -472,16 +671,27 @@ func (p *Pool) Draining() bool { return p.draining.Load() }
 // first, leaving the loops running so stragglers still complete.
 func (p *Pool) Drain(ctx context.Context) error {
 	p.draining.Store(true)
-	done := make(chan struct{})
-	go func() {
-		p.inflight.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-ctx.Done():
-		return ctx.Err()
+	// Wait for the in-flight count to reach zero. Every decrement that
+	// crosses zero after the flag flip signals idleCh (see inflightDone);
+	// an Invoke racing the flip either lands its increment first — then
+	// its finish delivers the signal — or sees the flag and withdraws,
+	// itself signalling its transient zero crossing. Re-checking the
+	// count after each signal makes spurious or stale tokens harmless.
+	for p.inflightN.Load() != 0 {
+		select {
+		case <-p.idleCh:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
+	// The sweeper stops with the dispatch loops: external work has
+	// drained, and the orchestrator/executor loops run their remaining
+	// (internal, orphan) queues to empty without it.
+	p.drainOnce.Do(func() {
+		if p.sweepStop != nil {
+			close(p.sweepStop)
+		}
+	})
 	for _, o := range p.orchs {
 		o.close()
 	}

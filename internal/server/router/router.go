@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Cookie identifies an asynchronous invocation for Wait (Listing 1).
@@ -32,6 +33,21 @@ type Ctx interface {
 	// Wait blocks on an Async cookie and returns the callee's result
 	// (Listing 1: jord::wait).
 	Wait(ck Cookie) ([]byte, error)
+	// Err reports whether this invocation should stop — context.Canceled
+	// once the external caller abandoned the request tree (or the parent
+	// finished without collecting this invocation), or
+	// context.DeadlineExceeded once the inherited deadline passed.
+	// Cancellation is cooperative: the runtime checks it at dequeue,
+	// Async, and Wait; long-running bodies should poll it so stuck work
+	// unwinds promptly instead of holding a protection domain forever.
+	Err() error
+	// Done returns a channel closed when Err would return non-nil — the
+	// select-friendly form of Err, like context.Context.Done. It must not
+	// be retained past the body's return.
+	Done() <-chan struct{}
+	// Deadline returns the invocation's deadline, inherited by every
+	// nested call from the external request's context.
+	Deadline() (time.Time, bool)
 	// FuncName names the function this invocation runs.
 	FuncName() string
 }

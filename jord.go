@@ -38,7 +38,11 @@
 // NewServer builds a live worker daemon (cmd/jordd) that runs the same
 // runtime architecture on real goroutines behind an HTTP gateway —
 // POST /invoke/{fn}, GET /healthz, GET /statsz — with functions written
-// against LiveCtx instead of Ctx.
+// against LiveCtx instead of Ctx. The live runtime owns every request's
+// lifecycle: deadlines and caller abandonment propagate to nested calls
+// (observable in-body via LiveCtx.Err/Done), children a body never
+// Waits on are reaped at its teardown, and draining leaks nothing even
+// under panicking or stuck functions.
 package jord
 
 import (
