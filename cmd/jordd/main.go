@@ -7,6 +7,8 @@
 //
 //	jordd [-addr :8034] [-executors N] [-orchestrators N] [-jbsq 4]
 //	      [-queue-cap 256] [-num-pds 4096] [-max-inflight N]
+//	      [-admit-target 5ms] [-admit-interval 100ms] [-shed-margin 0]
+//	      [-breaker-window 10s] [-breaker-cooldown 2s] [-breaker-ratio 0.5]
 //	      [-timeout 30s] [-exec-timeout 0] [-drain-timeout 30s]
 //	      [-max-body 1048576] [-pprof addr]
 //
@@ -14,8 +16,16 @@
 //
 //	POST /invoke/{fn}  run a function; the body is its ArgBuf payload
 //	GET  /healthz      200 while serving, 503 while draining
+//	GET  /readyz       overload view: drain vs degraded vs open breakers
 //	GET  /statsz       live JSON counters and latency percentiles
 //	GET  /varz         runtime internals: pool config, PD supply, queues
+//
+// Overload control (see README "Overload control & degraded modes"): the
+// admission cap is steered adaptively by queue delay (-admit-target, 0 to
+// pin the static cap), each function gets a circuit breaker
+// (-breaker-window 0 to disable), and external requests are shed with 503
+// while the free-PD supply nears the internal reserve (-shed-margin, -1
+// to disable). Every 429/503 carries Retry-After.
 //
 // With -pprof addr, net/http/pprof is served on a separate listener (keep
 // it off the public address), e.g. `-pprof localhost:6060` then
@@ -59,6 +69,12 @@ func main() {
 		queueCap      = cliutil.NewNonNegInt(0)
 		numPDs        = cliutil.NewNonNegInt(0)
 		maxInflight   = cliutil.NewNonNegInt(0)
+		admitTarget   = flag.Duration("admit-target", 5*time.Millisecond, "adaptive admission queue-delay SLO (0 = static cap only)")
+		admitInterval = flag.Duration("admit-interval", 100*time.Millisecond, "adaptive admission AIMD window")
+		shedMargin    = flag.Int("shed-margin", 0, "shed externals while free PDs <= reserve+margin (0 = auto, -1 = off)")
+		brkWindow     = flag.Duration("breaker-window", 10*time.Second, "per-function circuit-breaker failure window (0 = breakers off)")
+		brkCooldown   = flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before the half-open probe")
+		brkRatio      = flag.Float64("breaker-ratio", 0.5, "windowed failure ratio that trips a breaker")
 		timeout       = flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
 		execTimeout   = flag.Duration("exec-timeout", 0, "watchdog threshold for stuck invocations (0 = off)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
@@ -88,7 +104,21 @@ func main() {
 	// The watchdog flags (never kills — cancellation is cooperative)
 	// invocations alive past the threshold, on /statsz and /varz counters.
 	cfg.Pool.ExecTimeout = *execTimeout
+	cfg.Pool.PDShedMargin = *shedMargin
 	cfg.MaxInflight = maxInflight.Value()
+	// 0 on the CLI means "off"; the server layer reads < 0 as off and 0 as
+	// its own default, so translate.
+	cfg.AdmitTarget = *admitTarget
+	if *admitTarget == 0 {
+		cfg.AdmitTarget = -1
+	}
+	cfg.AdmitInterval = *admitInterval
+	cfg.BreakerWindow = *brkWindow
+	if *brkWindow == 0 {
+		cfg.BreakerWindow = -1
+	}
+	cfg.BreakerCooldown = *brkCooldown
+	cfg.BreakerRatio = *brkRatio
 	cfg.RequestTimeout = *timeout
 	if *timeout == 0 {
 		cfg.RequestTimeout = -1 // explicit "none"

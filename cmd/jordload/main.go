@@ -10,11 +10,23 @@
 //
 //	jordload [-addr 127.0.0.1:8034] [-fn echo] [-rps 100] [-duration 10s]
 //	         [-payload hello] [-timeout 5s] [-abandon 0] [-seed 1]
+//	         [-retries 0] [-retry-budget 0.2] [-retry-base 20ms]
+//	         [-max-p99 0] [-min-ok 0]
 //
 // -abandon cancels that fraction of requests mid-flight (after a random
 // delay up to half the client timeout) — impatient clients hanging up.
 // The server answers those with 499 if the gateway notices in time;
 // either way its /statsz Canceled counter should account for them.
+//
+// Shed responses (429/503) may be retried with -retries > 0: jittered
+// exponential backoff from -retry-base, never sooner than the server's
+// Retry-After hint, and globally capped by -retry-budget — retries stop
+// once they exceed that fraction of requests sent, so a storm of sheds
+// cannot amplify itself into more offered load (the retry-budget rule
+// from SRE practice).
+//
+// -max-p99 and -min-ok turn the run into a pass/fail smoke check: exit 1
+// if the ok-latency p99 exceeds the bound or fewer requests succeeded.
 package main
 
 import (
@@ -28,8 +40,10 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jord/internal/metrics"
@@ -40,14 +54,19 @@ func main() {
 	log.SetPrefix("jordload: ")
 
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8034", "jordd host:port")
-		fn       = flag.String("fn", "echo", "function to invoke")
-		rps      = flag.Float64("rps", 100, "offered load in requests/second (open loop)")
-		duration = flag.Duration("duration", 10*time.Second, "load duration")
-		payload  = flag.String("payload", "hello", "request payload")
-		timeout  = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
-		abandon  = flag.Float64("abandon", 0, "fraction of requests canceled mid-flight [0,1]")
-		seed     = flag.Uint64("seed", 1, "arrival-process seed")
+		addr        = flag.String("addr", "127.0.0.1:8034", "jordd host:port")
+		fn          = flag.String("fn", "echo", "function to invoke")
+		rps         = flag.Float64("rps", 100, "offered load in requests/second (open loop)")
+		duration    = flag.Duration("duration", 10*time.Second, "load duration")
+		payload     = flag.String("payload", "hello", "request payload")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+		abandon     = flag.Float64("abandon", 0, "fraction of requests canceled mid-flight [0,1]")
+		seed        = flag.Uint64("seed", 1, "arrival-process seed")
+		retries     = flag.Int("retries", 0, "max retries per request on 429/503")
+		retryBudget = flag.Float64("retry-budget", 0.2, "global retry cap as a fraction of requests sent")
+		retryBase   = flag.Duration("retry-base", 20*time.Millisecond, "backoff base; attempt n waits ~base*2^n, jittered")
+		maxP99      = flag.Duration("max-p99", 0, "fail the run if ok-latency p99 exceeds this (0 = off)")
+		minOK       = flag.Uint64("min-ok", 0, "fail the run if fewer requests succeed (0 = off)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -65,6 +84,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *retries < 0 || *retryBudget < 0 {
+		fmt.Fprintln(os.Stderr, "jordload: -retries and -retry-budget must be non-negative")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	url := fmt.Sprintf("http://%s/invoke/%s", *addr, *fn)
 	client := &http.Client{
@@ -76,17 +100,43 @@ func main() {
 	}
 
 	var (
-		hist      metrics.Histogram // client-observed latency, ns (2xx only)
-		mu        sync.Mutex
-		statuses  = make(map[int]uint64)
-		netErrs   uint64
-		abandoned uint64
-		sent      uint64
-		inflight  sync.WaitGroup
+		hist     metrics.Histogram // client-observed latency, ns (2xx only, includes retry waits)
+		mu       sync.Mutex
+		statuses = make(map[int]uint64)
+		netErrs  uint64
+		inflight sync.WaitGroup
+
+		// Status classes and retry accounting (atomics: fire goroutines).
+		ok2xx, shed429, closed499, shed503, other atomic.Uint64
+		abandoned                                 atomic.Uint64
+		sent                                      atomic.Uint64
+		retriesIssued                             atomic.Uint64
+		retriedOK                                 atomic.Uint64 // succeeded after >= 1 retry
 	)
-	// fire sends one request; abandonAfter > 0 cancels it after that delay
-	// (the client walks away; the runtime finds out via the closed
-	// connection / expired gateway context).
+	countClass := func(status int) {
+		switch {
+		case status >= 200 && status < 300:
+			ok2xx.Add(1)
+		case status == http.StatusTooManyRequests:
+			shed429.Add(1)
+		case status == 499:
+			closed499.Add(1)
+		case status == http.StatusServiceUnavailable:
+			shed503.Add(1)
+		default:
+			other.Add(1)
+		}
+	}
+	// retryAllowed enforces the global budget: total retries stay under
+	// -retry-budget x requests sent so far. Checked per retry, so the cap
+	// tracks the live run, not a final tally.
+	retryAllowed := func() bool {
+		return float64(retriesIssued.Load()+1) <= *retryBudget*float64(sent.Load())
+	}
+
+	// fire sends one request (with retries); abandonAfter > 0 cancels it
+	// after that delay (the client walks away; the runtime finds out via
+	// the closed connection / expired gateway context).
 	fire := func(abandonAfter time.Duration) {
 		defer inflight.Done()
 		ctx := context.Background()
@@ -97,31 +147,62 @@ func main() {
 			stop := time.AfterFunc(abandonAfter, cancel)
 			defer stop.Stop()
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(*payload))
-		if err != nil {
-			log.Fatal(err)
-		}
-		req.Header.Set("Content-Type", "application/octet-stream")
 		t0 := time.Now()
-		resp, err := client.Do(req)
-		if err != nil {
-			mu.Lock()
-			if errors.Is(err, context.Canceled) {
-				abandoned++
-			} else {
-				netErrs++
+		for attempt := 0; ; attempt++ {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(*payload))
+			if err != nil {
+				log.Fatal(err)
 			}
+			req.Header.Set("Content-Type", "application/octet-stream")
+			resp, err := client.Do(req)
+			if err != nil {
+				if errors.Is(err, context.Canceled) {
+					abandoned.Add(1)
+				} else {
+					mu.Lock()
+					netErrs++
+					mu.Unlock()
+				}
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			status := resp.StatusCode
+			countClass(status)
+			mu.Lock()
+			statuses[status]++
 			mu.Unlock()
-			return
+			if status == http.StatusOK {
+				hist.Record(time.Since(t0).Nanoseconds())
+				if attempt > 0 {
+					retriedOK.Add(1)
+				}
+				return
+			}
+			// Only shed responses are retryable — they are explicit "try
+			// again later", unlike 4xx/5xx semantics.
+			if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+				return
+			}
+			if attempt >= *retries || abandonAfter > 0 || !retryAllowed() {
+				return
+			}
+			retriesIssued.Add(1)
+			// Jittered exponential backoff, never sooner than the server's
+			// Retry-After hint. rand's global source is goroutine-safe.
+			delay := time.Duration(float64(*retryBase) * float64(int(1)<<attempt) * (0.5 + rand.Float64()))
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				if hint := time.Duration(ra) * time.Second; hint > delay {
+					delay = hint
+				}
+			}
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				abandoned.Add(1)
+				return
+			}
 		}
-		_, _ = io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode == http.StatusOK {
-			hist.Record(time.Since(t0).Nanoseconds())
-		}
-		mu.Lock()
-		statuses[resp.StatusCode]++
-		mu.Unlock()
 	}
 
 	log.Printf("offering %.0f rps of %q to %s for %v", *rps, *fn, url, *duration)
@@ -135,7 +216,7 @@ func main() {
 			break
 		}
 		time.Sleep(time.Until(next))
-		sent++
+		sent.Add(1)
 		// The abandonment decision (and its delay) is drawn here, on the
 		// arrival goroutine, so the run is reproducible from -seed.
 		var abandonAfter time.Duration
@@ -152,8 +233,16 @@ func main() {
 	elapsed := time.Since(start)
 
 	snap := hist.Snapshot()
-	fmt.Printf("\nsent            %d (offered %.1f rps over %v)\n", sent, float64(sent)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+	nSent := sent.Load()
+	fmt.Printf("\nsent            %d (offered %.1f rps over %v)\n", nSent, float64(nSent)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
 	fmt.Printf("ok              %d (achieved %.1f rps)\n", snap.Count, float64(snap.Count)/elapsed.Seconds())
+	fmt.Printf("classes         2xx %d   429 %d   499 %d   503 %d   other %d\n",
+		ok2xx.Load(), shed429.Load(), closed499.Load(), shed503.Load(), other.Load())
+	fmt.Printf("shed            %d (429+503 responses)\n", shed429.Load()+shed503.Load())
+	if *retries > 0 {
+		fmt.Printf("retries         %d issued, %d requests recovered by retry\n",
+			retriesIssued.Load(), retriedOK.Load())
+	}
 	codes := make([]int, 0, len(statuses))
 	for c := range statuses {
 		codes = append(codes, c)
@@ -162,8 +251,8 @@ func main() {
 	for _, c := range codes {
 		fmt.Printf("status %d      %d\n", c, statuses[c])
 	}
-	if abandoned > 0 {
-		fmt.Printf("abandoned       %d (canceled client-side)\n", abandoned)
+	if n := abandoned.Load(); n > 0 {
+		fmt.Printf("abandoned       %d (canceled client-side)\n", n)
 	}
 	if netErrs > 0 {
 		fmt.Printf("network errors  %d\n", netErrs)
@@ -172,5 +261,23 @@ func main() {
 		fmt.Printf("latency (ms)    p50 %.3f   p99 %.3f   p99.9 %.3f   mean %.3f   max %.3f\n",
 			float64(snap.P50)/1e6, float64(snap.P99)/1e6, float64(snap.P999)/1e6,
 			snap.Mean/1e6, float64(snap.Max)/1e6)
+	}
+
+	// Smoke-check assertions for CI.
+	failed := false
+	if *maxP99 > 0 && snap.Count > 0 && time.Duration(snap.P99) > *maxP99 {
+		log.Printf("FAIL: p99 %.3fms exceeds -max-p99 %v", float64(snap.P99)/1e6, *maxP99)
+		failed = true
+	}
+	if *maxP99 > 0 && snap.Count == 0 {
+		log.Printf("FAIL: -max-p99 set but no request succeeded")
+		failed = true
+	}
+	if *minOK > 0 && snap.Count < *minOK {
+		log.Printf("FAIL: %d ok responses, -min-ok wants >= %d", snap.Count, *minOK)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

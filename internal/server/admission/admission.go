@@ -1,34 +1,109 @@
-// Package admission implements the gateway's load shedding: a hard cap on
-// concurrently admitted external requests. Together with the pool's
-// bounded external queues it gives the live path the same two-level
-// backpressure the paper's worker has (bounded orchestrator queues in
-// front of JBSQ-bounded executor queues): beyond capacity, clients get an
-// immediate 429 instead of unbounded queueing.
+// Package admission implements the gateway's load shedding. Together with
+// the pool's bounded external queues it gives the live path the same
+// two-level backpressure the paper's worker has (bounded orchestrator
+// queues in front of JBSQ-bounded executor queues): beyond capacity,
+// clients get an immediate 429 instead of unbounded queueing.
+//
+// Two modes share one Controller:
+//
+//   - Static (New): a hard cap on concurrently admitted requests — the
+//     original single-knob gate.
+//   - Adaptive (NewAdaptive): a CoDel-style queue-delay controller layered
+//     under the hard cap. The pool reports each external request's queue
+//     delay (gateway submission -> executor pickup); the controller tracks
+//     the MINIMUM delay per interval — the standing queue, immune to
+//     transient bursts, exactly what CoDel's sojourn-time minimum isolates —
+//     and steers the admit limit by AIMD: if even the best-served request
+//     waited longer than the target, the worker is oversubscribed and the
+//     limit decreases multiplicatively; otherwise it recovers additively
+//     toward the hard cap. The SLO (the delay target) drives admission, so
+//     goodput holds near capacity instead of collapsing into queueing.
+//
+// The hot path stays allocation-free and lock-free: Admit is two atomic
+// ops, Observe is an atomic min plus, once per interval, one CAS.
 package admission
 
-import "sync/atomic"
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
 
 // Controller is a concurrency-safe admission gate. The zero value admits
-// nothing; use New.
+// nothing; use New or NewAdaptive.
 type Controller struct {
-	max      int64
+	max      int64 // hard cap (0 = unlimited); the adaptive limit never exceeds it
+	limit    atomic.Int64
 	inflight atomic.Int64
 
 	admitted atomic.Uint64
 	rejected atomic.Uint64
+
+	// Adaptive state; all zero for a static controller.
+	targetNS   int64 // queue-delay SLO the AIMD loop steers to
+	intervalNS int64 // evaluation window
+	minLimit   int64 // decrease floor (keep every executor busy)
+	step       int64 // additive-increase step per good interval
+
+	winMin    atomic.Int64 // minimum observed queue delay this interval
+	winEnd    atomic.Int64 // unix ns at which the current interval closes
+	increases atomic.Uint64
+	decreases atomic.Uint64
 }
 
-// New returns a Controller admitting at most max concurrent requests
-// (max <= 0 means unlimited).
+// New returns a static Controller admitting at most max concurrent
+// requests (max <= 0 means unlimited).
 func New(max int) *Controller {
-	return &Controller{max: int64(max)}
+	c := &Controller{max: int64(max)}
+	c.limit.Store(int64(max))
+	return c
+}
+
+// NewAdaptive returns a Controller whose admit limit starts at max and is
+// steered by AIMD on the queue delays fed to Observe: if the minimum delay
+// over an interval exceeds target the limit shrinks multiplicatively
+// (never below minLimit), otherwise it grows additively back toward max.
+// max must be positive — the adaptive limit needs a finite ceiling.
+func NewAdaptive(max, minLimit int, target, interval time.Duration) *Controller {
+	if max < 1 {
+		max = 1
+	}
+	if minLimit < 1 {
+		minLimit = 1
+	}
+	if minLimit > max {
+		minLimit = max
+	}
+	if target <= 0 {
+		target = 5 * time.Millisecond
+	}
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	c := &Controller{
+		max:        int64(max),
+		targetNS:   target.Nanoseconds(),
+		intervalNS: interval.Nanoseconds(),
+		minLimit:   int64(minLimit),
+	}
+	// Recover a fully collapsed limit to max in ~1s of good intervals.
+	c.step = c.max / 8
+	if c.step < 1 {
+		c.step = 1
+	}
+	c.limit.Store(c.max)
+	c.winMin.Store(math.MaxInt64)
+	c.winEnd.Store(time.Now().UnixNano() + c.intervalNS)
+	return c
 }
 
 // Admit tries to take one slot. It returns a release function and true on
 // success; the caller must invoke release exactly once when the request
-// finishes. On false the request must be rejected (429).
+// finishes (extra invocations are no-ops). On false the request must be
+// rejected (429).
 func (c *Controller) Admit() (release func(), ok bool) {
-	if n := c.inflight.Add(1); c.max > 0 && n > c.max {
+	lim := c.limit.Load()
+	if n := c.inflight.Add(1); lim > 0 && n > lim {
 		c.inflight.Add(-1)
 		c.rejected.Add(1)
 		return nil, false
@@ -42,6 +117,68 @@ func (c *Controller) Admit() (release func(), ok bool) {
 	}, true
 }
 
+// Observe feeds one external request's measured queue delay (gateway
+// submission -> executor pickup) into the adaptive loop. A no-op on static
+// controllers. Safe for concurrent use from executor goroutines; the cost
+// is an atomic min, plus one AIMD step per elapsed interval.
+func (c *Controller) Observe(d time.Duration) {
+	if c.intervalNS == 0 {
+		return
+	}
+	c.observe(d.Nanoseconds(), time.Now().UnixNano())
+}
+
+func (c *Controller) observe(delayNS, now int64) {
+	// Track the interval's minimum: the standing queue delay. The CAS loop
+	// terminates because winMin only decreases within an interval.
+	for {
+		cur := c.winMin.Load()
+		if delayNS >= cur {
+			break
+		}
+		if c.winMin.CompareAndSwap(cur, delayNS) {
+			break
+		}
+	}
+	end := c.winEnd.Load()
+	if now < end {
+		return
+	}
+	// Interval boundary: exactly one observer wins the CAS and applies the
+	// AIMD step. A sample racing between the CAS and the Swap may land in
+	// either interval — harmless for a control signal.
+	if !c.winEnd.CompareAndSwap(end, now+c.intervalNS) {
+		return
+	}
+	minDelay := c.winMin.Swap(math.MaxInt64)
+	if minDelay == math.MaxInt64 {
+		return // no samples this interval (cannot normally happen: ours landed)
+	}
+	lim := c.limit.Load()
+	var next int64
+	if minDelay > c.targetNS {
+		// Even the best-served request waited past the target: the worker
+		// is oversubscribed. Multiplicative decrease.
+		next = lim * 7 / 8
+		if next < c.minLimit {
+			next = c.minLimit
+		}
+		if next != lim {
+			c.decreases.Add(1)
+		}
+	} else {
+		// Standing queue within the SLO: additive recovery toward the cap.
+		next = lim + c.step
+		if next > c.max {
+			next = c.max
+		}
+		if next != lim {
+			c.increases.Add(1)
+		}
+	}
+	c.limit.Store(next)
+}
+
 // Inflight returns the number of currently admitted requests.
 func (c *Controller) Inflight() int64 { return c.inflight.Load() }
 
@@ -51,5 +188,23 @@ func (c *Controller) Admitted() uint64 { return c.admitted.Load() }
 // Rejected returns the cumulative rejected count.
 func (c *Controller) Rejected() uint64 { return c.rejected.Load() }
 
-// Max returns the configured cap (0 = unlimited).
+// Max returns the configured hard cap (0 = unlimited).
 func (c *Controller) Max() int64 { return c.max }
+
+// Limit returns the current admit limit: the AIMD-steered value on an
+// adaptive controller, the hard cap on a static one.
+func (c *Controller) Limit() int64 { return c.limit.Load() }
+
+// Adaptive reports whether the AIMD loop is active.
+func (c *Controller) Adaptive() bool { return c.intervalNS != 0 }
+
+// Target returns the queue-delay SLO (0 on static controllers).
+func (c *Controller) Target() time.Duration { return time.Duration(c.targetNS) }
+
+// Interval returns the AIMD evaluation interval (0 on static controllers).
+func (c *Controller) Interval() time.Duration { return time.Duration(c.intervalNS) }
+
+// Increases and Decreases return the cumulative AIMD step counts — the
+// /statsz view of how hard the controller is working.
+func (c *Controller) Increases() uint64 { return c.increases.Load() }
+func (c *Controller) Decreases() uint64 { return c.decreases.Load() }

@@ -1,0 +1,280 @@
+package admission
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStaticAdmitCap(t *testing.T) {
+	c := New(2)
+	r1, ok := c.Admit()
+	r2, ok2 := c.Admit()
+	if !ok || !ok2 {
+		t.Fatal("first two admits must succeed")
+	}
+	if _, ok := c.Admit(); ok {
+		t.Fatal("third admit must be rejected at cap 2")
+	}
+	if got := c.Rejected(); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+	r1()
+	if _, ok := c.Admit(); !ok {
+		t.Fatal("admit after release must succeed")
+	}
+	r2()
+	if got := c.Admitted(); got != 3 {
+		t.Fatalf("admitted = %d, want 3", got)
+	}
+}
+
+func TestUnlimitedController(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 100; i++ {
+		if _, ok := c.Admit(); !ok {
+			t.Fatal("unlimited controller rejected")
+		}
+	}
+	if c.Rejected() != 0 {
+		t.Fatal("unlimited controller counted rejections")
+	}
+}
+
+// TestDoubleReleaseIdempotent proves release is exactly-once: calling it
+// again (including concurrently) must not free a second slot or drive the
+// inflight count negative.
+func TestDoubleReleaseIdempotent(t *testing.T) {
+	c := New(1)
+	release, ok := c.Admit()
+	if !ok {
+		t.Fatal("admit failed")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release()
+			release()
+		}()
+	}
+	wg.Wait()
+	if got := c.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d after double releases, want 0", got)
+	}
+	// The slot freed exactly once: the cap still holds.
+	r, ok := c.Admit()
+	if !ok {
+		t.Fatal("admit after release failed")
+	}
+	if _, ok := c.Admit(); ok {
+		t.Fatal("cap 1 violated after double release")
+	}
+	r()
+}
+
+// TestConcurrentAdmitAtBoundary hammers Admit/release from many goroutines
+// against a small cap and asserts the invariant the gate exists for: the
+// number of concurrently admitted requests never exceeds the limit. Run
+// under -race, this is also the memory-safety test for the atomics.
+func TestConcurrentAdmitAtBoundary(t *testing.T) {
+	const (
+		cap     = 7
+		workers = 32
+		iters   = 2000
+	)
+	c := New(cap)
+	var (
+		cur, peak atomic.Int64
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				release, ok := c.Admit()
+				if !ok {
+					continue
+				}
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				runtime.Gosched() // hold the slot so peers hit the boundary
+				cur.Add(-1)
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > cap {
+		t.Fatalf("admitted concurrency peaked at %d, cap is %d", p, cap)
+	}
+	if got := c.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d after all releases, want 0", got)
+	}
+	if c.Admitted() == 0 || c.Rejected() == 0 {
+		t.Fatalf("boundary never exercised: admitted=%d rejected=%d", c.Admitted(), c.Rejected())
+	}
+}
+
+// TestAIMDDecreaseAndRecovery drives the adaptive loop with synthetic
+// delays: sustained delays above the target must shrink the limit
+// multiplicatively (floored at minLimit), and delays back under the target
+// must recover it additively to the cap.
+func TestAIMDDecreaseAndRecovery(t *testing.T) {
+	const (
+		max      = 640
+		minLimit = 10
+	)
+	target := 5 * time.Millisecond
+	interval := 100 * time.Millisecond
+	c := NewAdaptive(max, minLimit, target, interval)
+	if !c.Adaptive() {
+		t.Fatal("controller not adaptive")
+	}
+	if c.Limit() != max {
+		t.Fatalf("initial limit = %d, want %d", c.Limit(), max)
+	}
+
+	now := time.Now().UnixNano()
+	bad := (10 * time.Millisecond).Nanoseconds()
+	// Each tick past the interval boundary applies one AIMD step.
+	c.observe(bad, now)
+	for i := 1; i <= 3; i++ {
+		now += interval.Nanoseconds() + 1
+		c.observe(bad, now)
+	}
+	if got, want := c.Limit(), int64(max*7/8*7/8*7/8); got != want {
+		t.Fatalf("limit after 3 bad intervals = %d, want %d", got, want)
+	}
+	if c.Decreases() != 3 {
+		t.Fatalf("decreases = %d, want 3", c.Decreases())
+	}
+
+	// Collapse to the floor.
+	for i := 0; i < 100; i++ {
+		now += interval.Nanoseconds() + 1
+		c.observe(bad, now)
+	}
+	if got := c.Limit(); got != minLimit {
+		t.Fatalf("limit = %d, want floor %d", got, minLimit)
+	}
+
+	// Recovery: good intervals climb back to max and stop there.
+	good := time.Millisecond.Nanoseconds()
+	for i := 0; i < 100; i++ {
+		now += interval.Nanoseconds() + 1
+		c.observe(good, now)
+	}
+	if got := c.Limit(); got != max {
+		t.Fatalf("limit after recovery = %d, want %d", got, max)
+	}
+	if c.Increases() == 0 {
+		t.Fatal("no additive increases counted")
+	}
+}
+
+// TestAIMDUsesIntervalMinimum checks the CoDel property: one slow outlier
+// inside an otherwise healthy interval must NOT shrink the limit — only a
+// standing queue (minimum above target) does.
+func TestAIMDUsesIntervalMinimum(t *testing.T) {
+	c := NewAdaptive(100, 4, 5*time.Millisecond, 100*time.Millisecond)
+	// Force one decrease so the limit is below max (recovery is visible).
+	now := time.Now().UnixNano()
+	c.observe((50 * time.Millisecond).Nanoseconds(), now)
+	now += c.intervalNS + 1
+	c.observe((50 * time.Millisecond).Nanoseconds(), now)
+	lowered := c.Limit()
+	if lowered >= 100 {
+		t.Fatalf("setup: limit = %d, want < 100", lowered)
+	}
+	// Mixed interval: a burst outlier plus a fast request. Minimum is fast,
+	// so the next boundary must increase, not decrease.
+	c.observe((80 * time.Millisecond).Nanoseconds(), now+1)
+	c.observe(time.Millisecond.Nanoseconds(), now+2)
+	now += c.intervalNS + 1
+	c.observe(time.Millisecond.Nanoseconds(), now)
+	if got := c.Limit(); got <= lowered {
+		t.Fatalf("limit = %d after healthy-minimum interval, want > %d", got, lowered)
+	}
+}
+
+// TestAdaptiveAdmitRespectsLoweredLimit verifies Admit enforces the
+// AIMD-steered limit, not just the hard cap.
+func TestAdaptiveAdmitRespectsLoweredLimit(t *testing.T) {
+	c := NewAdaptive(1000, 1, 5*time.Millisecond, 100*time.Millisecond)
+	// Drive the limit down to the floor.
+	now := time.Now().UnixNano()
+	bad := time.Second.Nanoseconds()
+	for i := 0; i < 200; i++ {
+		c.observe(bad, now)
+		now += c.intervalNS + 1
+	}
+	if c.Limit() != 1 {
+		t.Fatalf("limit = %d, want 1", c.Limit())
+	}
+	release, ok := c.Admit()
+	if !ok {
+		t.Fatal("first admit under limit 1 failed")
+	}
+	if _, ok := c.Admit(); ok {
+		t.Fatal("second admit exceeded the adaptive limit")
+	}
+	release()
+}
+
+// TestAdaptiveConcurrentObserve runs Observe and Admit concurrently under
+// -race: the control loop must be safe against itself and the admit path.
+func TestAdaptiveConcurrentObserve(t *testing.T) {
+	c := NewAdaptive(64, 2, time.Millisecond, 2*time.Millisecond)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := time.Duration(w) * 700 * time.Microsecond
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Observe(d)
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if release, ok := c.Admit(); ok {
+						release()
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if lim := c.Limit(); lim < 2 || lim > 64 {
+		t.Fatalf("limit %d escaped [minLimit, max]", lim)
+	}
+	if got := c.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d, want 0", got)
+	}
+}

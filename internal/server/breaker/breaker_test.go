@@ -1,0 +1,226 @@
+package breaker
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{
+		Window:       time.Second,
+		Buckets:      10,
+		MinSamples:   5,
+		FailureRatio: 0.5,
+		Cooldown:     100 * time.Millisecond,
+	}
+}
+
+// record n outcomes at now.
+func record(b *Breaker, n int, failure bool, now time.Time) {
+	for i := 0; i < n; i++ {
+		b.Record(failure, false, now)
+	}
+}
+
+func TestTripOnFailureRatio(t *testing.T) {
+	b := New(testConfig())
+	now := time.Unix(1000, 0)
+	record(b, 4, true, now)
+	if b.State() != Closed {
+		t.Fatalf("tripped below MinSamples: state %v after 4 failures", b.State())
+	}
+	record(b, 1, true, now)
+	if b.State() != Open {
+		t.Fatalf("state = %v after 5/5 failures, want open", b.State())
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+	probe, ok, retry := b.Allow(now.Add(10 * time.Millisecond))
+	if ok || probe {
+		t.Fatal("open breaker admitted a request inside cooldown")
+	}
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want (0, cooldown]", retry)
+	}
+	if b.ShortCircuits() != 1 {
+		t.Fatalf("short circuits = %d, want 1", b.ShortCircuits())
+	}
+}
+
+func TestStaysClosedUnderRatio(t *testing.T) {
+	b := New(testConfig())
+	now := time.Unix(1000, 0)
+	// 40% failures over plenty of samples: below the 0.5 ratio.
+	record(b, 12, false, now)
+	record(b, 8, true, now)
+	if b.State() != Closed {
+		t.Fatalf("state = %v at 40%% failures, want closed", b.State())
+	}
+	if probe, ok, _ := b.Allow(now); !ok || probe {
+		t.Fatal("closed breaker refused a request")
+	}
+}
+
+func TestHalfOpenProbeSuccessCloses(t *testing.T) {
+	b := New(testConfig())
+	now := time.Unix(1000, 0)
+	record(b, 5, true, now)
+	if b.State() != Open {
+		t.Fatal("setup: breaker did not trip")
+	}
+	after := now.Add(150 * time.Millisecond) // past cooldown
+	probe, ok, _ := b.Allow(after)
+	if !ok || !probe {
+		t.Fatalf("post-cooldown Allow = (probe=%v ok=%v), want probe admission", probe, ok)
+	}
+	// A second request during the probe is still refused.
+	if _, ok2, retry := b.Allow(after); ok2 {
+		t.Fatal("second request admitted during half-open probe")
+	} else if retry <= 0 {
+		t.Fatal("half-open refusal carried no retry hint")
+	}
+	b.Record(false, true, after)
+	if b.State() != Closed {
+		t.Fatalf("state = %v after successful probe, want closed", b.State())
+	}
+	// Window was reset: old failures must not re-trip on the next outcome.
+	b.Record(true, false, after)
+	if b.State() != Closed {
+		t.Fatal("breaker re-tripped from stale window after close")
+	}
+}
+
+func TestHalfOpenProbeFailureReopens(t *testing.T) {
+	b := New(testConfig())
+	now := time.Unix(1000, 0)
+	record(b, 5, true, now)
+	after := now.Add(150 * time.Millisecond)
+	probe, ok, _ := b.Allow(after)
+	if !ok || !probe {
+		t.Fatal("probe not admitted")
+	}
+	b.Record(true, true, after)
+	if b.State() != Open {
+		t.Fatalf("state = %v after failed probe, want open", b.State())
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+	// The fresh cooldown starts at the probe failure.
+	if _, ok, _ := b.Allow(after.Add(50 * time.Millisecond)); ok {
+		t.Fatal("admitted inside the re-opened cooldown")
+	}
+	if probe, ok, _ := b.Allow(after.Add(150 * time.Millisecond)); !ok || !probe {
+		t.Fatal("no new probe after the re-opened cooldown")
+	}
+}
+
+func TestCancelProbeFreesSlot(t *testing.T) {
+	b := New(testConfig())
+	now := time.Unix(1000, 0)
+	record(b, 5, true, now)
+	after := now.Add(150 * time.Millisecond)
+	if probe, ok, _ := b.Allow(after); !ok || !probe {
+		t.Fatal("probe not admitted")
+	}
+	// The probe never reached the function (e.g. admission shed): no verdict.
+	b.CancelProbe()
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v after canceled probe, want half-open", b.State())
+	}
+	if probe, ok, _ := b.Allow(after.Add(time.Millisecond)); !ok || !probe {
+		t.Fatal("next request did not become the new probe")
+	}
+}
+
+func TestFailuresAgeOutOfWindow(t *testing.T) {
+	b := New(testConfig())
+	now := time.Unix(1000, 0)
+	// 4 failures now (below MinSamples), then one more two windows later:
+	// the old ones must have aged out, so no trip.
+	record(b, 4, true, now)
+	later := now.Add(2 * time.Second)
+	record(b, 1, true, later)
+	if b.State() != Closed {
+		t.Fatalf("state = %v: aged-out failures still tripped the breaker", b.State())
+	}
+}
+
+func TestWatchdogFaultTrips(t *testing.T) {
+	s := NewSet(testConfig(), []string{"stuck", "fine"})
+	b := s.For("stuck")
+	now := time.Now()
+	for i := 0; i < 5; i++ {
+		b.RecordFault(now)
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v after 5 watchdog faults, want open", b.State())
+	}
+	if s.For("fine").State() != Closed {
+		t.Fatal("unrelated function's breaker moved")
+	}
+	nc := s.NotClosed()
+	if len(nc) != 1 || nc[0] != "stuck" {
+		t.Fatalf("NotClosed = %v, want [stuck]", nc)
+	}
+}
+
+func TestSetLookup(t *testing.T) {
+	var nilSet *Set
+	if nilSet.For("x") != nil {
+		t.Fatal("nil set returned a breaker")
+	}
+	if nilSet.NotClosed() != nil {
+		t.Fatal("nil set reported open breakers")
+	}
+	s := NewSet(Config{}, []string{"a"})
+	if s.For("a") == nil || s.For("b") != nil {
+		t.Fatal("set lookup wrong")
+	}
+	if s.Config().Window != 10*time.Second {
+		t.Fatalf("defaults not applied: window = %v", s.Config().Window)
+	}
+}
+
+// TestConcurrentTraffic hammers one breaker from many goroutines under
+// -race: failures trip it, probes cycle it, and the state must always be
+// one of the three legal values with counters consistent.
+func TestConcurrentTraffic(t *testing.T) {
+	b := New(Config{
+		Window:       100 * time.Millisecond,
+		Buckets:      4,
+		MinSamples:   10,
+		FailureRatio: 0.5,
+		Cooldown:     5 * time.Millisecond,
+	})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				now := time.Now()
+				probe, ok, _ := b.Allow(now)
+				if !ok {
+					continue
+				}
+				// Half the workers always fail, half always succeed.
+				b.Record(w%2 == 0, probe, now)
+			}
+		}(w)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if s := b.State(); s != Closed && s != Open && s != HalfOpen {
+		t.Fatalf("illegal state %d", s)
+	}
+}

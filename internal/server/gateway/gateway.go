@@ -1,8 +1,9 @@
 // Package gateway is the live serving path's HTTP front end: the jordd
-// endpoints (POST /invoke/{fn}, GET /healthz, GET /statsz, GET /varz) in
-// front of the worker pool, with admission control, per-request deadlines,
-// and drain awareness. It plays the role tinyFaaS-style reverse proxies and
-// faasd's gateway play in single-binary FaaS daemons, but dispatches into
+// endpoints (POST /invoke/{fn}, GET /healthz, GET /readyz, GET /statsz,
+// GET /varz) in front of the worker pool, with admission control,
+// per-function circuit breakers, per-request deadlines, and drain
+// awareness. It plays the role tinyFaaS-style reverse proxies and faasd's
+// gateway play in single-binary FaaS daemons, but dispatches into
 // in-process protection domains instead of containers.
 package gateway
 
@@ -13,10 +14,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"jord/internal/server/admission"
+	"jord/internal/server/breaker"
 	"jord/internal/server/pool"
 	"jord/internal/server/router"
 )
@@ -26,6 +29,11 @@ type Gateway struct {
 	Reg  *router.Registry
 	Pool *pool.Pool
 	Adm  *admission.Controller
+
+	// Breakers holds one circuit breaker per registered function; a
+	// function whose breaker is open answers 503 + Retry-After without
+	// touching the pool. nil disables breakers entirely.
+	Breakers *breaker.Set
 
 	// RequestTimeout is the per-request deadline applied to every
 	// invocation (0 = none). Requests that exceed it — queued or running —
@@ -50,9 +58,29 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /invoke/{fn}", g.handleInvoke)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /readyz", g.handleReadyz)
 	mux.HandleFunc("GET /statsz", g.handleStatsz)
 	mux.HandleFunc("GET /varz", g.handleVarz)
 	return mux
+}
+
+// retryAfter stamps the client-backoff hint every 429/503 carries. The
+// header is whole seconds, rounded up, minimum 1 — sub-second hints would
+// serialize as "0", which clients read as "retry immediately".
+func retryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// Degraded reports whether the pool is inside its tiered-shedding band:
+// the free-PD supply is at or below the shed threshold, so external
+// admissions are being refused to protect internal (nested) progress.
+func (g *Gateway) Degraded() bool {
+	thr := g.Pool.ShedThreshold()
+	return thr > 0 && g.Pool.Table().FreeCount() <= thr
 }
 
 func (g *Gateway) maxBody() int64 {
@@ -65,6 +93,7 @@ func (g *Gateway) maxBody() int64 {
 func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	fn := r.PathValue("fn")
 	if g.draining.Load() {
+		retryAfter(w, 5*time.Second)
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -72,9 +101,29 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown function %q", fn), http.StatusNotFound)
 		return
 	}
+
+	// Circuit breaker first: a quarantined function is refused before it
+	// can consume an admission slot or pool resources.
+	var (
+		brk   *breaker.Breaker
+		probe bool
+	)
+	if b := g.Breakers.For(fn); b != nil {
+		p, ok, retry := b.Allow(time.Now())
+		if !ok {
+			retryAfter(w, retry)
+			http.Error(w, fmt.Sprintf("circuit open for %q", fn), http.StatusServiceUnavailable)
+			return
+		}
+		brk, probe = b, p
+	}
+
 	release, ok := g.Adm.Admit()
 	if !ok {
-		w.Header().Set("Retry-After", "1")
+		if probe {
+			brk.CancelProbe() // the refusal says nothing about the function
+		}
+		retryAfter(w, time.Second)
 		http.Error(w, "saturated: too many requests in flight", http.StatusTooManyRequests)
 		return
 	}
@@ -82,10 +131,16 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 
 	payload, err := io.ReadAll(io.LimitReader(r.Body, g.maxBody()+1))
 	if err != nil {
+		if probe {
+			brk.CancelProbe()
+		}
 		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	if int64(len(payload)) > g.maxBody() {
+		if probe {
+			brk.CancelProbe()
+		}
 		http.Error(w, "payload too large", http.StatusRequestEntityTooLarge)
 		return
 	}
@@ -98,6 +153,9 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp, err := g.Pool.Invoke(ctx, fn, payload)
+	if brk != nil {
+		g.recordOutcome(brk, probe, err)
+	}
 	if err != nil {
 		g.writeInvokeError(w, err)
 		return
@@ -107,21 +165,49 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(resp)
 }
 
+// recordOutcome classifies one invocation result for the function's
+// breaker. Failures are signals the FUNCTION is sick: panics and blown
+// deadlines. Backpressure outcomes (saturation, degradation, drain, client
+// gone) say nothing about the function and are not recorded — for a probe
+// they release the slot so the next request probes again. Everything else,
+// including application errors the body returned deliberately, counts as
+// success: a function returning errors is working as programmed.
+func (g *Gateway) recordOutcome(brk *breaker.Breaker, probe bool, err error) {
+	switch {
+	case err == nil:
+		brk.Record(false, probe, time.Now())
+	case errors.Is(err, pool.ErrPanicked), errors.Is(err, context.DeadlineExceeded):
+		brk.Record(true, probe, time.Now())
+	case errors.Is(err, pool.ErrSaturated), errors.Is(err, pool.ErrDegraded),
+		errors.Is(err, pool.ErrDraining), errors.Is(err, context.Canceled):
+		if probe {
+			brk.CancelProbe()
+		}
+	default:
+		brk.Record(false, probe, time.Now())
+	}
+}
+
 // StatusClientClosedRequest is nginx's non-standard 499: the client went
 // away before the response was ready. Pool cancellations map onto it so
 // abandoned requests are accounted as client behavior, not server errors.
 const StatusClientClosedRequest = 499
 
 // writeInvokeError maps pool errors onto HTTP statuses: saturation is
-// backpressure (429), deadlines are gateway timeouts (504), cancellations
-// are client-closed-request (499), drain is 503, anything else — including
-// isolation faults and function errors — is a plain 500 with the message.
+// backpressure (429), tiered degradation and drain are 503, deadlines are
+// gateway timeouts (504), cancellations are client-closed-request (499),
+// anything else — including isolation faults and function errors — is a
+// plain 500 with the message. Every 429/503 carries Retry-After.
 func (g *Gateway) writeInvokeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, pool.ErrSaturated):
-		w.Header().Set("Retry-After", "1")
+		retryAfter(w, time.Second)
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, pool.ErrDegraded):
+		retryAfter(w, time.Second)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, pool.ErrDraining):
+		retryAfter(w, 5*time.Second)
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, pool.ErrUnknownFunction):
 		http.Error(w, err.Error(), http.StatusNotFound)
@@ -145,6 +231,48 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	_, _ = io.WriteString(w, "ok\n")
 }
 
+// Readyz is the /readyz document: the overload-control view of the node,
+// distinguishing WHY it is (or is not) taking traffic — drain (going
+// away), degraded (PD pressure, shedding externals), quarantined
+// functions (per-function breakers open; the node itself still serves).
+type Readyz struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+	// Degraded is the tiered-shedding state: free PDs at or below the shed
+	// threshold, externals refused to protect internal progress.
+	Degraded bool `json:"degraded"`
+	// AdmitLimit is the current (AIMD-steered) admission limit vs its cap.
+	AdmitLimit int64 `json:"admit_limit"`
+	AdmitMax   int64 `json:"admit_max"`
+	// OpenBreakers lists functions currently quarantined (breaker open or
+	// half-open). The node stays ready: other functions serve normally.
+	OpenBreakers []string `json:"open_breakers,omitempty"`
+}
+
+// handleReadyz answers 200 while the node should receive traffic and 503
+// while it should not (draining, or degraded by PD pressure) — always with
+// the full JSON state so operators see WHICH condition tripped. Open
+// breakers alone do not fail readiness: they quarantine single functions,
+// not the node.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	doc := Readyz{
+		Draining:     g.draining.Load(),
+		Degraded:     g.Degraded(),
+		AdmitLimit:   g.Adm.Limit(),
+		AdmitMax:     g.Adm.Max(),
+		OpenBreakers: g.Breakers.NotClosed(),
+	}
+	doc.Ready = !doc.Draining && !doc.Degraded
+	w.Header().Set("Content-Type", "application/json")
+	if !doc.Ready {
+		retryAfter(w, time.Second)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
 // FuncStatsz is one function's row in the /statsz report. Latencies are
 // microseconds, measured arrival -> completion on the live path.
 type FuncStatsz struct {
@@ -152,6 +280,9 @@ type FuncStatsz struct {
 	Count         uint64  `json:"count"`
 	Errors        uint64  `json:"errors"`
 	Watchdog      uint64  `json:"watchdog,omitempty"` // flagged past ExecTimeout
+	Breaker       string  `json:"breaker,omitempty"`  // closed | open | half-open
+	BreakerTrips  uint64  `json:"breaker_trips,omitempty"`
+	ShortCircuits uint64  `json:"short_circuits,omitempty"` // 503s served while not closed
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P50Us         float64 `json:"p50_us"`
 	P99Us         float64 `json:"p99_us"`
@@ -169,11 +300,24 @@ type Statsz struct {
 	Admitted uint64 `json:"admitted"`
 	Rejected uint64 `json:"rejected"` // gateway admission rejections
 
+	// Adaptive admission: the AIMD-steered limit under the hard cap, and
+	// how often each direction has fired.
+	AdmitLimit     int64  `json:"admit_limit"`
+	AdmitMax       int64  `json:"admit_max"`
+	AdmitAdaptive  bool   `json:"admit_adaptive"`
+	AdmitIncreases uint64 `json:"admit_increases,omitempty"`
+	AdmitDecreases uint64 `json:"admit_decreases,omitempty"`
+
+	// Degraded mirrors /readyz: free PDs at or below the shed threshold.
+	Degraded     bool     `json:"degraded"`
+	OpenBreakers []string `json:"open_breakers,omitempty"`
+
 	PoolDispatched uint64 `json:"pool_dispatched"`
 	PoolCompleted  uint64 `json:"pool_completed"`
 	PoolExpired    uint64 `json:"pool_expired"`  // deadline-exceeded completions (504)
 	PoolCanceled   uint64 `json:"pool_canceled"` // caller-gone completions (499)
 	PoolRejected   uint64 `json:"pool_rejected"` // external-queue 429s
+	PoolShed       uint64 `json:"pool_shed"`     // tiered-shedding 503s (PD pressure)
 	PoolOrphaned   uint64 `json:"pool_orphaned"` // children detached at parent teardown
 	PoolWatchdog   uint64 `json:"pool_watchdog"` // invocations flagged past ExecTimeout
 	PoolSwept      uint64 `json:"pool_swept"`    // dead requests reaped pre-dispatch
@@ -198,11 +342,19 @@ func (g *Gateway) Snapshot() Statsz {
 		Inflight:       g.Adm.Inflight(),
 		Admitted:       g.Adm.Admitted(),
 		Rejected:       g.Adm.Rejected(),
+		AdmitLimit:     g.Adm.Limit(),
+		AdmitMax:       g.Adm.Max(),
+		AdmitAdaptive:  g.Adm.Adaptive(),
+		AdmitIncreases: g.Adm.Increases(),
+		AdmitDecreases: g.Adm.Decreases(),
+		Degraded:       g.Degraded(),
+		OpenBreakers:   g.Breakers.NotClosed(),
 		PoolDispatched: st.Dispatched.Load(),
 		PoolCompleted:  st.Completed.Load(),
 		PoolExpired:    st.Expired.Load(),
 		PoolCanceled:   st.Canceled.Load(),
 		PoolRejected:   st.Rejected.Load(),
+		PoolShed:       st.Shed.Load(),
 		PoolOrphaned:   st.Orphaned.Load(),
 		PoolWatchdog:   st.Watchdog.Load(),
 		PoolSwept:      st.Swept.Load(),
@@ -224,6 +376,11 @@ func (g *Gateway) Snapshot() Statsz {
 			P999Us:   float64(snap.P999) / 1e3,
 			MeanUs:   snap.Mean / 1e3,
 			MaxUs:    float64(snap.Max) / 1e3,
+		}
+		if b := g.Breakers.For(fs.Name); b != nil {
+			row.Breaker = b.State().String()
+			row.BreakerTrips = b.Trips()
+			row.ShortCircuits = b.ShortCircuits()
 		}
 		if uptime > 0 {
 			row.ThroughputRPS = float64(row.Count) / uptime
@@ -252,9 +409,25 @@ type Varz struct {
 	ExternalQueueCap int     `json:"external_queue_cap"`
 	NumPDs           int     `json:"num_pds"`
 	PDReserve        int     `json:"pd_reserve"`
+	PDShedMargin     int     `json:"pd_shed_margin"` // 0 = tiered shedding off
+	ShedThreshold    int     `json:"shed_threshold"` // free PDs <= this => degraded
 	PDShards         int     `json:"pd_shards"`
 	ExecTimeoutMs    float64 `json:"exec_timeout_ms"`   // 0 = watchdog off
 	SweepIntervalMs  float64 `json:"sweep_interval_ms"` // <= 0 = sweeper off
+
+	// Admission: the AIMD-steered limit (== admit_max on static gates) and
+	// the controller's knobs.
+	AdmitLimit      int64   `json:"admit_limit"`
+	AdmitMax        int64   `json:"admit_max"`
+	AdmitAdaptive   bool    `json:"admit_adaptive"`
+	AdmitTargetMs   float64 `json:"admit_target_ms,omitempty"`   // queue-delay SLO
+	AdmitIntervalMs float64 `json:"admit_interval_ms,omitempty"` // AIMD window
+
+	// Breakers: shared configuration; per-function state lives in /statsz.
+	BreakersEnabled   bool    `json:"breakers_enabled"`
+	BreakerWindowMs   float64 `json:"breaker_window_ms,omitempty"`
+	BreakerCooldownMs float64 `json:"breaker_cooldown_ms,omitempty"`
+	BreakerRatio      float64 `json:"breaker_ratio,omitempty"`
 
 	PDFree   int    `json:"pd_free"`
 	PDLive   int    `json:"pd_live"`
@@ -266,7 +439,9 @@ type Varz struct {
 	Orphaned uint64 `json:"orphaned"` // children detached at parent teardown
 	Watchdog uint64 `json:"watchdog"` // invocations flagged past ExecTimeout
 	Swept    uint64 `json:"swept"`    // dead requests reaped pre-dispatch
+	Shed     uint64 `json:"shed"`     // externals refused by tiered shedding
 	Draining bool   `json:"draining"`
+	Degraded bool   `json:"degraded"` // free PDs at or below shed threshold
 
 	ExternalQueue int `json:"external_queue_depth"`
 	InternalQueue int `json:"internal_queue_depth"`
@@ -285,9 +460,16 @@ func (g *Gateway) handleVarz(w http.ResponseWriter, _ *http.Request) {
 		ExternalQueueCap: cfg.ExternalQueueCap,
 		NumPDs:           cfg.NumPDs,
 		PDReserve:        cfg.PDReserve,
+		PDShedMargin:     cfg.PDShedMargin,
+		ShedThreshold:    g.Pool.ShedThreshold(),
 		PDShards:         tab.Shards(),
 		ExecTimeoutMs:    float64(cfg.ExecTimeout) / 1e6,
 		SweepIntervalMs:  float64(cfg.SweepInterval) / 1e6,
+		AdmitLimit:       g.Adm.Limit(),
+		AdmitMax:         g.Adm.Max(),
+		AdmitAdaptive:    g.Adm.Adaptive(),
+		AdmitTargetMs:    float64(g.Adm.Target()) / 1e6,
+		AdmitIntervalMs:  float64(g.Adm.Interval()) / 1e6,
 		PDFree:           tab.FreeCount(),
 		PDLive:           tab.LivePDs(),
 		Cgets:            tab.Cgets(),
@@ -298,10 +480,19 @@ func (g *Gateway) handleVarz(w http.ResponseWriter, _ *http.Request) {
 		Orphaned:         st.Orphaned.Load(),
 		Watchdog:         st.Watchdog.Load(),
 		Swept:            st.Swept.Load(),
+		Shed:             st.Shed.Load(),
 		Draining:         g.draining.Load(),
+		Degraded:         g.Degraded(),
 		ExternalQueue:    ext,
 		InternalQueue:    internal,
 		ExecutorQueue:    execQ,
+	}
+	if g.Breakers != nil {
+		bc := g.Breakers.Config()
+		doc.BreakersEnabled = true
+		doc.BreakerWindowMs = float64(bc.Window) / 1e6
+		doc.BreakerCooldownMs = float64(bc.Cooldown) / 1e6
+		doc.BreakerRatio = bc.FailureRatio
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

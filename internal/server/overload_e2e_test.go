@@ -1,0 +1,354 @@
+// Overload-control end-to-end suite: a real daemon on loopback with the
+// full adaptive stack enabled — CoDel-style admission, per-function
+// circuit breakers, tiered PD shedding — driven past capacity with one
+// deliberately faulty function in the mix. The contract under test is the
+// blast-radius one: the faulty function gets quarantined (fast 503s with
+// Retry-After), healthy traffic keeps serving with bounded latency, and
+// after drain the runtime is exactly idle (no live PDs, no leaked
+// goroutines).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jord/internal/server/gateway"
+	"jord/internal/server/pool"
+	"jord/internal/server/router"
+)
+
+// postInvoke fires one invocation and returns status, body, Retry-After.
+func postInvoke(t *testing.T, client *http.Client, base, fn, payload string) (int, string, string) {
+	t.Helper()
+	resp, err := client.Post(base+"/invoke/"+fn, "application/octet-stream",
+		strings.NewReader(payload))
+	if err != nil {
+		t.Fatalf("invoke %s: %v", fn, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("invoke %s: reading body: %v", fn, err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Retry-After")
+}
+
+func getJSON(t *testing.T, client *http.Client, url string, into any) int {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// TestOverloadQuarantineAndBoundedLatency is the acceptance chaos run:
+// a broken function is hammered until its breaker opens, then 2x-capacity
+// load on the healthy function must keep serving with bounded p99 while
+// the quarantined function answers fast 503s; internal (nested) calls are
+// never shed; post-drain the PD table is idle and goroutines return to
+// baseline.
+func TestOverloadQuarantineAndBoundedLatency(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	cfg := DefaultConfig()
+	cfg.Pool = pool.Config{
+		Executors:        2,
+		Orchestrators:    1,
+		JBSQBound:        2,
+		ExternalQueueCap: 64,
+		NumPDs:           64,
+		SweepInterval:    time.Millisecond,
+	}
+	cfg.MaxInflight = 16 // 2x capacity load below overflows this
+	cfg.AdmitTarget = 5 * time.Millisecond
+	cfg.AdmitInterval = 20 * time.Millisecond
+	cfg.BreakerWindow = 500 * time.Millisecond
+	cfg.BreakerCooldown = 200 * time.Millisecond
+	cfg.BreakerRatio = 0.5
+	cfg.BreakerMinSamples = 5
+	cfg.RequestTimeout = 5 * time.Second
+
+	var internalShed atomic.Uint64 // nested-call refusals: must stay 0
+	var broken atomic.Bool
+	broken.Store(true)
+
+	d := New(cfg)
+	d.MustRegister("leaf", func(ctx router.Ctx) ([]byte, error) {
+		time.Sleep(time.Millisecond)
+		return ctx.Payload(), nil
+	})
+	d.MustRegister("healthy", func(ctx router.Ctx) ([]byte, error) {
+		got, err := ctx.Call("leaf", ctx.Payload())
+		if err != nil && (strings.Contains(err.Error(), "degraded") ||
+			strings.Contains(err.Error(), "saturated")) {
+			internalShed.Add(1)
+		}
+		return got, err
+	})
+	d.MustRegister("poison", func(ctx router.Ctx) ([]byte, error) {
+		if broken.Load() {
+			panic("poison: still broken")
+		}
+		return []byte("recovered"), nil
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- d.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	client := newClient()
+
+	// --- Phase 1: trip poison's breaker. ---
+	deadline := time.Now().Add(10 * time.Second)
+	tripped := false
+	for time.Now().Before(deadline) {
+		status, body, retry := postInvoke(t, client, base, "poison", "x")
+		if status == http.StatusServiceUnavailable && strings.Contains(body, "circuit open") {
+			if retry == "" {
+				t.Fatal("circuit-open 503 without Retry-After")
+			}
+			tripped = true
+			break
+		}
+		if status != http.StatusInternalServerError {
+			t.Fatalf("poison answered %d %q, want 500 until the breaker trips", status, body)
+		}
+	}
+	if !tripped {
+		t.Fatal("breaker never opened on an always-failing function")
+	}
+
+	// Quarantine is per-function: healthy serves, readyz stays ready but
+	// reports the open breaker.
+	if status, body, _ := postInvoke(t, client, base, "healthy", "hello"); status != http.StatusOK || body != "hello" {
+		t.Fatalf("healthy = %d %q while poison quarantined, want 200 hello", status, body)
+	}
+	var ready gateway.Readyz
+	if status := getJSON(t, client, base+"/readyz", &ready); status != http.StatusOK {
+		t.Fatalf("readyz = %d with only a function quarantined, want 200", status)
+	}
+	if !ready.Ready || ready.Draining {
+		t.Fatalf("readyz = %+v, want ready and not draining", ready)
+	}
+	if sort.SearchStrings(ready.OpenBreakers, "poison") == len(ready.OpenBreakers) {
+		t.Fatalf("readyz open_breakers = %v, want to include poison", ready.OpenBreakers)
+	}
+
+	// --- Phase 2: 2x-capacity healthy load with poison still quarantined.
+	// Every quarantined hit must be a FAST 503 (no pool resources), and
+	// healthy p99 stays bounded. ---
+	const workers = 32 // 2x MaxInflight
+	iters := 50
+	if testing.Short() {
+		iters = 20
+	}
+	var (
+		mu                          sync.Mutex
+		latencies                   []time.Duration
+		healthyOK, shed429, shed503 atomic.Uint64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn := "healthy"
+			if w%4 == 3 {
+				fn = "poison"
+			}
+			for i := 0; i < iters; i++ {
+				start := time.Now()
+				status, body, retry := postInvoke(t, client, base, fn, "p")
+				dur := time.Since(start)
+				switch status {
+				case http.StatusOK:
+					if fn == "poison" {
+						t.Errorf("poison served 200 while broken")
+						return
+					}
+					healthyOK.Add(1)
+					if body != "p" {
+						t.Errorf("healthy returned %q, want p", body)
+						return
+					}
+					mu.Lock()
+					latencies = append(latencies, dur)
+					mu.Unlock()
+				case http.StatusTooManyRequests:
+					if retry == "" {
+						t.Errorf("429 without Retry-After")
+						return
+					}
+					shed429.Add(1)
+				case http.StatusServiceUnavailable:
+					if retry == "" {
+						t.Errorf("503 without Retry-After: %q", body)
+						return
+					}
+					shed503.Add(1)
+				case http.StatusInternalServerError:
+					// A half-open probe reaching the still-broken body.
+				default:
+					t.Errorf("%s: unexpected status %d: %q", fn, status, body)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if healthyOK.Load() == 0 {
+		t.Fatal("no healthy request served at 2x capacity")
+	}
+	if n := internalShed.Load(); n != 0 {
+		t.Errorf("nested calls shed %d times: internal must never shed", n)
+	}
+	mu.Lock()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	mu.Unlock()
+	if p99 > 2*time.Second {
+		t.Errorf("healthy p99 = %v under overload, want <= 2s", p99)
+	}
+	t.Logf("overload: %d healthy OK (p99 %v), %d 429s, %d 503s",
+		healthyOK.Load(), p99, shed429.Load(), shed503.Load())
+
+	// /statsz sees the breaker and the admission controller.
+	var st gateway.Statsz
+	getJSON(t, client, base+"/statsz", &st)
+	if !st.AdmitAdaptive || st.AdmitMax != int64(cfg.MaxInflight) {
+		t.Errorf("statsz admission = adaptive=%v max=%d, want adaptive max=%d",
+			st.AdmitAdaptive, st.AdmitMax, cfg.MaxInflight)
+	}
+	var poisonRow *gateway.FuncStatsz
+	for i := range st.Funcs {
+		if st.Funcs[i].Name == "poison" {
+			poisonRow = &st.Funcs[i]
+		}
+	}
+	if poisonRow == nil || poisonRow.BreakerTrips == 0 || poisonRow.ShortCircuits == 0 {
+		t.Errorf("statsz poison row = %+v, want trips and short circuits", poisonRow)
+	}
+
+	// --- Phase 3: the function is fixed; the half-open probe must close
+	// the breaker and service resumes. ---
+	broken.Store(false)
+	deadline = time.Now().Add(10 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		status, body, _ := postInvoke(t, client, base, "poison", "x")
+		if status == http.StatusOK && body == "recovered" {
+			recovered = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("breaker never closed after the function recovered")
+	}
+
+	// --- Drain and verify idle. ---
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if err := d.Pool().Table().VerifyIdle(); err != nil {
+		t.Errorf("PD table not idle after drain: %v", err)
+	}
+	client.CloseIdleConnections()
+	waitDeadline := time.Now().Add(5 * time.Second)
+	var n int
+	for time.Now().Before(waitDeadline) {
+		if n = runtime.NumGoroutine(); n <= baseline+3 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Errorf("goroutines leaked: %d live vs %d baseline\n%s", n, baseline, buf)
+}
+
+// TestReadyzDrainAndRetryAfter pins the drain-vs-degraded separation on
+// /readyz and the Retry-After satellite: once draining, /invoke answers
+// 503 with Retry-After and /readyz reports draining (not degraded).
+func TestReadyzDrainAndRetryAfter(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Pool.Executors = 1
+	cfg.Pool.Orchestrators = 1
+	d := New(cfg)
+	d.MustRegister("echo", func(ctx router.Ctx) ([]byte, error) {
+		return ctx.Payload(), nil
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- d.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	client := newClient()
+
+	var ready gateway.Readyz
+	if status := getJSON(t, client, base+"/readyz", &ready); status != http.StatusOK || !ready.Ready {
+		t.Fatalf("readyz = %d %+v on a fresh daemon, want 200 ready", status, ready)
+	}
+
+	// Flip drain directly (Shutdown would also close the listener).
+	d.Gateway().SetDraining(true)
+	resp, err := client.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drained gateway.Readyz
+	if err := json.NewDecoder(resp.Body).Decode(&drained); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !drained.Draining || drained.Degraded {
+		t.Fatalf("draining readyz = %d %+v, want 503 draining not degraded", resp.StatusCode, drained)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining /readyz without Retry-After")
+	}
+	status, _, retry := postInvoke(t, client, base, "echo", "x")
+	if status != http.StatusServiceUnavailable || retry == "" {
+		t.Fatalf("draining invoke = %d retry %q, want 503 with Retry-After", status, retry)
+	}
+
+	d.Gateway().SetDraining(false)
+	if status, body, _ := postInvoke(t, client, base, "echo", "back"); status != http.StatusOK || body != "back" {
+		t.Fatalf("post-undrain invoke = %d %q, want 200 back", status, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}

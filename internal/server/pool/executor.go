@@ -181,6 +181,15 @@ func (e *executor) requeueFront(r *request) {
 func (e *executor) startInvocation(r *request) {
 	p := e.pool
 
+	// Feed the adaptive admission loop: the external queue delay (gateway
+	// submission -> executor pickup) is the signal CoDel steers on. Gated
+	// on the hook so raw pools pay nothing.
+	if r.external {
+		if obs := p.cfg.ObserveQueueDelay; obs != nil {
+			obs(time.Since(r.arrival))
+		}
+	}
+
 	// Deadline/cancellation check at dequeue: a request that died in the
 	// queue is completed without running (the gateway already answered).
 	// Deadline first, matching the sweeper's classification — an expired
@@ -375,6 +384,9 @@ func (e *executor) flagStuck(cut time.Time) {
 			if fs := p.stats.perFunc[c.req.fn.Name]; fs != nil {
 				fs.Watchdog.Add(1)
 			}
+			if cb := p.cfg.OnWatchdog; cb != nil {
+				cb(c.req.fn.Name)
+			}
 		}
 	}
 	e.mu.Unlock()
@@ -453,7 +465,7 @@ type continuation struct {
 func (c *continuation) execute(p *Pool) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			c.err = fmt.Errorf("function %s panicked: %v", c.req.fn.Name, rec)
+			c.err = fmt.Errorf("%w: %s: %v", ErrPanicked, c.req.fn.Name, rec)
 		}
 		c.finished = true
 		c.yieldCh <- struct{}{}

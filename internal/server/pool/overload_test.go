@@ -1,0 +1,187 @@
+// Overload chaos: drives a shed-enabled pool past 2x its PD capacity with
+// a panicking function mixed into healthy nested-call traffic, and proves
+// the tiered-degradation contract: external submissions are refused with
+// ErrDegraded while the free-PD supply nears the internal reserve, nested
+// (internal) calls are NEVER shed, healthy externals that do get in finish
+// with bounded latency, and the post-drain invariants (idle PD table, no
+// leaked goroutines) still hold.
+//
+// Named TestChaos* so CI's chaos job (-run 'TestChaos|...') picks it up.
+package pool_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jord/internal/server/pool"
+	"jord/internal/server/router"
+)
+
+func TestChaosOverloadTieredShedding(t *testing.T) {
+	iters := 300
+	if testing.Short() {
+		iters = 100
+	}
+	const workers = 32
+	baseline := runtime.NumGoroutine()
+
+	var internalShed atomic.Uint64 // nested calls refused by shed/saturation: must stay 0
+
+	reg := router.New()
+	reg.MustRegister("leaf", func(ctx router.Ctx) ([]byte, error) {
+		time.Sleep(time.Millisecond) // hold the PD long enough to build pressure
+		return ctx.Payload(), nil
+	})
+	reg.MustRegister("healthy", func(ctx router.Ctx) ([]byte, error) {
+		got, err := ctx.Call("leaf", ctx.Payload())
+		if errors.Is(err, pool.ErrDegraded) || errors.Is(err, pool.ErrSaturated) {
+			internalShed.Add(1)
+		}
+		return got, err
+	})
+	reg.MustRegister("poison", func(ctx router.Ctx) ([]byte, error) {
+		panic("poison: unconditional crash")
+	})
+
+	// A PD space sized so 2x-capacity load visits the shed threshold:
+	// 12 PDs, reserve 2, margin 4 => externals refused while free <= 6.
+	// Each healthy invocation holds 2 PDs at nested-call time (suspended
+	// parent + leaf), so ~3 in-flight chains cross the threshold.
+	p := pool.New(pool.Config{
+		Executors:        4,
+		Orchestrators:    2,
+		JBSQBound:        2,
+		ExternalQueueCap: 16,
+		NumPDs:           12,
+		PDReserve:        2,
+		PDShedMargin:     4,
+		SweepInterval:    time.Millisecond,
+		ExecTimeout:      50 * time.Millisecond,
+	}, reg)
+	if got := p.ShedThreshold(); got != 6 {
+		t.Fatalf("shed threshold = %d, want 6", got)
+	}
+	p.Start()
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		failures  []string
+		healthyOK atomic.Uint64
+		degraded  atomic.Uint64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := []byte{byte(w), byte(w >> 1)}
+			for i := 0; i < iters; i++ {
+				fn := "healthy"
+				if i%4 == 3 {
+					fn = "poison"
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				start := time.Now()
+				got, err := p.Invoke(ctx, fn, payload)
+				d := time.Since(start)
+				cancel()
+				switch {
+				case errors.Is(err, pool.ErrDegraded):
+					degraded.Add(1)
+				case fn == "healthy" && err == nil:
+					healthyOK.Add(1)
+					if !bytes.Equal(got, payload) {
+						mu.Lock()
+						failures = append(failures, fmt.Sprintf("healthy(%v) = %v: corrupted", payload, got))
+						mu.Unlock()
+					}
+					mu.Lock()
+					latencies = append(latencies, d)
+					mu.Unlock()
+				case fn == "poison" && err == nil:
+					mu.Lock()
+					failures = append(failures, "poison returned success")
+					mu.Unlock()
+				}
+				// Saturation, deadline, and panic errors are expected storm
+				// products; the invariants below are what must hold.
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if n := internalShed.Load(); n != 0 {
+		t.Errorf("internal (nested) calls were shed %d times: externals must degrade first", n)
+	}
+	if healthyOK.Load() == 0 {
+		t.Error("no healthy invocation completed under overload")
+	}
+	st := p.Stats()
+	if st.Shed.Load() == 0 {
+		t.Error("tiered shedding never fired at 2x capacity")
+	}
+	if degraded.Load() == 0 {
+		t.Error("no caller observed ErrDegraded")
+	}
+	if st.Shed.Load() < degraded.Load() {
+		t.Errorf("Stats.Shed = %d < callers' degraded count %d", st.Shed.Load(), degraded.Load())
+	}
+
+	// Healthy-path p99 stays bounded: shedding keeps queues short, so
+	// admitted requests finish promptly instead of aging in line. The bound
+	// is generous (race detector, loaded CI) — the failure mode it guards
+	// against is multi-second queue collapse.
+	mu.Lock()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	mu.Unlock()
+	if p99 > time.Second {
+		t.Errorf("healthy p99 = %v under overload, want <= 1s", p99)
+	}
+
+	drainAndVerify(t, p, baseline)
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, f := range failures {
+		t.Error(f)
+	}
+}
+
+// TestErrPanickedClassification pins the error-wrapping contract the
+// breaker's failure classifier depends on: a panicking body surfaces as
+// ErrPanicked (with the panic text preserved), while queue saturation and
+// degradation do NOT match it.
+func TestErrPanickedClassification(t *testing.T) {
+	reg := router.New()
+	reg.MustRegister("boom", func(ctx router.Ctx) ([]byte, error) {
+		panic("kaboom-classify")
+	})
+	p := pool.New(pool.Config{Executors: 1, NumPDs: 4}, reg)
+	p.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = p.Drain(ctx)
+	}()
+
+	_, err := p.Invoke(context.Background(), "boom", nil)
+	if !errors.Is(err, pool.ErrPanicked) {
+		t.Fatalf("panic error %v does not match ErrPanicked", err)
+	}
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("kaboom-classify")) {
+		t.Fatalf("panic text lost: %v", err)
+	}
+	if errors.Is(pool.ErrSaturated, pool.ErrPanicked) || errors.Is(pool.ErrDegraded, pool.ErrPanicked) {
+		t.Fatal("shed errors must not classify as panics")
+	}
+}

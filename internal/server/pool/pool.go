@@ -23,6 +23,17 @@ var (
 	ErrUnknownFunction = errors.New("pool: unknown function")
 	// ErrDraining means the pool no longer accepts external work.
 	ErrDraining = errors.New("pool: draining")
+	// ErrDegraded means tiered shedding refused an external request because
+	// the free-PD count is within PDShedMargin of the internal reserve —
+	// the worker keeps its last PDs for the nested calls that suspended
+	// parents are waiting on, and degrades EXTERNAL service first (the
+	// §3.3 invariant extended from "never deadlock" to "degrade external
+	// before internal"). The gateway answers 429 with Retry-After.
+	ErrDegraded = errors.New("pool: degraded: protection-domain supply near internal reserve")
+	// ErrPanicked wraps the error of an invocation whose body panicked, so
+	// the gateway (and circuit breakers) can tell a crash from a function
+	// that merely returned an error.
+	ErrPanicked = errors.New("pool: function panicked")
 )
 
 // Config sizes one live worker pool. The shape mirrors core.Config: a few
@@ -81,6 +92,31 @@ type Config struct {
 	// not kill the body (Go cannot preempt it); cancellation stays
 	// cooperative via Ctx.Err/Ctx.Done. 0 disables the watchdog.
 	ExecTimeout time.Duration
+
+	// PDShedMargin enables tiered shedding: while at most
+	// PDReserve+PDShedMargin PDs are free, Invoke refuses EXTERNAL
+	// requests with ErrDegraded instead of queueing them toward a stall.
+	// Internal (nested) requests are never shed — they may consume the
+	// reserve itself — so external service tightens strictly before
+	// internal calls feel any pressure, extending §3.3's internal
+	// priority from "never deadlock" to "degrade external before
+	// internal". <= 0 disables tiered shedding (the raw-pool default;
+	// the live daemon enables it, see server.Config).
+	PDShedMargin int
+
+	// ObserveQueueDelay, when set, receives every external request's
+	// measured queue delay (Invoke submission -> executor pickup) — the
+	// signal the gateway's adaptive admission controller steers on. Called
+	// from executor goroutines on the dispatch path: it must be fast,
+	// allocation-free, and non-blocking.
+	ObserveQueueDelay func(d time.Duration)
+
+	// OnWatchdog, when set, is called (from the sweeper, with the owning
+	// executor's lock held) each time the ExecTimeout watchdog flags an
+	// invocation, with the stuck function's name — the live feed that
+	// lets per-function circuit breakers count stuck bodies as failures.
+	// Must be fast and non-blocking.
+	OnWatchdog func(fnName string)
 }
 
 // Normalized returns the configuration with every zero field replaced by
@@ -123,6 +159,17 @@ func (c *Config) normalize() {
 	}
 	if c.SweepInterval == 0 {
 		c.SweepInterval = 5 * time.Millisecond
+	}
+	if c.PDShedMargin < 0 {
+		c.PDShedMargin = 0
+	}
+	// The shed threshold must leave headroom below NumPDs or no external
+	// request could ever start.
+	if c.PDShedMargin > 0 && c.PDReserve+c.PDShedMargin >= c.NumPDs {
+		c.PDShedMargin = c.NumPDs - 1 - c.PDReserve
+		if c.PDShedMargin < 0 {
+			c.PDShedMargin = 0
+		}
 	}
 }
 
@@ -174,6 +221,7 @@ type Stats struct {
 	Expired    atomic.Uint64 // finished with context.DeadlineExceeded
 	Canceled   atomic.Uint64 // finished with context.Canceled (caller gone / kin canceled)
 	Rejected   atomic.Uint64 // ErrSaturated external submissions
+	Shed       atomic.Uint64 // ErrDegraded external submissions (PD pressure, tiered shedding)
 	Orphaned   atomic.Uint64 // children detached at parent teardown without a Wait
 	Watchdog   atomic.Uint64 // invocations flagged stuck past ExecTimeout
 	Swept      atomic.Uint64 // dead requests reaped from orchestrator queues pre-dispatch
@@ -219,6 +267,12 @@ type Pool struct {
 	// stall re-check finding work cannot consume another's wakeup.
 	pdWaiters atomic.Int64
 
+	// shedThr is the tiered-shedding threshold (PDReserve+PDShedMargin,
+	// 0 = disabled): Invoke refuses external requests while the free-PD
+	// count is at or below it. Immutable after New; the check is one
+	// atomic load on the submit path.
+	shedThr int
+
 	rr       atomic.Uint64 // round-robin external submission
 	draining atomic.Bool
 	started  atomic.Bool
@@ -250,6 +304,9 @@ type Pool struct {
 func New(cfg Config, reg *router.Registry) *Pool {
 	cfg.normalize()
 	p := &Pool{cfg: cfg, reg: reg, tab: NewTable(cfg.NumPDs)}
+	if cfg.PDShedMargin > 0 {
+		p.shedThr = cfg.PDReserve + cfg.PDShedMargin
+	}
 	p.reqPool.New = func() any { return &request{done: make(chan struct{}, 1)} }
 	p.contPool.New = func() any {
 		return &continuation{
@@ -370,6 +427,10 @@ func (p *Pool) Stats() *Stats { return &p.stats }
 
 // StartedAt returns when the pool started serving.
 func (p *Pool) StartedAt() time.Time { return p.startAt }
+
+// ShedThreshold returns the free-PD count at or below which external
+// submissions are refused with ErrDegraded (0 = tiered shedding disabled).
+func (p *Pool) ShedThreshold() int { return p.shedThr }
 
 // Start freezes the registry, loads every function's code VMA, and launches
 // the orchestrator and executor goroutines.
@@ -538,6 +599,16 @@ func (p *Pool) Invoke(ctx context.Context, fn string, payload []byte) ([]byte, e
 	if p.draining.Load() {
 		p.inflightDone()
 		return nil, ErrDraining
+	}
+	// Tiered shedding (one atomic load): refuse external work while the
+	// free-PD supply is within the shed margin of the internal reserve,
+	// BEFORE staging anything — external admission tightens here so
+	// internal (nested) calls, which may consume the reserve itself,
+	// never stall behind externals hoarding the last PDs.
+	if thr := p.shedThr; thr > 0 && p.tab.FreeCount() <= thr {
+		p.inflightDone()
+		p.stats.Shed.Add(1)
+		return nil, ErrDegraded
 	}
 	// Stage the request payload into a fresh ArgBuf owned by the runtime
 	// domain (§3.3: "orchestrators save these requests into ArgBufs").

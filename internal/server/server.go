@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"jord/internal/server/admission"
+	"jord/internal/server/breaker"
 	"jord/internal/server/gateway"
 	"jord/internal/server/pool"
 	"jord/internal/server/router"
@@ -40,8 +41,38 @@ type Config struct {
 	// MaxInflight caps concurrently admitted external requests; beyond it
 	// the gateway answers 429 immediately (0 defaults to 4× the pool's
 	// executor count × JBSQ bound — enough to keep every executor queue
-	// full without unbounded buffering).
+	// full without unbounded buffering). With adaptive admission (see
+	// AdmitTarget) this is the hard ceiling the AIMD limit lives under.
 	MaxInflight int
+
+	// AdmitTarget is the queue-delay SLO of the adaptive admission
+	// controller: while even the minimum gateway→executor queue delay over
+	// an AdmitInterval exceeds it, the admit limit shrinks
+	// multiplicatively; healthy intervals recover it additively toward
+	// MaxInflight. 0 defaults to 5ms; < 0 disables the AIMD loop (static
+	// MaxInflight cap only).
+	AdmitTarget time.Duration
+
+	// AdmitInterval is the AIMD evaluation window (default 100ms).
+	AdmitInterval time.Duration
+
+	// BreakerWindow is the sliding window over which per-function failures
+	// (panics, blown deadlines, watchdog flags) are counted toward
+	// tripping that function's circuit breaker. 0 defaults to 10s; < 0
+	// disables circuit breakers entirely.
+	BreakerWindow time.Duration
+
+	// BreakerCooldown is how long a tripped breaker refuses requests
+	// before admitting a half-open probe (default 2s).
+	BreakerCooldown time.Duration
+
+	// BreakerRatio is the windowed failure fraction that trips a breaker
+	// (default 0.5).
+	BreakerRatio float64
+
+	// BreakerMinSamples is the minimum windowed outcome count before the
+	// ratio can trip (default 20).
+	BreakerMinSamples uint64
 
 	// RequestTimeout is the per-request deadline (default 30s; <0 = none).
 	RequestTimeout time.Duration
@@ -108,22 +139,58 @@ func (d *Daemon) MustRegister(name string, body router.Body) {
 	d.Reg.MustRegister(name, body)
 }
 
-// start freezes registration and builds the runtime stack.
+// start freezes registration and builds the runtime stack: overload
+// controls first (admission controller, per-function breakers), then the
+// pool with its feedback hooks pointed at them, then the gateway.
 func (d *Daemon) start() error {
 	if !d.started.CompareAndSwap(false, true) {
 		return fmt.Errorf("server: already started")
 	}
-	d.pool = pool.New(d.Cfg.Pool, d.Reg)
-	d.pool.Start()
+	pc := d.Cfg.Pool
+	norm := pc.Normalized()
+
+	// Tiered shedding defaults ON for the daemon (0 = auto-size to half
+	// the PD reserve; pass < 0 to disable). The raw pool keeps it off so
+	// small-PD test rigs and benchmarks see exhaustion, not shedding.
+	if pc.PDShedMargin == 0 {
+		pc.PDShedMargin = norm.PDReserve / 2
+		if pc.PDShedMargin < 1 {
+			pc.PDShedMargin = 1
+		}
+	}
+
 	maxInflight := d.Cfg.MaxInflight
 	if maxInflight <= 0 {
-		pc := d.pool.Config()
-		maxInflight = 4 * pc.Executors * pc.JBSQBound
+		maxInflight = 4 * norm.Executors * norm.JBSQBound
 	}
+	var adm *admission.Controller
+	if d.Cfg.AdmitTarget < 0 {
+		adm = admission.New(maxInflight)
+	} else {
+		// The decrease floor keeps one admitted request per executor, so
+		// a collapsed limit still feeds the whole worker.
+		adm = admission.NewAdaptive(maxInflight, norm.Executors, d.Cfg.AdmitTarget, d.Cfg.AdmitInterval)
+		pc.ObserveQueueDelay = adm.Observe
+	}
+
+	var breakers *breaker.Set
+	if d.Cfg.BreakerWindow >= 0 {
+		breakers = breaker.NewSet(breaker.Config{
+			Window:       d.Cfg.BreakerWindow,
+			Cooldown:     d.Cfg.BreakerCooldown,
+			FailureRatio: d.Cfg.BreakerRatio,
+			MinSamples:   d.Cfg.BreakerMinSamples,
+		}, d.Reg.Names())
+		pc.OnWatchdog = breakers.RecordFault
+	}
+
+	d.pool = pool.New(pc, d.Reg)
+	d.pool.Start()
 	d.gw = &gateway.Gateway{
 		Reg:            d.Reg,
 		Pool:           d.pool,
-		Adm:            admission.New(maxInflight),
+		Adm:            adm,
+		Breakers:       breakers,
 		RequestTimeout: d.Cfg.RequestTimeout,
 		MaxBodyBytes:   d.Cfg.MaxBodyBytes,
 	}
