@@ -5,6 +5,7 @@
 //
 //	jordbench -workload hotel -system jord -loads 1,2,4,6 [-measure 5000]
 //	jordbench -live [-live-out BENCH_live.json] [-live-requests 50000] [-live-workers 16]
+//	jordbench -state [-state-out BENCH_state.json] [-state-requests 30000] [-state-workers 16]
 //
 // Loads are in MRPS. Systems: jord | jordni | jordbt | nightcore.
 //
@@ -15,6 +16,14 @@
 // chain, and a two-way async fanout. This is the checked-in regression
 // baseline for the hot-path engineering (PD caches, VTE permission arrays,
 // continuation recycling); regenerate it with `go run ./cmd/jordbench -live`.
+//
+// With -state, jordbench drives the shared-state tier the same way and
+// writes BENCH_state.json: the granted (pcopy R) and promoted (VTE G bit)
+// snapshot read paths, exclusive-ownership read-modify-writes, and the
+// stateful social-network mix against a copy-per-request baseline. It exits
+// nonzero if the snapshot read path allocates or the shared tier does not
+// beat the baseline's copied bytes per op by at least 2x — the CI smoke
+// gate for the state subsystem.
 package main
 
 import (
@@ -84,6 +93,11 @@ func main() {
 		liveOut      = flag.String("live-out", "BENCH_live.json", "output file for -live ('-' = stdout)")
 		liveRequests = flag.Int("live-requests", 50000, "measured requests per -live scenario")
 		liveWorkers  = flag.Int("live-workers", 16, "concurrent clients for -live")
+
+		stateBench    = flag.Bool("state", false, "benchmark the shared-state tier (snapshot reads, RMW, social mix vs copy baseline)")
+		stateOut      = flag.String("state-out", "BENCH_state.json", "output file for -state ('-' = stdout)")
+		stateRequests = flag.Int("state-requests", 30000, "measured requests per -state scenario")
+		stateWorkers  = flag.Int("state-workers", 16, "concurrent clients for -state")
 	)
 	flag.Var(workload, "workload", workload.Allowed())
 	flag.Var(system, "system", system.Allowed())
@@ -101,6 +115,16 @@ func main() {
 			os.Exit(2)
 		}
 		runLive(*liveOut, *liveRequests, *liveWorkers)
+		return
+	}
+
+	if *stateBench {
+		if *stateRequests < 1 || *stateWorkers < 1 {
+			fmt.Fprintln(os.Stderr, "jordbench: -state-requests and -state-workers must be positive")
+			flag.Usage()
+			os.Exit(2)
+		}
+		runState(*stateOut, *stateRequests, *stateWorkers)
 		return
 	}
 

@@ -9,6 +9,7 @@
 //	      [-queue-cap 256] [-num-pds 4096] [-max-inflight N]
 //	      [-admit-target 5ms] [-admit-interval 100ms] [-shed-margin 0]
 //	      [-breaker-window 10s] [-breaker-cooldown 2s] [-breaker-ratio 0.5]
+//	      [-state-cap 67108864] [-state-global-ro-threshold 64]
 //	      [-timeout 30s] [-exec-timeout 0] [-drain-timeout 30s]
 //	      [-max-body 1048576] [-pprof addr]
 //
@@ -31,8 +32,18 @@
 // it off the public address), e.g. `-pprof localhost:6060` then
 // `go tool pprof http://localhost:6060/debug/pprof/profile`.
 //
+// Shared state (see README "Stateful serverless"): functions share a
+// two-tier KV whose values live in VMAs behind the permission model.
+// -state-cap bounds its committed bytes (0 disables the tier entirely);
+// -state-global-ro-threshold is the read count at which a hot key promotes
+// to a global-RO mapping (the VTE G bit; 0 disables promotion). /statsz
+// and /varz carry the store's counters under "state".
+//
 // Built-in functions (a demo function set exercising the runtime,
-// including nested calls): echo, upper, hash, sleep, fanout, chain.
+// including nested calls): echo, upper, hash, sleep, fanout, chain — plus,
+// while shared state is enabled, the stateful social-network set
+// social.follow / social.post / social.timeline / social.read /
+// social.profile (drive it with jordload -mix social).
 // SIGINT/SIGTERM drains gracefully: health goes 503, in-flight requests
 // finish (bounded by -drain-timeout), then the process exits.
 package main
@@ -55,6 +66,7 @@ import (
 
 	"jord"
 	"jord/internal/cliutil"
+	"jord/internal/workloads"
 )
 
 func main() {
@@ -75,6 +87,8 @@ func main() {
 		brkWindow     = flag.Duration("breaker-window", 10*time.Second, "per-function circuit-breaker failure window (0 = breakers off)")
 		brkCooldown   = flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before the half-open probe")
 		brkRatio      = flag.Float64("breaker-ratio", 0.5, "windowed failure ratio that trips a breaker")
+		stateCap      = cliutil.NewNonNegInt(64 << 20)
+		stateRO       = cliutil.NewNonNegInt(64)
 		timeout       = flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
 		execTimeout   = flag.Duration("exec-timeout", 0, "watchdog threshold for stuck invocations (0 = off)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
@@ -87,6 +101,8 @@ func main() {
 	flag.Var(queueCap, "queue-cap", "external queue capacity per orchestrator (0 = 256)")
 	flag.Var(numPDs, "num-pds", "protection-domain space size (0 = 4096)")
 	flag.Var(maxInflight, "max-inflight", "admission cap on concurrent requests (0 = auto)")
+	flag.Var(stateCap, "state-cap", "shared-state tier byte cap (0 = disable the tier)")
+	flag.Var(stateRO, "state-global-ro-threshold", "reads before a hot state key promotes to global-RO (0 = never promote)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "jordd: unexpected arguments: %v\n", flag.Args())
@@ -125,9 +141,24 @@ func main() {
 	}
 	cfg.DrainTimeout = *drainTimeout
 	cfg.MaxBodyBytes = *maxBody
+	// Same 0-means-off translation for the state knobs: the server layer
+	// reads < 0 as off and 0 as its own default.
+	cfg.StateCap = int64(stateCap.Value())
+	if stateCap.Value() == 0 {
+		cfg.StateCap = -1
+	}
+	cfg.StatePromoteAfter = stateRO.Value()
+	if stateRO.Value() == 0 {
+		cfg.StatePromoteAfter = -1
+	}
 
 	d := jord.NewServer(cfg)
 	registerBuiltins(d)
+	if cfg.StateCap >= 0 {
+		// The stateful social-network set rides on the shared-state tier, so
+		// it only deploys while the tier exists.
+		workloads.RegisterSocialLive(d.Reg)
+	}
 
 	if *pprofAddr != "" {
 		// pprof rides DefaultServeMux (the blank net/http/pprof import) on

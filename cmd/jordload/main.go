@@ -9,9 +9,17 @@
 // Usage:
 //
 //	jordload [-addr 127.0.0.1:8034] [-fn echo] [-rps 100] [-duration 10s]
-//	         [-payload hello] [-timeout 5s] [-abandon 0] [-seed 1]
+//	         [-payload hello] [-mix none] [-users 64] [-timeout 5s]
+//	         [-abandon 0] [-seed 1]
 //	         [-retries 0] [-retry-budget 0.2] [-retry-base 20ms]
 //	         [-max-p99 0] [-min-ok 0]
+//
+// -mix social replaces the single -fn/-payload stream with the stateful
+// social-network mix jordd deploys over the shared-state tier: 60%
+// social.timeline reads, 25% social.post, 10% social.follow, 5%
+// social.profile, over a Zipf-skewed population of -users users (hot users
+// concentrate reads, so the store's global-RO promotion path lights up).
+// The per-arrival draw comes from -seed, so a run is reproducible.
 //
 // -abandon cancels that fraction of requests mid-flight (after a random
 // delay up to half the client timeout) — impatient clients hanging up.
@@ -46,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"jord/internal/cliutil"
 	"jord/internal/metrics"
 )
 
@@ -59,6 +68,8 @@ func main() {
 		rps         = flag.Float64("rps", 100, "offered load in requests/second (open loop)")
 		duration    = flag.Duration("duration", 10*time.Second, "load duration")
 		payload     = flag.String("payload", "hello", "request payload")
+		mix         = cliutil.NewChoice("none", "none", "social")
+		users       = cliutil.NewNonNegInt(64)
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
 		abandon     = flag.Float64("abandon", 0, "fraction of requests canceled mid-flight [0,1]")
 		seed        = flag.Uint64("seed", 1, "arrival-process seed")
@@ -68,6 +79,8 @@ func main() {
 		maxP99      = flag.Duration("max-p99", 0, "fail the run if ok-latency p99 exceeds this (0 = off)")
 		minOK       = flag.Uint64("min-ok", 0, "fail the run if fewer requests succeed (0 = off)")
 	)
+	flag.Var(mix, "mix", "workload mix: none (single -fn) or social (stateful social-network mix)")
+	flag.Var(users, "users", "user-population size for -mix social")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "jordload: unexpected arguments: %v\n", flag.Args())
@@ -90,7 +103,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	url := fmt.Sprintf("http://%s/invoke/%s", *addr, *fn)
+	if mix.Value() == "social" && users.Value() < 2 {
+		fmt.Fprintln(os.Stderr, "jordload: -mix social wants -users >= 2")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	invokeURL := func(fn string) string {
+		return fmt.Sprintf("http://%s/invoke/%s", *addr, fn)
+	}
 	client := &http.Client{
 		Timeout: *timeout,
 		Transport: &http.Transport{
@@ -137,7 +158,7 @@ func main() {
 	// fire sends one request (with retries); abandonAfter > 0 cancels it
 	// after that delay (the client walks away; the runtime finds out via
 	// the closed connection / expired gateway context).
-	fire := func(abandonAfter time.Duration) {
+	fire := func(url, payload string, abandonAfter time.Duration) {
 		defer inflight.Done()
 		ctx := context.Background()
 		if abandonAfter > 0 {
@@ -149,7 +170,7 @@ func main() {
 		}
 		t0 := time.Now()
 		for attempt := 0; ; attempt++ {
-			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(*payload))
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(payload))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -205,8 +226,39 @@ func main() {
 		}
 	}
 
-	log.Printf("offering %.0f rps of %q to %s for %v", *rps, *fn, url, *duration)
 	rng := rand.New(rand.NewSource(int64(*seed)))
+
+	// draw picks the next request. The single-function mode always returns
+	// (-fn, -payload); the social mix draws a weighted operation over a
+	// Zipf-skewed user population (hot users get most of the traffic, so
+	// their timelines/profiles cross the store's promotion threshold).
+	draw := func() (string, string) { return *fn, *payload }
+	if mix.Value() == "social" {
+		zipf := rand.NewZipf(rng, 1.2, 1, uint64(users.Value()-1))
+		user := func() string { return fmt.Sprintf("u%d", zipf.Uint64()) }
+		draw = func() (string, string) {
+			u := user()
+			switch r := rng.Float64(); {
+			case r < 0.60:
+				return "social.timeline", u
+			case r < 0.85:
+				return "social.post", fmt.Sprintf("%s musing %d about single-address-space serverless", u, rng.Intn(1_000_000))
+			case r < 0.95:
+				v := user()
+				if v == u { // no self-follows: redraw flat once
+					v = fmt.Sprintf("u%d", rng.Intn(users.Value()))
+				}
+				return "social.follow", u + " " + v
+			default:
+				return "social.profile", u
+			}
+		}
+		log.Printf("offering %.0f rps of the social mix (%d users) to %s for %v",
+			*rps, users.Value(), *addr, *duration)
+	} else {
+		log.Printf("offering %.0f rps of %q to %s for %v", *rps, *fn, invokeURL(*fn), *duration)
+	}
+
 	start := time.Now()
 	next := start
 	for {
@@ -226,8 +278,9 @@ func main() {
 				abandonAfter = time.Millisecond
 			}
 		}
+		reqFn, reqPayload := draw()
 		inflight.Add(1)
-		go fire(abandonAfter)
+		go fire(invokeURL(reqFn), reqPayload, abandonAfter)
 	}
 	inflight.Wait()
 	elapsed := time.Since(start)

@@ -186,6 +186,49 @@ func (v *VTE) CopyPerm(from, to PDID, perm Perm) error {
 	return nil
 }
 
+// PromoteGlobal sets the G bit, granting perm to every PD (promotion of a
+// hot read-mostly VMA: readers stop paying sub-array walks entirely — the
+// walker short-circuits on the G bit). Sub-array and overflow entries whose
+// permission is covered by perm become redundant and are cleared, freeing
+// sub-array slots; entries holding MORE than perm (e.g. the owner's RW
+// under a global R) are preserved so DemoteGlobal restores them, though
+// they are shadowed while the G bit is set. Returns how many redundant
+// entries were compacted away.
+func (v *VTE) PromoteGlobal(perm Perm) (cleared int) {
+	v.Global = true
+	v.GlobalPerm = perm
+	for i := range v.Sub {
+		if v.used[i] && perm.Has(v.Sub[i].Perm) {
+			v.Sub[i] = PDPerm{}
+			v.used[i] = false
+			cleared++
+		}
+	}
+	for i := 0; i < len(v.Overflow); {
+		if perm.Has(v.Overflow[i].Perm) {
+			v.Overflow = append(v.Overflow[:i], v.Overflow[i+1:]...)
+			cleared++
+			continue
+		}
+		i++
+	}
+	return cleared
+}
+
+// DemoteGlobal clears the G bit (a write is about to happen, so the
+// every-PD read grant must be revoked). Per-PD entries preserved across
+// the promotion become visible to the walker again. Returns the permission
+// that was global (PermNone if the VMA was not global).
+func (v *VTE) DemoteGlobal() Perm {
+	was := PermNone
+	if v.Global {
+		was = v.GlobalPerm
+	}
+	v.Global = false
+	v.GlobalPerm = PermNone
+	return was
+}
+
 // Sharers returns the PDs currently holding any permission.
 func (v *VTE) Sharers() []PDID {
 	var out []PDID

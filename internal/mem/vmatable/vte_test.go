@@ -212,3 +212,65 @@ func TestPackPreservesPtr(t *testing.T) {
 		t.Fatalf("ptr = %#x ok=%v, want 0xdeadbeef", ptr, ok)
 	}
 }
+
+func TestPromoteDemoteGlobal(t *testing.T) {
+	v := &VTE{Bound: 128}
+	v.SetPerm(1, PermRW) // owner
+	v.SetPerm(2, PermR)  // reader
+	v.SetPerm(3, PermR)  // reader
+
+	cleared := v.PromoteGlobal(PermR)
+	if cleared != 2 {
+		t.Fatalf("PromoteGlobal cleared %d redundant entries, want 2", cleared)
+	}
+	// Every PD — holder or not — now reads via the G bit, with zero scans:
+	// the walker short-circuits before touching the sub-array.
+	for _, pd := range []PDID{1, 2, 3, 99} {
+		perm, ok, scanned := v.PermFor(pd)
+		if !ok || perm != PermR || scanned != 0 {
+			t.Fatalf("promoted PermFor(%d) = (%v, %v, %d scans), want (r--, true, 0)",
+				pd, perm, ok, scanned)
+		}
+	}
+
+	// Demotion returns the prior global permission and re-exposes the
+	// preserved stronger entry (the owner's RW) to the walker.
+	if was := v.DemoteGlobal(); was != PermR {
+		t.Fatalf("DemoteGlobal = %v, want r--", was)
+	}
+	if perm, ok, _ := v.PermFor(1); !ok || perm != PermRW {
+		t.Fatalf("owner after demotion = (%v, %v), want (rw-, true)", perm, ok)
+	}
+	for _, pd := range []PDID{2, 3, 99} {
+		if _, ok, _ := v.PermFor(pd); ok {
+			t.Fatalf("reader %d still holds permission after demotion", pd)
+		}
+	}
+	// Demoting a non-global VTE is a harmless no-op reporting PermNone.
+	if was := v.DemoteGlobal(); was != PermNone {
+		t.Fatalf("second DemoteGlobal = %v, want ---", was)
+	}
+}
+
+func TestPromoteGlobalCompactsOverflow(t *testing.T) {
+	v := &VTE{Bound: 128}
+	// Fill the sub-array and spill readers into the overflow list.
+	for i := 0; i < SubEntries+4; i++ {
+		v.SetPerm(PDID(i+1), PermR)
+	}
+	if len(v.Overflow) != 4 {
+		t.Fatalf("overflow = %d entries, want 4", len(v.Overflow))
+	}
+	if cleared := v.PromoteGlobal(PermR); cleared != SubEntries+4 {
+		t.Fatalf("cleared = %d, want %d", cleared, SubEntries+4)
+	}
+	if len(v.Overflow) != 0 || v.NumSharers() != 0 {
+		t.Fatalf("promotion left %d overflow / %d sharers", len(v.Overflow), v.NumSharers())
+	}
+	// The packed form carries the G bit and the global permission.
+	packed := v.Pack(0)
+	u, _, ok := UnpackVTE(packed)
+	if !ok || !u.Global || u.GlobalPerm != PermR {
+		t.Fatalf("packed/unpacked G bit lost: global=%v perm=%v", u.Global, u.GlobalPerm)
+	}
+}

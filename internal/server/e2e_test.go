@@ -58,7 +58,12 @@ func TestEndToEndNestedChain(t *testing.T) {
 	cfg.Pool.Orchestrators = 1
 	cfg.Pool.ExternalQueueCap = 2048
 	cfg.MaxInflight = 2048
-	_, base := startDaemon(t, cfg, func(d *Daemon) {
+	// Pin the static admission cap: on a loaded CI machine the adaptive
+	// controller would legitimately 429 part of the burst, and this test is
+	// about nested-call correctness, not overload policy (that contract has
+	// its own suite in overload_e2e_test.go).
+	cfg.AdmitTarget = -1
+	d, base := startDaemon(t, cfg, func(d *Daemon) {
 		d.MustRegister("leaf", func(ctx router.Ctx) ([]byte, error) {
 			return bytes.ToUpper(ctx.Payload()), nil
 		})
@@ -130,8 +135,14 @@ func TestEndToEndNestedChain(t *testing.T) {
 	if st.PoolCompleted < 2*n { // every root carries one nested leaf
 		t.Fatalf("pool_completed = %d, want >= %d", st.PoolCompleted, 2*n)
 	}
-	if st.LivePDs != 0 {
-		t.Fatalf("live_pds = %d after quiescence (PD leak)", st.LivePDs)
+	// The state store's resident PD is the only legitimate live PD once
+	// the request tide has gone out; anything beyond it is a leak.
+	wantPDs := 0
+	if d.State() != nil {
+		wantPDs = 1
+	}
+	if st.LivePDs != wantPDs {
+		t.Fatalf("live_pds = %d after quiescence, want %d (PD leak)", st.LivePDs, wantPDs)
 	}
 	if st.Faults != 0 {
 		t.Fatalf("isolation_faults = %d", st.Faults)
@@ -166,11 +177,16 @@ func TestEndToEndNestedChain(t *testing.T) {
 	if vz.Executors <= 0 || vz.NumPDs <= 0 || vz.PDReserve <= 0 || vz.PDShards <= 0 {
 		t.Fatalf("/varz config not populated: %+v", vz)
 	}
-	if vz.PDFree != vz.NumPDs || vz.PDLive != 0 {
-		t.Fatalf("/varz PD supply at quiescence: free=%d live=%d num=%d", vz.PDFree, vz.PDLive, vz.NumPDs)
+	if vz.PDFree != vz.NumPDs-wantPDs || vz.PDLive != wantPDs {
+		t.Fatalf("/varz PD supply at quiescence: free=%d live=%d num=%d (want %d live)",
+			vz.PDFree, vz.PDLive, vz.NumPDs, wantPDs)
 	}
-	if vz.Cgets < 2*n || vz.Cgets != vz.Cputs {
+	// The store's own cget holds until Shutdown, hence the wantPDs skew.
+	if vz.Cgets < 2*n || vz.Cgets != vz.Cputs+uint64(wantPDs) {
 		t.Fatalf("/varz churn: cgets=%d cputs=%d, want matched and >= %d", vz.Cgets, vz.Cputs, 2*n)
+	}
+	if !vz.StateEnabled || vz.State == nil {
+		t.Fatalf("/varz missing state section: %+v", vz)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"jord/internal/server/breaker"
 	"jord/internal/server/pool"
 	"jord/internal/server/router"
+	"jord/internal/server/state"
 )
 
 // Gateway wires the HTTP surface to the pool.
@@ -29,6 +30,10 @@ type Gateway struct {
 	Reg  *router.Registry
 	Pool *pool.Pool
 	Adm  *admission.Controller
+
+	// Store is the shared-state tier, surfaced in /statsz and /varz.
+	// nil when the daemon runs stateless.
+	Store *state.Store
 
 	// Breakers holds one circuit breaker per registered function; a
 	// function whose breaker is open answers 503 + Retry-After without
@@ -203,7 +208,7 @@ func (g *Gateway) writeInvokeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, pool.ErrSaturated):
 		retryAfter(w, time.Second)
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
-	case errors.Is(err, pool.ErrDegraded):
+	case errors.Is(err, pool.ErrDegraded), errors.Is(err, state.ErrDegraded):
 		retryAfter(w, time.Second)
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, pool.ErrDraining):
@@ -328,6 +333,11 @@ type Statsz struct {
 	LivePDs       int    `json:"live_pds"`
 	Faults        uint64 `json:"isolation_faults"`
 
+	// State is the shared-state tier's counter snapshot (store size,
+	// snapshot/promotion/ownership-transfer counters, copy-bytes-avoided);
+	// absent on stateless daemons.
+	State *state.Stats `json:"state,omitempty"`
+
 	Funcs []FuncStatsz `json:"funcs"`
 }
 
@@ -363,6 +373,10 @@ func (g *Gateway) Snapshot() Statsz {
 		ExecutorQueue:  execQ,
 		LivePDs:        g.Pool.Table().LivePDs(),
 		Faults:         g.Pool.Table().Faults(),
+	}
+	if g.Store != nil {
+		st := g.Store.StatsSnapshot()
+		doc.State = &st
 	}
 	for _, fs := range st.Funcs() {
 		snap := fs.Latency.Snapshot()
@@ -446,6 +460,10 @@ type Varz struct {
 	ExternalQueue int `json:"external_queue_depth"`
 	InternalQueue int `json:"internal_queue_depth"`
 	ExecutorQueue int `json:"executor_queue_depth"`
+
+	// Shared-state tier internals (absent on stateless daemons).
+	StateEnabled bool         `json:"state_enabled"`
+	State        *state.Stats `json:"state,omitempty"`
 }
 
 func (g *Gateway) handleVarz(w http.ResponseWriter, _ *http.Request) {
@@ -493,6 +511,11 @@ func (g *Gateway) handleVarz(w http.ResponseWriter, _ *http.Request) {
 		doc.BreakerWindowMs = float64(bc.Window) / 1e6
 		doc.BreakerCooldownMs = float64(bc.Cooldown) / 1e6
 		doc.BreakerRatio = bc.FailureRatio
+	}
+	if g.Store != nil {
+		doc.StateEnabled = true
+		st := g.Store.StatsSnapshot()
+		doc.State = &st
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -229,6 +229,61 @@ func (c *Ctx) Wait(ck router.Cookie) ([]byte, error) {
 	return b, err
 }
 
+// StateGet returns a read snapshot of a shared-state key. The store hands
+// this PD a pcopy R grant on the value's VMA — or, for globally promoted
+// hot keys (the VTE G bit), no grant at all: the bytes are readable under
+// the global permission with zero PD traffic and zero copies. The handle
+// is tracked on the continuation and force-released at teardown if the
+// body does not Release it.
+func (c *Ctx) StateGet(scope router.StateScope, key string) (router.StateSnap, error) {
+	p := c.pool
+	if p.state == nil {
+		return nil, ErrNoState
+	}
+	s, err := p.state.Get(c.cont.pd, c.cont.req.fn.Name, scope, key)
+	if err != nil {
+		return nil, err
+	}
+	c.cont.holds = append(c.cont.holds, s)
+	return s, nil
+}
+
+// StateTake acquires exclusive write ownership of a key: the store pmoves
+// the value's VMA RW into this PD. An open transaction at teardown (return,
+// panic, watchdog-killed stuck body unwinding) is discarded — ownership
+// pmoves back, the committed value untouched.
+func (c *Ctx) StateTake(scope router.StateScope, key string) (router.StateTx, error) {
+	p := c.pool
+	if p.state == nil {
+		return nil, ErrNoState
+	}
+	tx, err := p.state.Take(c.cont.pd, c.cont.req.fn.Name, scope, key)
+	if err != nil {
+		return nil, err
+	}
+	c.cont.holds = append(c.cont.holds, tx)
+	return tx, nil
+}
+
+// StatePut atomically creates or replaces a key's value — a take/commit
+// micro-transaction held entirely inside the store, never across body code.
+func (c *Ctx) StatePut(scope router.StateScope, key string, val []byte) (uint64, error) {
+	p := c.pool
+	if p.state == nil {
+		return 0, ErrNoState
+	}
+	return p.state.Put(c.cont.pd, c.cont.req.fn.Name, scope, key, val)
+}
+
+// StateDelete removes a key (fails while another invocation owns it).
+func (c *Ctx) StateDelete(scope router.StateScope, key string) error {
+	p := c.pool
+	if p.state == nil {
+		return ErrNoState
+	}
+	return p.state.Delete(c.cont.pd, c.cont.req.fn.Name, scope, key)
+}
+
 // cancelChildren marks every outstanding (submitted, un-collected,
 // unfinished) child canceled, cascading an observed cancellation one
 // level down the call tree. Deeper descendants observe it the same way

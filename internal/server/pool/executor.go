@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"jord/internal/mem/vmatable"
+	"jord/internal/server/router"
 )
 
 // executor is the live port of core.Executor: one worker goroutine with a
@@ -282,6 +283,17 @@ func (e *executor) finishInvocation(c *continuation) {
 	if err := r.buf.Pmove(c.pd, ExecutorPD, vmatable.PermRW); err != nil && ferr == nil {
 		ferr = err
 	}
+	// Force-release state handles the body left held — un-Released read
+	// snapshots and open Take transactions (discarded, the Groundhog
+	// rollback) — strictly BEFORE the PD is destroyed: a recycled PD ID
+	// must never inherit grants on store VMAs. Only the body's own runner
+	// appends to holds, and its final yield handshake happens-before this,
+	// so no lock is needed.
+	for i, h := range c.holds {
+		h.ReleaseHold()
+		c.holds[i] = nil
+	}
+	c.holds = c.holds[:0]
 	if err := p.tab.cputCached(c.pd, e.pds); err != nil && ferr == nil {
 		ferr = err
 	}
@@ -431,6 +443,12 @@ type continuation struct {
 	waiting  *request   // child currently suspended on
 	children []*request // Async cookies index into this
 	live     int        // non-nil children entries (submitted, not collected)
+
+	// holds tracks state handles (snapshots, open transactions) the body
+	// obtained, for force-release at teardown. Appended only by the body's
+	// runner, read by finishInvocation after the final yield handshake —
+	// no lock needed. Capacity recycles with the continuation.
+	holds []router.StateHold
 
 	// detached/orphans track teardown with in-flight un-Waited children:
 	// finishInvocation leaves the continuation un-pooled and the last

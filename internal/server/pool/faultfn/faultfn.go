@@ -16,10 +16,13 @@ package faultfn
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"time"
 
+	"jord/internal/server/pool"
 	"jord/internal/server/router"
+	"jord/internal/server/state"
 )
 
 // MaxSleep caps every sleeping body so a chaos run cannot wedge on one
@@ -53,6 +56,22 @@ func sleepFor(b byte) time.Duration {
 //	             corruption); returns the concatenation.
 //	chain        recurses payload[0] levels deep (bounded by 6), one PD
 //	             per level — the PD-pressure generator.
+//
+// The stateful vocabulary abuses the shared-state tier, leaving handles
+// for the runtime's teardown to mop up (on a pool without a store they
+// degrade to no-ops, so the vocabulary stays usable everywhere):
+//
+//	stateboom    creates a key, holds a read snapshot of it and exclusive
+//	             ownership of a second key, then panics with both live —
+//	             teardown must release the grant and discard the tx.
+//	statestuck   takes exclusive ownership and sleeps without honoring
+//	             cancellation, then returns with the transaction OPEN —
+//	             the watchdog flags it, teardown rolls it back.
+//	stateforget  piles up unreleased snapshots (including double-gets of
+//	             one key) plus an un-Waited child, then returns — holds
+//	             and orphan both fall to the runtime.
+//	staterw      the validating stateful citizen: put/get round trip with
+//	             version checks; corruption reports as an "aliasing" error.
 //
 // The names are stable API for the chaos suite and jordd -faultfns.
 func RegisterAll(reg *router.Registry) {
@@ -177,6 +196,100 @@ func RegisterAll(reg *router.Registry) {
 		}
 		return append(b, '*'), nil
 	})
+
+	reg.MustRegister("stateboom", func(ctx router.Ctx) ([]byte, error) {
+		p := ctx.Payload()
+		k := laneKey("boom", p)
+		if _, err := ctx.StatePut(router.StateGlobal, k, p); err != nil {
+			if errors.Is(err, pool.ErrNoState) {
+				return []byte("nostate"), nil
+			}
+			return nil, err
+		}
+		// Snapshot held (never released) and exclusive ownership open
+		// (never committed) across the panic: teardown owns both.
+		if _, err := ctx.StateGet(router.StateGlobal, k); err != nil {
+			return nil, err
+		}
+		if _, err := ctx.StateTake(router.StateGlobal, k+":tx"); err != nil && !errors.Is(err, state.ErrTaken) {
+			return nil, err
+		}
+		panic("faultfn: stateboom with state handles live")
+	})
+
+	reg.MustRegister("statestuck", func(ctx router.Ctx) ([]byte, error) {
+		p := ctx.Payload()
+		tx, err := ctx.StateTake(router.StateGlobal, laneKey("stuck", p))
+		if err != nil {
+			if errors.Is(err, pool.ErrNoState) || errors.Is(err, state.ErrTaken) {
+				return []byte("contended"), nil
+			}
+			return nil, err
+		}
+		_ = tx // deliberately neither Commit nor Discard
+		if len(p) > 1 {
+			time.Sleep(sleepFor(p[1])) // no Err check: deliberately rude
+		}
+		return p, nil // transaction still open: teardown rolls it back
+	})
+
+	reg.MustRegister("stateforget", func(ctx router.Ctx) ([]byte, error) {
+		p := ctx.Payload()
+		k := laneKey("forget", p)
+		if _, err := ctx.StatePut(router.StateGlobal, k, p); err != nil {
+			if errors.Is(err, pool.ErrNoState) {
+				return []byte("nostate"), nil
+			}
+			return nil, err
+		}
+		// Double-gets pile refcounts onto one read grant; none released.
+		for i := 0; i < 3; i++ {
+			if _, err := ctx.StateGet(router.StateGlobal, k); err != nil {
+				return nil, err
+			}
+		}
+		child := append(append([]byte(nil), p...), 5)
+		if _, err := ctx.Async("slow", child); err != nil {
+			return nil, err
+		}
+		return []byte("forgot"), nil // holds and orphan both fall to the runtime
+	})
+
+	reg.MustRegister("staterw", func(ctx router.Ctx) ([]byte, error) {
+		p := ctx.Payload()
+		k := laneKey("rw", p)
+		ver, err := ctx.StatePut(router.StateGlobal, k, p)
+		if err != nil {
+			if errors.Is(err, pool.ErrNoState) {
+				return []byte("nostate"), nil
+			}
+			return nil, err
+		}
+		sn, err := ctx.StateGet(router.StateGlobal, k)
+		if err != nil {
+			return nil, err
+		}
+		defer sn.Release()
+		// Versions are monotonic per key; a concurrent staterw on the same
+		// lane may have published past ours, but never behind it.
+		if sn.Version() < ver {
+			return nil, fmt.Errorf("faultfn: staterw read version %d after writing %d", sn.Version(), ver)
+		}
+		if sn.Version() == ver && !bytes.Equal(sn.Bytes(), p) {
+			return nil, fmt.Errorf("faultfn: staterw got %q, want %q (aliasing?)", sn.Bytes(), p)
+		}
+		return append([]byte(nil), sn.Bytes()...), nil
+	})
+}
+
+// laneKey derives a contention lane from the payload's first byte so
+// concurrent invocations collide on a small shared keyspace.
+func laneKey(prefix string, p []byte) string {
+	lane := byte(0)
+	if len(p) > 0 {
+		lane = p[0] % 8
+	}
+	return fmt.Sprintf("%s:%d", prefix, lane)
 }
 
 // Names lists the registered fault vocabulary in a stable order (the
@@ -185,5 +298,6 @@ func Names() []string {
 	return []string{
 		"echo", "boom", "slow", "stuck", "poll", "selectdone",
 		"forget", "forgetboom", "fan", "chain",
+		"stateboom", "statestuck", "stateforget", "staterw",
 	}
 }

@@ -34,7 +34,24 @@ var (
 	// the gateway (and circuit breakers) can tell a crash from a function
 	// that merely returned an error.
 	ErrPanicked = errors.New("pool: function panicked")
+	// ErrNoState means a body used a Ctx.State* accessor on a pool with no
+	// shared-state store attached (SetState was never called).
+	ErrNoState = errors.New("pool: no shared-state store configured")
 )
+
+// StateBackend is the runtime's view of the shared-state tier
+// (internal/server/state.Store): permission-checked KV operations keyed by
+// the calling invocation's protection domain. The pool depends only on
+// this interface so the state package can build on pool's VMA/Table
+// primitives without an import cycle. Handles returned by Get/Take are
+// tracked on the invocation and force-released at teardown (see
+// router.StateHold).
+type StateBackend interface {
+	Get(pd PDID, fn string, scope router.StateScope, key string) (router.StateSnap, error)
+	Take(pd PDID, fn string, scope router.StateScope, key string) (router.StateTx, error)
+	Put(pd PDID, fn string, scope router.StateScope, key string, val []byte) (uint64, error)
+	Delete(pd PDID, fn string, scope router.StateScope, key string) error
+}
 
 // Config sizes one live worker pool. The shape mirrors core.Config: a few
 // orchestrators dispatching into many executors, JBSQ-bounded.
@@ -273,6 +290,10 @@ type Pool struct {
 	// atomic load on the submit path.
 	shedThr int
 
+	// state is the shared-state tier, nil unless SetState attached one.
+	// Immutable after Start.
+	state StateBackend
+
 	rr       atomic.Uint64 // round-robin external submission
 	draining atomic.Bool
 	started  atomic.Bool
@@ -390,6 +411,7 @@ func (p *Pool) putCont(c *continuation) {
 	c.wdFlagged = false
 	c.doneCh = nil
 	c.stopCh = nil
+	c.holds = c.holds[:0] // capacity recycles; entries were released at teardown
 	c.ctx = Ctx{}
 	p.contPool.Put(c)
 }
@@ -415,6 +437,13 @@ func (p *Pool) putRunner(rn *runner) {
 		close(rn.work)
 	}
 }
+
+// SetState attaches the shared-state tier. Must be called before Start;
+// bodies reach it through Ctx.StateGet/StateTake/StatePut/StateDelete.
+func (p *Pool) SetState(b StateBackend) { p.state = b }
+
+// State returns the attached shared-state tier (nil if none).
+func (p *Pool) State() StateBackend { return p.state }
 
 // Config returns the normalized configuration.
 func (p *Pool) Config() Config { return p.cfg }

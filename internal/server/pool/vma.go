@@ -87,6 +87,46 @@ func putVMA(v *VMA) {
 	vmaPool.Put(v)
 }
 
+// Free destroys the VMA (the live munmap): owner must be its sole
+// remaining sharer and the G bit must be clear, so no other domain can be
+// holding a live grant on the storage being retired. On success the
+// structure recycles; prior Read aliases stay valid (recycling never
+// reuses a data slice).
+func (v *VMA) Free(owner PDID) error {
+	v.mu.Lock()
+	if v.global != 0 {
+		err := v.table.fault(&Fault{Op: "free", PD: owner,
+			Detail: fmt.Sprintf("VMA still global %v", v.global)})
+		v.mu.Unlock()
+		return err
+	}
+	sharers := 0
+	ownerHeld := false
+	for i := range v.sub {
+		if v.sub[i].used {
+			sharers++
+			if v.sub[i].pd == owner {
+				ownerHeld = true
+			}
+		}
+	}
+	for i := range v.over {
+		sharers++
+		if v.over[i].pd == owner {
+			ownerHeld = true
+		}
+	}
+	if !ownerHeld || sharers != 1 {
+		err := v.table.fault(&Fault{Op: "free", PD: owner,
+			Detail: fmt.Sprintf("%d sharers, owner held=%v", sharers, ownerHeld)})
+		v.mu.Unlock()
+		return err
+	}
+	v.mu.Unlock()
+	putVMA(v)
+	return nil
+}
+
 // permFor returns the permission pd holds. Callers hold v.mu.
 func (v *VMA) permFor(pd PDID) Perm {
 	p := v.global
@@ -178,6 +218,52 @@ func (v *VMA) Pcopy(from, to PDID, perm Perm) error {
 			Detail: fmt.Sprintf("holds %v, cannot grant %v", held, perm)})
 	}
 	v.orPerm(to, perm)
+	return nil
+}
+
+// PromoteGlobal sets perm in the VMA's G bit, granting it to every PD (the
+// VTE G-bit promotion for hot read-mostly objects: subsequent readers pay
+// no pcopy, no per-PD slot, and no revocation on release). The promoting PD
+// must already hold perm in its own right.
+func (v *VMA) PromoteGlobal(from PDID, perm Perm) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	held := v.permFor(from)
+	if held&perm != perm {
+		return v.table.fault(&Fault{Op: "promote", PD: from,
+			Detail: fmt.Sprintf("holds %v, cannot promote %v to global", held, perm)})
+	}
+	v.global |= perm
+	return nil
+}
+
+// DemoteGlobal clears perm from the VMA's G bit — the revocation a writer
+// performs before mutating a promoted object. Per-PD entries are untouched,
+// so the owner's own grant survives the demotion. The demoting PD must hold
+// perm through a per-PD entry (not merely via the G bit it is revoking).
+func (v *VMA) DemoteGlobal(from PDID, perm Perm) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	held := vmatable.PermNone
+	for i := range v.sub {
+		if v.sub[i].used && v.sub[i].pd == from {
+			held = v.sub[i].perm
+			break
+		}
+	}
+	if held == vmatable.PermNone {
+		for i := range v.over {
+			if v.over[i].pd == from {
+				held = v.over[i].perm
+				break
+			}
+		}
+	}
+	if held&perm != perm {
+		return v.table.fault(&Fault{Op: "demote", PD: from,
+			Detail: fmt.Sprintf("holds %v in its own right, cannot revoke global %v", held, perm)})
+	}
+	v.global &^= perm
 	return nil
 }
 

@@ -17,6 +17,81 @@ import (
 // Cookie identifies an asynchronous invocation for Wait (Listing 1).
 type Cookie int
 
+// StateScope selects the shared-state tier a key lives in. Function-local
+// keys are namespaced by function name (Faasm's "function-local" tier);
+// node-global keys are shared by every function on the worker.
+type StateScope uint8
+
+const (
+	// StateLocal keys are private to the calling function's namespace.
+	StateLocal StateScope = iota
+	// StateGlobal keys are shared across all functions on this worker.
+	StateGlobal
+)
+
+// String renders the scope for diagnostics.
+func (s StateScope) String() string {
+	if s == StateGlobal {
+		return "global"
+	}
+	return "local"
+}
+
+// StateHold is the runtime-facing face of a state handle: whatever a body
+// obtained from the store and may not have released is force-released at
+// invocation teardown, exactly as unwaited children are reaped. Bodies
+// never call ReleaseHold themselves — they use Release/Commit/Discard.
+type StateHold interface {
+	// ReleaseHold releases the handle's permission grant if the body left
+	// it held, and recycles the handle. Only the runtime calls it, exactly
+	// once, after the body has returned.
+	ReleaseHold()
+}
+
+// StateSnap is a read snapshot of a state value, obtained via Ctx.StateGet.
+// Its bytes are a zero-copy alias of the value's VMA, readable under a
+// pcopy R grant to the invocation's protection domain (or under the VMA's
+// global-RO G bit for promoted hot keys, in which case no per-PD grant
+// exists at all). The snapshot stays consistent even if a writer commits a
+// new version meanwhile: writers replace the backing bytes, never mutate
+// them in place.
+type StateSnap interface {
+	StateHold
+	// Bytes returns the snapshot contents. The slice must not be written,
+	// and must not be retained past the body's return.
+	Bytes() []byte
+	// Version returns the value's version at snapshot time (1 for the
+	// first committed value; a key created empty by StateTake starts at 0).
+	Version() uint64
+	// Release returns the read grant to the store. Optional — teardown
+	// releases unreleased snapshots — but long bodies holding many
+	// snapshots should release early to keep permission slots free.
+	Release()
+}
+
+// StateTx is exclusive ownership of a state value, obtained via
+// Ctx.StateTake. The value's VMA is pmoved RW into the invocation's
+// protection domain; no other writer can take the key until the
+// transaction ends. End it with exactly one of Commit or Discard; an
+// invocation that returns (or panics, or is killed) with the transaction
+// open has it discarded at teardown — the Groundhog-style rollback: the
+// committed value is untouched until Commit, so abandoning the ownership
+// restores the pre-take state by construction.
+type StateTx interface {
+	StateHold
+	// Bytes returns the current committed value (zero-copy alias; treat as
+	// read-only — commit a new slice instead of mutating in place).
+	Bytes() []byte
+	// Version returns the value's version at take time.
+	Version() uint64
+	// Commit publishes val as the value's next version, bumps the version,
+	// and returns ownership to the store. Returns the new version.
+	Commit(val []byte) (uint64, error)
+	// Discard returns ownership without publishing — the pre-take value
+	// stays current.
+	Discard()
+}
+
 // Ctx is the interface a live function body programs against. It is
 // implemented by internal/server/pool.Ctx; it lives here so the registry
 // does not depend on the runtime that executes its functions.
@@ -50,6 +125,22 @@ type Ctx interface {
 	Deadline() (time.Time, bool)
 	// FuncName names the function this invocation runs.
 	FuncName() string
+	// StateGet returns a read snapshot of a shared-state key (pcopy R
+	// grant, or zero permission traffic for globally promoted keys). The
+	// runtime releases unreleased snapshots at invocation teardown.
+	StateGet(scope StateScope, key string) (StateSnap, error)
+	// StateTake acquires exclusive write ownership of a key (pmove RW),
+	// creating it empty at version 0 if absent. At most one taker holds a
+	// key at a time; a second concurrent StateTake fails rather than
+	// blocks. The runtime discards open transactions at teardown.
+	StateTake(scope StateScope, key string) (StateTx, error)
+	// StatePut atomically replaces a key's value (create or update) without
+	// holding ownership across body code — a take/commit micro-transaction.
+	// Returns the new version.
+	StatePut(scope StateScope, key string, val []byte) (uint64, error)
+	// StateDelete removes a key. Deleting a key another invocation
+	// currently owns via StateTake fails.
+	StateDelete(scope StateScope, key string) error
 }
 
 // Body is a live function body: input via ctx.Payload, output via the

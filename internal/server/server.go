@@ -28,6 +28,7 @@ import (
 	"jord/internal/server/gateway"
 	"jord/internal/server/pool"
 	"jord/internal/server/router"
+	"jord/internal/server/state"
 )
 
 // Config assembles one live worker daemon.
@@ -74,6 +75,16 @@ type Config struct {
 	// ratio can trip (default 20).
 	BreakerMinSamples uint64
 
+	// StateCap caps the shared-state tier's total committed bytes. 0
+	// defaults to 64 MiB; < 0 disables the state store entirely (bodies
+	// using Ctx.State* get pool.ErrNoState).
+	StateCap int64
+
+	// StatePromoteAfter is the reads-since-last-write threshold at which a
+	// hot state key is promoted to a global-RO mapping (the VTE G-bit fast
+	// path). 0 defaults to 64; < 0 disables promotion.
+	StatePromoteAfter int
+
 	// RequestTimeout is the per-request deadline (default 30s; <0 = none).
 	RequestTimeout time.Duration
 
@@ -113,9 +124,10 @@ type Daemon struct {
 	Cfg Config
 	Reg *router.Registry
 
-	pool *pool.Pool
-	gw   *gateway.Gateway
-	http *http.Server
+	pool  *pool.Pool
+	state *state.Store // nil when StateCap < 0
+	gw    *gateway.Gateway
+	http  *http.Server
 
 	addr    atomic.Value // string; set once serving
 	started atomic.Bool
@@ -185,10 +197,33 @@ func (d *Daemon) start() error {
 	}
 
 	d.pool = pool.New(pc, d.Reg)
+
+	// Shared-state tier: built between pool.New and pool.Start so its
+	// dedicated PD allocates before serving begins, with its mutation gate
+	// wired to the pool's tiered-shedding band — state growth degrades
+	// exactly when external admission does.
+	if d.Cfg.StateCap >= 0 {
+		p := d.pool
+		st, err := state.New(state.Config{
+			CapBytes:     d.Cfg.StateCap,
+			PromoteAfter: d.Cfg.StatePromoteAfter,
+			Degraded: func() bool {
+				thr := p.ShedThreshold()
+				return thr > 0 && p.Table().FreeCount() <= thr
+			},
+		}, d.pool.Table())
+		if err != nil {
+			return fmt.Errorf("server: building state store: %w", err)
+		}
+		d.state = st
+		d.pool.SetState(st)
+	}
+
 	d.pool.Start()
 	d.gw = &gateway.Gateway{
 		Reg:            d.Reg,
 		Pool:           d.pool,
+		Store:          d.state,
 		Adm:            adm,
 		Breakers:       breakers,
 		RequestTimeout: d.Cfg.RequestTimeout,
@@ -200,6 +235,9 @@ func (d *Daemon) start() error {
 
 // Pool exposes the worker runtime (tests, stats).
 func (d *Daemon) Pool() *pool.Pool { return d.pool }
+
+// State exposes the shared-state tier (nil when disabled).
+func (d *Daemon) State() *state.Store { return d.state }
 
 // Gateway exposes the HTTP layer (tests, stats).
 func (d *Daemon) Gateway() *gateway.Gateway { return d.gw }
@@ -253,5 +291,13 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 	if err := d.http.Shutdown(ctx); err != nil {
 		return err
 	}
-	return d.pool.Drain(ctx)
+	if err := d.pool.Drain(ctx); err != nil {
+		return err
+	}
+	// With the pool drained no invocation can hold a state handle; closing
+	// the store frees every value VMA and returns its PD to the table.
+	if d.state != nil {
+		return d.state.Close()
+	}
+	return nil
 }

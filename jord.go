@@ -181,6 +181,25 @@ type (
 	LiveFunc = router.Body
 	// LiveCookie identifies an asynchronous live invocation.
 	LiveCookie = router.Cookie
+	// StateScope selects the shared-state tier (function-local or
+	// node-global) a key lives in.
+	StateScope = router.StateScope
+	// StateSnap is a zero-copy read snapshot of a shared-state value
+	// (LiveCtx.StateGet): a pcopy R grant, or zero permission traffic for
+	// globally promoted hot keys.
+	StateSnap = router.StateSnap
+	// StateTx is exclusive write ownership of a shared-state value
+	// (LiveCtx.StateTake): the value's VMA pmoved RW into the invocation's
+	// domain until Commit or Discard.
+	StateTx = router.StateTx
+)
+
+// Shared-state tiers.
+const (
+	// StateLocal keys are private to the calling function's namespace.
+	StateLocal = router.StateLocal
+	// StateGlobal keys are shared across every function on the worker.
+	StateGlobal = router.StateGlobal
 )
 
 // NewServer builds a live worker daemon. Register functions on it, then
