@@ -1,15 +1,23 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"jord/internal/metrics"
+	"jord/internal/server/admission"
+	"jord/internal/server/gateway"
 	"jord/internal/server/pool"
 	"jord/internal/server/router"
 )
@@ -38,27 +46,44 @@ type liveResult struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
+// scalingPoint is one row of the multicore scaling curve: the echo
+// workload against a pool sized for N cores with GOMAXPROCS pinned to N.
+type scalingPoint struct {
+	Cores         int `json:"cores"`
+	Executors     int `json:"executors"`
+	Orchestrators int `json:"orchestrators"`
+
+	// EffectiveCores is min(Cores, NumCPU): the parallelism the machine
+	// can actually grant this point. Efficiency is normalized by it, so a
+	// 32-core sweep on a 4-core box reports the truth instead of a
+	// fabricated 8-way speedup.
+	EffectiveCores int `json:"effective_cores"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P99Us         float64 `json:"p99_us"`
+	Speedup       float64 `json:"speedup"`    // vs the first (1-core) point
+	Efficiency    float64 `json:"efficiency"` // Speedup / EffectiveCores
+}
+
 // liveReport is the whole BENCH_live.json document.
 type liveReport struct {
 	GeneratedBy string `json:"generated_by"`
 	GoVersion   string `json:"go_version"`
 	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
 
 	Executors     int `json:"executors"`
 	Orchestrators int `json:"orchestrators"`
 	JBSQBound     int `json:"jbsq_bound"`
 	NumPDs        int `json:"num_pds"`
 
-	Scenarios []liveResult `json:"scenarios"`
+	Scenarios []liveResult   `json:"scenarios"`
+	Scaling   []scalingPoint `json:"scaling,omitempty"`
 }
 
-// runLive benchmarks the live serving path in-process — no HTTP, no
-// network — and writes BENCH_live.json. The scenarios mirror the Go
-// benchmarks in internal/server/pool (BenchmarkInvoke, BenchmarkNestedCall)
-// but measure end-to-end throughput, latency percentiles, and whole-process
-// allocation cost under sustained concurrent load, which per-op Go
-// benchmarks cannot see.
-func runLive(out string, requests, workers int) {
+// newLiveRegistry builds the benchmark function set. A fresh registry per
+// pool keeps sequential scaling points independent.
+func newLiveRegistry() *router.Registry {
 	reg := router.New()
 	reg.MustRegister("echo", func(ctx router.Ctx) ([]byte, error) {
 		return ctx.Payload(), nil
@@ -83,23 +108,25 @@ func runLive(out string, requests, workers int) {
 		}
 		return ctx.Wait(ck2)
 	})
+	return reg
+}
 
+// runLive benchmarks the live serving path — the in-process scenarios, the
+// http_echo socket-to-function scenario over the zero-allocation edge, and
+// the multicore scaling sweep — and writes BENCH_live.json. It returns
+// whether the -live-gate checks failed (the caller exits nonzero).
+func runLive(out string, requests, workers int, cores string, gate bool) bool {
+	reg := newLiveRegistry()
 	cfg := pool.Config{JBSQBound: 4}
 	p := pool.New(cfg, reg)
 	p.Start()
-	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		if err := p.Drain(ctx); err != nil {
-			log.Printf("drain: %v", err)
-		}
-	}()
 	eff := p.Config()
 
 	report := liveReport{
 		GeneratedBy:   "jordbench -live",
 		GoVersion:     runtime.Version(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
 		Executors:     eff.Executors,
 		Orchestrators: eff.Orchestrators,
 		JBSQBound:     eff.JBSQBound,
@@ -118,13 +145,51 @@ func runLive(out string, requests, workers int) {
 		if err != nil {
 			log.Fatalf("%s: %v", sc.name, err)
 		}
-		log.Printf("%-12s %9.0f req/s  p50 %6.1fus  p99 %6.1fus  %6.2f allocs/op",
-			sc.name, res.ThroughputRPS, res.P50Us, res.P99Us, res.AllocsPerOp)
+		logLiveResult(res)
 		report.Scenarios = append(report.Scenarios, res)
 	}
 
 	if tab := p.Table(); tab.LivePDs() != 0 || tab.Faults() != 0 {
 		log.Fatalf("pool not clean after load: live_pds=%d faults=%d", tab.LivePDs(), tab.Faults())
+	}
+	drainPool(p)
+
+	// http_echo: the same echo workload, but entering through a real TCP
+	// socket and the zero-allocation HTTP edge — request parse, admission,
+	// body read into pooled VMA-bound memory, invoke, writev response. The
+	// allocs/op it reports cover client AND server in this process, so the
+	// raw-byte client below is written allocation-free too.
+	httpRes, err := runLiveHTTPEcho(requests, workers, payload)
+	if err != nil {
+		log.Fatalf("http_echo: %v", err)
+	}
+	logLiveResult(httpRes)
+	report.Scenarios = append(report.Scenarios, httpRes)
+
+	// Multicore scaling sweep: per point, pin GOMAXPROCS and size the pool
+	// to the core count (one executor per core, one orchestrator per four
+	// cores — the paper's dispatcher:worker proportion), then measure the
+	// echo throughput.
+	if cores != "" {
+		points, err := parseCores(cores)
+		if err != nil {
+			log.Fatalf("-live-cores: %v", err)
+		}
+		var base float64
+		for i, n := range points {
+			pt, err := runScalingPoint(n, requests, workers, payload)
+			if err != nil {
+				log.Fatalf("scaling %d cores: %v", n, err)
+			}
+			if i == 0 {
+				base = pt.ThroughputRPS
+			}
+			pt.Speedup = pt.ThroughputRPS / base
+			pt.Efficiency = pt.Speedup / float64(pt.EffectiveCores)
+			log.Printf("scaling %2d cores (%d effective): %9.0f req/s  speedup %.2fx  efficiency %.2f",
+				pt.Cores, pt.EffectiveCores, pt.ThroughputRPS, pt.Speedup, pt.Efficiency)
+			report.Scaling = append(report.Scaling, pt)
+		}
 	}
 
 	buf, err := json.MarshalIndent(report, "", "  ")
@@ -134,12 +199,139 @@ func runLive(out string, requests, workers int) {
 	buf = append(buf, '\n')
 	if out == "-" {
 		os.Stdout.Write(buf)
-		return
+	} else {
+		if err := os.WriteFile(out, buf, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", out)
 	}
-	if err := os.WriteFile(out, buf, 0o644); err != nil {
-		log.Fatal(err)
+
+	if gate {
+		return !checkLiveGates(report)
 	}
-	log.Printf("wrote %s", out)
+	return false
+}
+
+func logLiveResult(res liveResult) {
+	log.Printf("%-12s %9.0f req/s  p50 %6.1fus  p99 %6.1fus  %6.2f allocs/op",
+		res.Name, res.ThroughputRPS, res.P50Us, res.P99Us, res.AllocsPerOp)
+}
+
+func drainPool(p *pool.Pool) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Drain(ctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+}
+
+func parseCores(s string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad core count %q", tok)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty core list")
+	}
+	return out, nil
+}
+
+// checkLiveGates evaluates the CI smoke gates against the report. It
+// returns true when everything passes, logging each verdict.
+func checkLiveGates(report liveReport) bool {
+	ok := true
+	// Allocation gates: the invariant is "no per-request allocation"; the
+	// tolerances absorb runtime background noise (GC bookkeeping, timer
+	// wheels, netpoll) that whole-process Mallocs deltas cannot exclude.
+	allocGates := map[string]float64{"echo": 0.01, "http_echo": 0.05}
+	for _, sc := range report.Scenarios {
+		limit, gated := allocGates[sc.Name]
+		if !gated {
+			continue
+		}
+		if sc.AllocsPerOp > limit {
+			log.Printf("GATE FAIL: %s allocates %.4f/op (limit %.2f)", sc.Name, sc.AllocsPerOp, limit)
+			ok = false
+		} else {
+			log.Printf("gate ok: %s %.4f allocs/op (limit %.2f)", sc.Name, sc.AllocsPerOp, limit)
+		}
+	}
+
+	// Scaling gates, clamped to the machine: only points the hardware can
+	// actually parallelize count. On a 1-CPU box every point collapses to
+	// one effective core and the efficiency gate is vacuous — which is the
+	// honest outcome, not a failure; CI provides the multi-core machine.
+	var best *scalingPoint
+	for i := range report.Scaling {
+		pt := &report.Scaling[i]
+		if pt.Cores <= report.NumCPU && pt.Cores >= 2 && (best == nil || pt.Cores > best.Cores) {
+			best = pt
+		}
+	}
+	if best != nil {
+		if best.Efficiency < 0.70 {
+			log.Printf("GATE FAIL: scaling efficiency %.2f at %d cores (want >= 0.70)", best.Efficiency, best.Cores)
+			ok = false
+		} else {
+			log.Printf("gate ok: scaling efficiency %.2f at %d cores", best.Efficiency, best.Cores)
+		}
+	} else {
+		log.Printf("gate skipped: no scaling point with 2..%d cores on this machine", report.NumCPU)
+	}
+	if report.NumCPU >= 4 {
+		for _, pt := range report.Scaling {
+			if pt.Cores == 4 {
+				if pt.Speedup < 2.0 {
+					log.Printf("GATE FAIL: 4-core speedup %.2fx (want >= 2x)", pt.Speedup)
+					ok = false
+				} else {
+					log.Printf("gate ok: 4-core speedup %.2fx", pt.Speedup)
+				}
+			}
+		}
+	}
+	return ok
+}
+
+// runScalingPoint measures one core count: GOMAXPROCS pinned to n, a fresh
+// pool with n executors and n/4 orchestrators, echo under enough workers
+// to keep every executor fed.
+func runScalingPoint(n, requests, workers int, payload []byte) (scalingPoint, error) {
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+
+	orch := n / 4
+	if orch < 1 {
+		orch = 1
+	}
+	p := pool.New(pool.Config{Executors: n, Orchestrators: orch, JBSQBound: 4}, newLiveRegistry())
+	p.Start()
+	defer drainPool(p)
+
+	w := workers
+	if w < 2*n {
+		w = 2 * n
+	}
+	res, err := runLiveScenario(p, liveScenario{name: "echo", fn: "echo"}, payload, requests, w)
+	if err != nil {
+		return scalingPoint{}, err
+	}
+	effCores := n
+	if ncpu := runtime.NumCPU(); effCores > ncpu {
+		effCores = ncpu
+	}
+	return scalingPoint{
+		Cores:          n,
+		Executors:      n,
+		Orchestrators:  orch,
+		EffectiveCores: effCores,
+		ThroughputRPS:  res.ThroughputRPS,
+		P99Us:          res.P99Us,
+	}, nil
 }
 
 func runLiveScenario(p *pool.Pool, sc liveScenario, payload []byte, requests, workers int) (liveResult, error) {
@@ -208,4 +400,178 @@ func runLiveScenario(p *pool.Pool, sc liveScenario, payload []byte, requests, wo
 		AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / float64(n),
 		BytesPerOp:    float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
 	}, nil
+}
+
+// runLiveHTTPEcho measures the full socket-to-function path: a real edge
+// server on loopback, raw-byte keep-alive clients, whole-process
+// allocation accounting. The client side parses responses with the same
+// no-allocation techniques as the edge so the measured delta isolates
+// per-request cost, not client sloppiness.
+func runLiveHTTPEcho(requests, workers int, payload []byte) (liveResult, error) {
+	reg := newLiveRegistry()
+	p := pool.New(pool.Config{JBSQBound: 4}, reg)
+	p.Start()
+	defer drainPool(p)
+	g := &gateway.Gateway{
+		Reg:            reg,
+		Pool:           p,
+		Adm:            admission.New(0),
+		RequestTimeout: 30 * time.Second,
+		MaxBodyBytes:   1 << 20,
+	}
+	e := gateway.NewEdge(g)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return liveResult{}, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- e.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := e.Shutdown(ctx); err != nil {
+			log.Printf("edge shutdown: %v", err)
+		}
+		<-serveDone
+	}()
+
+	var reqBuf bytes.Buffer
+	fmt.Fprintf(&reqBuf, "POST /invoke/echo HTTP/1.1\r\nHost: jordbench\r\nContent-Length: %d\r\n\r\n", len(payload))
+	reqBuf.Write(payload)
+	req := reqBuf.Bytes()
+
+	clients := make([]*edgeClient, workers)
+	for i := range clients {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return liveResult{}, err
+		}
+		defer c.Close()
+		clients[i] = &edgeClient{conn: c, br: bufio.NewReaderSize(c, 16<<10)}
+	}
+
+	// Warm both sides to steady state before counting.
+	warm := requests / 10
+	if warm > 2000 {
+		warm = 2000
+	}
+	perWarm := warm/workers + 1
+	var wg sync.WaitGroup
+	warmErr := make(chan error, workers)
+	for _, cl := range clients {
+		wg.Add(1)
+		go func(cl *edgeClient) {
+			defer wg.Done()
+			for i := 0; i < perWarm; i++ {
+				if err := cl.roundtrip(req); err != nil {
+					warmErr <- err
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	select {
+	case err := <-warmErr:
+		return liveResult{}, fmt.Errorf("warmup: %w", err)
+	default:
+	}
+
+	var hist metrics.ShardedHistogram
+	hist.SetShards(workers)
+	perWork := requests / workers
+	errCh := make(chan error, workers)
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	start := time.Now()
+	for w, cl := range clients {
+		go func(w int, cl *edgeClient) {
+			for i := 0; i < perWork; i++ {
+				t0 := time.Now()
+				if err := cl.roundtrip(req); err != nil {
+					errCh <- err
+					return
+				}
+				hist.RecordShard(w, time.Since(t0).Nanoseconds())
+			}
+			errCh <- nil
+		}(w, cl)
+	}
+	for range clients {
+		if err := <-errCh; err != nil {
+			return liveResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	n := perWork * workers
+	snap := hist.Snapshot()
+	return liveResult{
+		Name:          "http_echo",
+		Description:   "echo through the zero-allocation HTTP edge over loopback TCP: socket to function and back",
+		Requests:      n,
+		Workers:       workers,
+		ThroughputRPS: float64(n) / elapsed.Seconds(),
+		P50Us:         float64(snap.P50) / 1e3,
+		P99Us:         float64(snap.P99) / 1e3,
+		P999Us:        float64(snap.P999) / 1e3,
+		MeanUs:        snap.Mean / 1e3,
+		AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / float64(n),
+		BytesPerOp:    float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+	}, nil
+}
+
+// edgeClient is an allocation-free HTTP/1.1 client for the echo scenario:
+// prebuilt request bytes out, ReadSlice-parsed response in.
+type edgeClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+var clPrefix = []byte("Content-Length:")
+
+func (c *edgeClient) roundtrip(req []byte) error {
+	if _, err := c.conn.Write(req); err != nil {
+		return err
+	}
+	line, err := c.br.ReadSlice('\n')
+	if err != nil {
+		return err
+	}
+	if !bytes.HasPrefix(line, []byte("HTTP/1.1 200")) {
+		return fmt.Errorf("edge answered %q", bytes.TrimSpace(line))
+	}
+	cl := -1
+	for {
+		line, err = c.br.ReadSlice('\n')
+		if err != nil {
+			return err
+		}
+		if len(line) <= 2 { // bare CRLF: end of headers
+			break
+		}
+		if bytes.HasPrefix(line, clPrefix) {
+			v := bytes.TrimSpace(line[len(clPrefix):])
+			cl = 0
+			for _, ch := range v {
+				if ch < '0' || ch > '9' {
+					return fmt.Errorf("bad content-length %q", v)
+				}
+				cl = cl*10 + int(ch-'0')
+			}
+		}
+	}
+	if cl < 0 {
+		return fmt.Errorf("response missing content-length")
+	}
+	if _, err := c.br.Discard(cl); err != nil {
+		return err
+	}
+	return nil
 }

@@ -5,7 +5,9 @@
 //
 //	jordbench -workload hotel -system jord -loads 1,2,4,6 [-measure 5000]
 //	jordbench -live [-live-out BENCH_live.json] [-live-requests 50000] [-live-workers 16]
+//	          [-live-cores 1,2,4,8,16,32] [-live-gate]
 //	jordbench -state [-state-out BENCH_state.json] [-state-requests 30000] [-state-workers 16]
+//	jordbench ... [-cpuprofile cpu.out] [-mutexprofile mutex.out] [-blockprofile block.out]
 //
 // Loads are in MRPS. Systems: jord | jordni | jordbt | nightcore.
 //
@@ -13,9 +15,28 @@
 // serving path (internal/server/pool) in-process under sustained concurrent
 // load and writes BENCH_live.json: throughput, latency percentiles, and
 // allocations per operation for an external echo, a nested synchronous
-// chain, and a two-way async fanout. This is the checked-in regression
-// baseline for the hot-path engineering (PD caches, VTE permission arrays,
-// continuation recycling); regenerate it with `go run ./cmd/jordbench -live`.
+// chain, a two-way async fanout, and an http_echo scenario that runs the
+// full zero-allocation HTTP edge over a loopback socket — socket to
+// function and back. It then sweeps the -live-cores list, sizing
+// GOMAXPROCS and the pool (one executor per core, one orchestrator per
+// four) per point, and records the multicore scaling curve: throughput,
+// speedup over the first point, and efficiency normalized to the cores the
+// machine actually has (num_cpu is recorded so a 32-core sweep on a 4-core
+// box reads honestly). This is the checked-in regression baseline for the
+// hot-path engineering (PD caches, credit-cached free counters, VTE
+// permission arrays, continuation recycling); regenerate it with
+// `go run ./cmd/jordbench -live`.
+//
+// -live-gate turns the run into a CI smoke gate: the process exits nonzero
+// if the echo or http_echo path allocates per request, if scaling
+// efficiency at the largest machine-feasible point falls below 70%, or if
+// a 4-core point (on a >= 4 CPU machine) fails to reach 2x the 1-core
+// throughput.
+//
+// The -cpuprofile / -mutexprofile / -blockprofile flags write pprof
+// profiles covering the whole run (mutex and block profiling are enabled
+// at full rate when requested) — the tooling loop for finding cross-core
+// contention in the live path.
 //
 // With -state, jordbench drives the shared-state tier the same way and
 // writes BENCH_state.json: the granted (pcopy R) and promoted (VTE G bit)
@@ -93,6 +114,12 @@ func main() {
 		liveOut      = flag.String("live-out", "BENCH_live.json", "output file for -live ('-' = stdout)")
 		liveRequests = flag.Int("live-requests", 50000, "measured requests per -live scenario")
 		liveWorkers  = flag.Int("live-workers", 16, "concurrent clients for -live")
+		liveCores    = flag.String("live-cores", "1,2,4,8,16,32", "comma-separated core counts for the -live scaling sweep ('' = skip)")
+		liveGate     = flag.Bool("live-gate", false, "exit nonzero if -live misses the 0 allocs/op or scaling-efficiency gates")
+
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		mutexprofile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file (enables full-rate mutex profiling)")
+		blockprofile = flag.String("blockprofile", "", "write a blocking profile to this file (enables full-rate block profiling)")
 
 		stateBench    = flag.Bool("state", false, "benchmark the shared-state tier (snapshot reads, RMW, social mix vs copy baseline)")
 		stateOut      = flag.String("state-out", "BENCH_state.json", "output file for -state ('-' = stdout)")
@@ -108,13 +135,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	stopProfiles := startProfiles(*cpuprofile, *mutexprofile, *blockprofile)
+
 	if *live {
 		if *liveRequests < 1 || *liveWorkers < 1 {
 			fmt.Fprintln(os.Stderr, "jordbench: -live-requests and -live-workers must be positive")
 			flag.Usage()
 			os.Exit(2)
 		}
-		runLive(*liveOut, *liveRequests, *liveWorkers)
+		gateFailed := runLive(*liveOut, *liveRequests, *liveWorkers, *liveCores, *liveGate)
+		stopProfiles()
+		if gateFailed {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -125,8 +158,10 @@ func main() {
 			os.Exit(2)
 		}
 		runState(*stateOut, *stateRequests, *stateWorkers)
+		stopProfiles()
 		return
 	}
+	defer stopProfiles()
 
 	if *trials > 1 {
 		runSampled(workload.Value(), system.Value(), *loads, *warmup, *measure, *seed, *trials)

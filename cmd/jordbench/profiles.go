@@ -1,0 +1,56 @@
+package main
+
+import (
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles arms the requested pprof profiles and returns the function
+// that stops and writes them. Mutex and block profiling run at full rate
+// (fraction/rate 1) for the duration of the run: jordbench runs are short
+// and the point is to see EVERY contention event on the live path, not a
+// sample of them.
+func startProfiles(cpu, mutex, block string) func() {
+	var stops []func()
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			log.Printf("wrote cpu profile to %s", cpu)
+		})
+	}
+	if mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+		stops = append(stops, func() { writeProfile("mutex", mutex) })
+	}
+	if block != "" {
+		runtime.SetBlockProfileRate(1)
+		stops = append(stops, func() { writeProfile("block", block) })
+	}
+	return func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}
+}
+
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("%sprofile: %v", name, err)
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		log.Fatalf("%sprofile: %v", name, err)
+	}
+	log.Printf("wrote %s profile to %s", name, path)
+}

@@ -11,7 +11,7 @@
 //	      [-breaker-window 10s] [-breaker-cooldown 2s] [-breaker-ratio 0.5]
 //	      [-state-cap 67108864] [-state-global-ro-threshold 64]
 //	      [-timeout 30s] [-exec-timeout 0] [-drain-timeout 30s]
-//	      [-max-body 1048576] [-pprof addr]
+//	      [-max-body 1048576] [-edge] [-pprof addr]
 //
 // Endpoints:
 //
@@ -93,6 +93,7 @@ func main() {
 		execTimeout   = flag.Duration("exec-timeout", 0, "watchdog threshold for stuck invocations (0 = off)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
 		maxBody       = flag.Int64("max-body", 1<<20, "max /invoke payload bytes")
+		edge          = flag.Bool("edge", false, "serve through the zero-allocation HTTP edge instead of net/http")
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Var(executors, "executors", "executor goroutines (0 = GOMAXPROCS)")
@@ -141,6 +142,7 @@ func main() {
 	}
 	cfg.DrainTimeout = *drainTimeout
 	cfg.MaxBodyBytes = *maxBody
+	cfg.Edge = *edge
 	// Same 0-means-off translation for the state knobs: the server layer
 	// reads < 0 as off and 0 as its own default.
 	cfg.StateCap = int64(stateCap.Value())

@@ -12,7 +12,15 @@
 //	         [-payload hello] [-mix none] [-users 64] [-timeout 5s]
 //	         [-abandon 0] [-seed 1]
 //	         [-retries 0] [-retry-budget 0.2] [-retry-base 20ms]
-//	         [-max-p99 0] [-min-ok 0]
+//	         [-max-p99 0] [-min-ok 0] [-baseline-rps 0]
+//
+// After the run jordload queries the server's /varz for its core and
+// executor counts and prints a per-core throughput summary: achieved ok
+// rps divided by the executors the server actually has cores for. With
+// -baseline-rps (the measured single-core throughput, e.g. from the
+// scaling curve in BENCH_live.json) it also prints scaling efficiency —
+// achieved / (baseline x effective cores) — turning any load run into a
+// multicore scaling check against a known 1-core reference.
 //
 // -mix social replaces the single -fn/-payload stream with the stateful
 // social-network mix jordd deploys over the shared-state tier: 60%
@@ -39,6 +47,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -78,6 +87,7 @@ func main() {
 		retryBase   = flag.Duration("retry-base", 20*time.Millisecond, "backoff base; attempt n waits ~base*2^n, jittered")
 		maxP99      = flag.Duration("max-p99", 0, "fail the run if ok-latency p99 exceeds this (0 = off)")
 		minOK       = flag.Uint64("min-ok", 0, "fail the run if fewer requests succeed (0 = off)")
+		baseline    = flag.Float64("baseline-rps", 0, "measured 1-core throughput for the scaling-efficiency summary (0 = skip)")
 	)
 	flag.Var(mix, "mix", "workload mix: none (single -fn) or social (stateful social-network mix)")
 	flag.Var(users, "users", "user-population size for -mix social")
@@ -315,6 +325,7 @@ func main() {
 			float64(snap.P50)/1e6, float64(snap.P99)/1e6, float64(snap.P999)/1e6,
 			snap.Mean/1e6, float64(snap.Max)/1e6)
 	}
+	printCoreSummary(client, *addr, float64(snap.Count)/elapsed.Seconds(), *baseline)
 
 	// Smoke-check assertions for CI.
 	failed := false
@@ -332,5 +343,42 @@ func main() {
 	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// printCoreSummary asks the server (via /varz) how many cores and
+// executors it runs, then reports the achieved throughput per core and —
+// when a 1-core baseline is supplied — the scaling efficiency relative to
+// it. The denominator is min(executors, num_cpu): executors beyond the
+// machine's cores add no parallelism and must not flatter the number.
+func printCoreSummary(client *http.Client, addr string, okRPS, baselineRPS float64) {
+	resp, err := client.Get(fmt.Sprintf("http://%s/varz", addr))
+	if err != nil {
+		log.Printf("core summary unavailable (/varz: %v)", err)
+		return
+	}
+	defer resp.Body.Close()
+	var vz struct {
+		NumCPU     int `json:"num_cpu"`
+		GOMAXPROCS int `json:"gomaxprocs"`
+		Executors  int `json:"executors"`
+		Orch       int `json:"orchestrators"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vz); err != nil || vz.Executors == 0 {
+		log.Printf("core summary unavailable (/varz decode: %v)", err)
+		return
+	}
+	effCores := vz.Executors
+	if vz.NumCPU > 0 && effCores > vz.NumCPU {
+		effCores = vz.NumCPU
+	}
+	fmt.Printf("server          %d executors / %d orchestrators, %d CPUs (GOMAXPROCS %d)\n",
+		vz.Executors, vz.Orch, vz.NumCPU, vz.GOMAXPROCS)
+	fmt.Printf("per-core        %.1f ok rps per core (%.1f ok rps over %d effective cores)\n",
+		okRPS/float64(effCores), okRPS, effCores)
+	if baselineRPS > 0 {
+		eff := okRPS / (baselineRPS * float64(effCores))
+		fmt.Printf("scaling         %.2f efficiency vs 1-core baseline %.0f rps (speedup %.2fx over %d cores)\n",
+			eff, baselineRPS, okRPS/baselineRPS, effCores)
 	}
 }

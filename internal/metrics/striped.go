@@ -1,0 +1,62 @@
+package metrics
+
+import "sync/atomic"
+
+// paddedUint64 is an atomic counter alone on its cache line, so two shards
+// incremented by different cores never false-share. 64 bytes covers the
+// common x86/arm64 line size (Go's own internal/cpu uses the same figure).
+type paddedUint64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// StripedUint64 is a monotonically increasing counter sharded across cache
+// lines: writers on different shards (executors, orchestrators) increment
+// private lines and never contend, readers sum the shards. It is the
+// counter analogue of ShardedHistogram — built for counters bumped on every
+// request from every core (Stats.Completed, FuncStats.Count), where a
+// single atomic.Uint64 line ping-pongs between cores.
+//
+// SetShards must be called before concurrent use (the pool does it at
+// Start). The zero value tolerates AddShard/Load before SetShards by
+// falling back to a single inline shard, so tests that poke a zero Stats
+// still work.
+type StripedUint64 struct {
+	shards   []paddedUint64
+	fallback paddedUint64 // used until SetShards is called
+}
+
+// SetShards sizes the stripe set (one shard per writer core/executor).
+// Not safe to call concurrently with writers; call once at setup.
+func (s *StripedUint64) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.shards = make([]paddedUint64, n)
+}
+
+// AddShard adds delta on the given shard's private line. Out-of-range
+// shards (e.g. the sweeper's -1) fold onto shard 0.
+func (s *StripedUint64) AddShard(shard int, delta uint64) {
+	if s.shards == nil {
+		s.fallback.v.Add(delta)
+		return
+	}
+	if shard < 0 || shard >= len(s.shards) {
+		shard = 0
+	}
+	s.shards[shard].v.Add(delta)
+}
+
+// Add adds delta on shard 0 — for callers with no natural shard identity.
+func (s *StripedUint64) Add(delta uint64) { s.AddShard(0, delta) }
+
+// Load returns the counter's current total (sum of all shards). Reads are
+// not a snapshot across shards — fine for monotonic counters.
+func (s *StripedUint64) Load() uint64 {
+	total := s.fallback.v.Load()
+	for i := range s.shards {
+		total += s.shards[i].v.Load()
+	}
+	return total
+}

@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStripedUint64Basic(t *testing.T) {
+	var c StripedUint64
+	c.SetShards(4)
+	c.AddShard(0, 1)
+	c.AddShard(3, 2)
+	c.AddShard(-1, 5) // folds onto shard 0
+	c.AddShard(99, 7) // out of range folds onto shard 0
+	c.Add(1)
+	if got := c.Load(); got != 16 {
+		t.Fatalf("Load = %d, want 16", got)
+	}
+}
+
+func TestStripedUint64ZeroValue(t *testing.T) {
+	var c StripedUint64
+	c.Add(3)
+	c.AddShard(2, 4)
+	if got := c.Load(); got != 7 {
+		t.Fatalf("zero-value Load = %d, want 7", got)
+	}
+	// SetShards after zero-value use keeps the fallback's total.
+	c.SetShards(2)
+	c.AddShard(1, 1)
+	if got := c.Load(); got != 8 {
+		t.Fatalf("Load after SetShards = %d, want 8", got)
+	}
+}
+
+func TestStripedUint64Concurrent(t *testing.T) {
+	var c StripedUint64
+	const shards, perShard = 8, 10000
+	c.SetShards(shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perShard; i++ {
+				c.AddShard(s, 1)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if got := c.Load(); got != shards*perShard {
+		t.Fatalf("Load = %d, want %d", got, shards*perShard)
+	}
+}

@@ -31,19 +31,31 @@ import (
 
 // Controller is a concurrency-safe admission gate. The zero value admits
 // nothing; use New or NewAdaptive.
+//
+// Field layout is deliberate: the hot RMW counters (inflight; the windowed
+// winMin/winEnd pair) each sit on their own cache line, away from the
+// read-mostly limit that every TryAdmit loads — under 32-way admission
+// traffic the inflight Adds must not invalidate the line the limit (or the
+// adaptive configuration) is read from.
 type Controller struct {
-	max      int64 // hard cap (0 = unlimited); the adaptive limit never exceeds it
-	limit    atomic.Int64
-	inflight atomic.Int64
+	max int64 // hard cap (0 = unlimited); the adaptive limit never exceeds it
 
-	admitted atomic.Uint64
-	rejected atomic.Uint64
-
-	// Adaptive state; all zero for a static controller.
+	// Adaptive configuration; all zero for a static controller. Read-only
+	// after construction, shares its lines with max/limit reads happily.
 	targetNS   int64 // queue-delay SLO the AIMD loop steers to
 	intervalNS int64 // evaluation window
 	minLimit   int64 // decrease floor (keep every executor busy)
 	step       int64 // additive-increase step per good interval
+
+	limit atomic.Int64 // read every TryAdmit, written once per interval
+
+	_        [56]byte
+	inflight atomic.Int64 // RMW'd twice per request — own line
+	_        [56]byte
+
+	admitted atomic.Uint64 // RMW'd once per admitted request
+	rejected atomic.Uint64 // RMW'd only under overload
+	_        [48]byte
 
 	winMin    atomic.Int64 // minimum observed queue delay this interval
 	winEnd    atomic.Int64 // unix ns at which the current interval closes
@@ -97,18 +109,34 @@ func NewAdaptive(max, minLimit int, target, interval time.Duration) *Controller 
 	return c
 }
 
-// Admit tries to take one slot. It returns a release function and true on
-// success; the caller must invoke release exactly once when the request
-// finishes (extra invocations are no-ops). On false the request must be
-// rejected (429).
-func (c *Controller) Admit() (release func(), ok bool) {
+// TryAdmit tries to take one slot. On true the caller owns the slot and
+// must call Release exactly once when the request finishes; on false the
+// request must be rejected (429). Unlike Admit it allocates nothing — the
+// zero-alloc HTTP edge's gate — at the price of an unguarded Release: the
+// caller, not a closure, enforces exactly-once.
+func (c *Controller) TryAdmit() bool {
 	lim := c.limit.Load()
 	if n := c.inflight.Add(1); lim > 0 && n > lim {
 		c.inflight.Add(-1)
 		c.rejected.Add(1)
-		return nil, false
+		return false
 	}
 	c.admitted.Add(1)
+	return true
+}
+
+// Release returns a slot taken by a successful TryAdmit.
+func (c *Controller) Release() { c.inflight.Add(-1) }
+
+// Admit tries to take one slot. It returns a release function and true on
+// success; the caller must invoke release exactly once when the request
+// finishes (extra invocations are no-ops). On false the request must be
+// rejected (429). Callers on allocation-sensitive paths should prefer
+// TryAdmit/Release — the closure and its guard allocate per request.
+func (c *Controller) Admit() (release func(), ok bool) {
+	if !c.TryAdmit() {
+		return nil, false
+	}
 	var done atomic.Bool
 	return func() {
 		if done.CompareAndSwap(false, true) {

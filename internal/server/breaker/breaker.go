@@ -105,7 +105,12 @@ type Breaker struct {
 	cfg      Config
 	bucketNS int64
 
+	// state sits alone on its cache line: the closed-state Allow fast path
+	// is a single load of it, and that line must not be invalidated by the
+	// window buckets or counters mutating under traffic.
+	_     [60]byte
 	state atomic.Int32 // State; the Allow fast path reads only this
+	_     [60]byte
 
 	// mu guards state TRANSITIONS (trip, probe admission, close) and the
 	// fields below — all off the closed-state hot path.
@@ -302,6 +307,16 @@ func (s *Set) For(name string) *Breaker {
 		return nil
 	}
 	return s.m[name]
+}
+
+// ForBytes is For keyed by raw bytes — the zero-allocation edge's lookup.
+// The m[string(b)] form compiles to a map probe without materializing the
+// string, so the closed-path breaker check stays allocation-free.
+func (s *Set) ForBytes(name []byte) *Breaker {
+	if s == nil {
+		return nil
+	}
+	return s.m[string(name)]
 }
 
 // RecordFault counts one out-of-band failure (watchdog flag) against a

@@ -1,0 +1,598 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jord/internal/server/pool"
+)
+
+// Edge is the zero-allocation HTTP/1.1 front end: a purpose-built server
+// for the POST /invoke/{fn} fast path that takes a request from socket to
+// function and back without a single heap allocation per request. Go's
+// net/http cannot make that promise (it allocates request/header objects
+// per request by design), so the edge speaks just enough HTTP/1.1 itself —
+// the fasthttp approach, specialized further to jordd's two-endpoint
+// surface:
+//
+//   - POST /invoke/{fn}: parsed with ReadSlice (no line copies), function
+//     looked up via Registry.LookupBytes (no string materialization), body
+//     read with io.ReadFull straight into a per-connection pooled buffer
+//     that becomes the invocation's ArgBuf payload zero-copy, deadline
+//     managed by a recycled per-connection timer through pool.InvokeTimed
+//     (no context allocation), and the response written with one writev
+//     (net.Buffers) straight from the VMA-backed result bytes.
+//   - Everything else (GET /healthz, /readyz, /statsz, /varz, and any
+//     unrecognized request) delegates to the normal gateway handlers
+//     through a buffered adapter — the cold path, where allocations are
+//     irrelevant.
+//
+// Keep-alive is supported (the steady state for load balancers and
+// benchmarks); per-CONNECTION state is pooled and reused across requests,
+// so the amortized per-request allocation count on the fast path is zero —
+// measured, not aspirational (see TestEdgeInvokeAllocs and the http_echo
+// scenario in jordbench).
+type Edge struct {
+	g   *Gateway
+	mux http.Handler // cold-path delegate, built once
+
+	ln       net.Listener
+	mu       sync.Mutex
+	conns    map[net.Conn]*connState
+	wg       sync.WaitGroup
+	draining atomic.Bool
+}
+
+// NewEdge builds the edge front end over a configured gateway.
+func NewEdge(g *Gateway) *Edge {
+	return &Edge{g: g, mux: g.Handler(), conns: make(map[net.Conn]*connState)}
+}
+
+// connState is one connection's reusable machinery. Everything a request
+// needs lives here and survives across requests (and, via csPool, across
+// connections), so the steady-state request touches no allocator.
+type connState struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	wbuf  []byte // response head (and small error bodies)
+	body  []byte // request body; becomes the ArgBuf payload zero-copy
+	fname []byte // function name, copied out of the volatile read buffer
+
+	// nb is the writev pair (head + VMA-backed response). WriteTo CONSUMES
+	// a net.Buffers, so nb is rebuilt each response from the persistent
+	// backing array nbArr — appending to the consumed slice would
+	// reallocate it every request.
+	nb    net.Buffers
+	nbArr [2][]byte
+
+	timer      *time.Timer // per-request deadline for InvokeTimed, recycled
+	timerArmed bool
+
+	// busy is true while a request is being processed; Shutdown only
+	// deadline-kicks conns parked between requests.
+	busy atomic.Bool
+}
+
+// csPool recycles connStates across connections.
+var csPool = sync.Pool{New: func() any {
+	return &connState{
+		br:    bufio.NewReaderSize(nil, 16<<10),
+		wbuf:  make([]byte, 0, 256),
+		fname: make([]byte, 0, 64),
+	}
+}}
+
+// Serve accepts connections on ln until Shutdown closes it.
+func (e *Edge) Serve(ln net.Listener) error {
+	e.mu.Lock()
+	e.ln = ln
+	e.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if e.draining.Load() {
+				return nil // Shutdown closed the listener
+			}
+			return err
+		}
+		cs := csPool.Get().(*connState)
+		cs.conn = c
+		cs.br.Reset(c)
+		e.mu.Lock()
+		e.conns[c] = cs
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.serveConn(cs)
+	}
+}
+
+// Shutdown stops accepting, kicks idle connections, and waits (until ctx
+// expires) for in-flight requests to finish; stragglers are then closed
+// hard. Mirrors http.Server.Shutdown closely enough for server.go to treat
+// the two interchangeably.
+func (e *Edge) Shutdown(ctx context.Context) error {
+	e.draining.Store(true)
+	e.mu.Lock()
+	if e.ln != nil {
+		e.ln.Close()
+	}
+	for c, cs := range e.conns {
+		if !cs.busy.Load() {
+			// Parked between requests: fail its pending read now.
+			c.SetReadDeadline(time.Now())
+		}
+	}
+	e.mu.Unlock()
+	done := make(chan struct{})
+	go func() { e.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		e.mu.Lock()
+		for c := range e.conns {
+			c.Close()
+		}
+		e.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release returns a connection's state to the pool after closing it.
+func (e *Edge) release(cs *connState) {
+	c := cs.conn
+	c.Close()
+	e.mu.Lock()
+	delete(e.conns, c)
+	e.mu.Unlock()
+	if cs.timer != nil {
+		cs.timer.Stop()
+	}
+	cs.conn = nil
+	cs.br.Reset(nil)
+	cs.busy.Store(false)
+	csPool.Put(cs)
+	e.wg.Done()
+}
+
+// Header byte constants for allocation-free case-insensitive matching.
+var (
+	hdrContentLength    = []byte("Content-Length")
+	hdrConnection       = []byte("Connection")
+	hdrExpect           = []byte("Expect")
+	hdrTransferEncoding = []byte("Transfer-Encoding")
+	valClose            = []byte("close")
+	val100Continue      = []byte("100-continue")
+	pathInvoke          = []byte("/invoke/")
+	methodPost          = []byte("POST")
+	proto11             = []byte("HTTP/1.1")
+	continue100         = []byte("HTTP/1.1 100 Continue\r\n\r\n")
+)
+
+// serveConn runs the per-connection request loop.
+func (e *Edge) serveConn(cs *connState) {
+	defer e.release(cs)
+	for {
+		keepAlive, err := e.serveOne(cs)
+		if err != nil || !keepAlive {
+			return
+		}
+		if e.draining.Load() {
+			return
+		}
+	}
+}
+
+// reqHead is the parsed request envelope, filled per request.
+type reqHead struct {
+	contentLen     int64 // -1 = absent
+	wantClose      bool
+	expectContinue bool
+	chunked        bool
+}
+
+// serveOne reads, dispatches, and answers exactly one request. It returns
+// whether the connection should stay open.
+func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
+	// Request line. A clean EOF between requests is a normal close.
+	line, err := cs.br.ReadSlice('\n')
+	if err != nil {
+		if err == bufio.ErrBufferFull {
+			cs.busy.Store(true)
+			return false, cs.writeSimple(http.StatusRequestURITooLong, "request line too long", 0)
+		}
+		return false, err
+	}
+	cs.busy.Store(true)
+	defer cs.busy.Store(false)
+
+	line = trimCRLF(line)
+	sp1 := bytes.IndexByte(line, ' ')
+	if sp1 < 0 {
+		return false, cs.writeSimple(http.StatusBadRequest, "malformed request line", 0)
+	}
+	sp2 := bytes.IndexByte(line[sp1+1:], ' ')
+	if sp2 < 0 {
+		return false, cs.writeSimple(http.StatusBadRequest, "malformed request line", 0)
+	}
+	sp2 += sp1 + 1
+	method, path, proto := line[:sp1], line[sp1+1:sp2], line[sp2+1:]
+	http11 := bytes.Equal(proto, proto11)
+
+	// The fast path: POST /invoke/{fn}. The function name is copied into
+	// connection-owned scratch space because every subsequent ReadSlice may
+	// invalidate the request-line bytes.
+	fastPath := bytes.Equal(method, methodPost) && bytes.HasPrefix(path, pathInvoke)
+	if fastPath {
+		cs.fname = append(cs.fname[:0], path[len(pathInvoke):]...)
+	} else {
+		// Cold path (GET endpoints, anything else): reconstruct a request
+		// for the normal mux. Copies and allocations are fine here.
+		methodS, pathS := string(method), string(path)
+		if err := e.readHead(cs, &reqHead{}); err != nil {
+			return false, err
+		}
+		return e.serveCold(cs, methodS, pathS, http11)
+	}
+
+	var h reqHead
+	if err := e.readHead(cs, &h); err != nil {
+		return false, err
+	}
+	keepAlive = http11 && !h.wantClose
+
+	// Header-derived refusals, before any body byte moves:
+	// declared-oversized payloads must not cost pool memory or bandwidth
+	// (the connection closes — the body is unread on the wire), and
+	// chunked bodies belong to the net/http gateway, not the fast path.
+	if h.contentLen > e.g.maxBody() {
+		return false, cs.writeSimple(http.StatusRequestEntityTooLarge, "payload too large", 0)
+	}
+	if h.chunked || h.contentLen < 0 {
+		return false, cs.writeSimple(http.StatusLengthRequired, "content-length required", 0)
+	}
+	cl := int(h.contentLen)
+
+	if e.draining.Load() || e.g.Pool.Draining() {
+		if err := cs.discard(cl); err != nil {
+			return false, err
+		}
+		return keepAlive, cs.writeSimple(http.StatusServiceUnavailable, "draining", 5)
+	}
+
+	def := e.g.Reg.LookupBytes(cs.fname)
+	if def == nil {
+		if err := cs.discard(cl); err != nil {
+			return false, err
+		}
+		return keepAlive, cs.writeSimple(http.StatusNotFound, "unknown function", 0)
+	}
+
+	// Circuit breaker, then admission — the same order and semantics as
+	// handleInvoke, lookup via bytes so the closed path stays alloc-free.
+	var (
+		brk   = e.g.Breakers.ForBytes(cs.fname)
+		probe bool
+	)
+	if brk != nil {
+		p, ok, retry := brk.Allow(time.Now())
+		if !ok {
+			if err := cs.discard(cl); err != nil {
+				return false, err
+			}
+			return keepAlive, cs.writeSimple(http.StatusServiceUnavailable, "circuit open", retrySecs(retry))
+		}
+		probe = p
+	}
+	if !e.g.Adm.TryAdmit() {
+		if probe {
+			brk.CancelProbe()
+		}
+		if err := cs.discard(cl); err != nil {
+			return false, err
+		}
+		return keepAlive, cs.writeSimple(http.StatusTooManyRequests, "saturated", 1)
+	}
+	defer e.g.Adm.Release()
+
+	if h.expectContinue {
+		if _, err := cs.conn.Write(continue100); err != nil {
+			if probe {
+				brk.CancelProbe()
+			}
+			return false, err
+		}
+	}
+
+	// Read the body straight into the connection's reusable buffer — the
+	// exact bytes the ArgBuf will alias, no intermediate copy or slice.
+	if cap(cs.body) < cl {
+		cs.body = make([]byte, cl)
+	}
+	payload := cs.body[:cl]
+	if _, err := io.ReadFull(cs.br, payload); err != nil {
+		if probe {
+			brk.CancelProbe()
+		}
+		return false, err
+	}
+
+	// Deadline via the connection's recycled timer: InvokeTimed selects on
+	// its channel directly, so no context (or timer) is allocated.
+	var (
+		deadline time.Time
+		expired  <-chan time.Time
+	)
+	if d := e.g.RequestTimeout; d > 0 {
+		deadline = time.Now().Add(d)
+		if cs.timer == nil {
+			cs.timer = time.NewTimer(d)
+		} else {
+			cs.timer.Reset(d)
+		}
+		cs.timerArmed = true
+		expired = cs.timer.C
+	}
+
+	resp, abandoned, err := e.g.Pool.InvokeTimed(def, payload, deadline, expired)
+
+	if cs.timerArmed {
+		cs.timerArmed = false
+		if abandoned {
+			// InvokeTimed consumed the fired tick; the timer is clean.
+		} else if !cs.timer.Stop() {
+			// Fired between completion and Stop: drain the stale tick so
+			// the next Reset cannot deliver it into a fresh invocation.
+			select {
+			case <-cs.timer.C:
+			default:
+			}
+		}
+	}
+	if abandoned {
+		// The runtime still owns the ArgBuf aliasing cs.body: surrender
+		// the buffer to the GC and start fresh next request (rare path).
+		cs.body = nil
+	}
+
+	if brk != nil {
+		e.g.recordOutcome(brk, probe, err)
+	}
+	if err != nil {
+		return keepAlive, cs.writeInvokeError(err)
+	}
+
+	// Answer straight from the VMA-backed response bytes: build the head
+	// in connection scratch, then one writev for head + body.
+	b := cs.wbuf[:0]
+	b = append(b, "HTTP/1.1 200 OK\r\nContent-Length: "...)
+	b = strconv.AppendInt(b, int64(len(resp)), 10)
+	b = append(b, "\r\nContent-Type: application/octet-stream\r\n\r\n"...)
+	cs.wbuf = b
+	if err := cs.writev(b, resp); err != nil {
+		return false, err
+	}
+	return keepAlive, nil
+}
+
+// writev writes head+body with one gathered write, rebuilding the
+// net.Buffers from the connection's backing array (WriteTo consumes it).
+func (cs *connState) writev(head, body []byte) error {
+	cs.nbArr[0], cs.nbArr[1] = head, body
+	cs.nb = net.Buffers(cs.nbArr[:2])
+	_, err := cs.nb.WriteTo(cs.conn)
+	cs.nbArr[0], cs.nbArr[1] = nil, nil
+	return err
+}
+
+// readHead parses the header block into h, leaving the reader positioned
+// at the body. Unknown headers are skipped; only the four the edge acts on
+// are matched (case-insensitively, without copies).
+func (e *Edge) readHead(cs *connState, h *reqHead) error {
+	h.contentLen = -1
+	for {
+		line, err := cs.br.ReadSlice('\n')
+		if err != nil {
+			if err == bufio.ErrBufferFull {
+				return cs.writeSimple(http.StatusRequestHeaderFieldsTooLarge, "header too large", 0)
+			}
+			return err
+		}
+		line = trimCRLF(line)
+		if len(line) == 0 {
+			return nil
+		}
+		colon := bytes.IndexByte(line, ':')
+		if colon < 0 {
+			continue
+		}
+		key, val := line[:colon], trimOWS(line[colon+1:])
+		switch {
+		case bytes.EqualFold(key, hdrContentLength):
+			n, ok := parseDecimal(val)
+			if !ok {
+				return cs.writeSimple(http.StatusBadRequest, "bad content-length", 0)
+			}
+			h.contentLen = n
+		case bytes.EqualFold(key, hdrConnection):
+			if bytes.EqualFold(val, valClose) {
+				h.wantClose = true
+			}
+		case bytes.EqualFold(key, hdrExpect):
+			if bytes.EqualFold(val, val100Continue) {
+				h.expectContinue = true
+			}
+		case bytes.EqualFold(key, hdrTransferEncoding):
+			h.chunked = true
+		}
+	}
+}
+
+// discard consumes n unread body bytes so a refused request leaves the
+// connection aligned on the next request (keep-alive under rejection — the
+// retry-heavy overload pattern must not pay connection setup per 429).
+func (cs *connState) discard(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	_, err := cs.br.Discard(n)
+	return err
+}
+
+// serveCold feeds a non-fast-path request through the regular gateway mux
+// via a buffered ResponseWriter, then serializes the result. Allocation
+// cost is irrelevant here.
+func (e *Edge) serveCold(cs *connState, method, path string, http11 bool) (bool, error) {
+	req, err := http.NewRequest(method, "http://jordd"+path, nil)
+	if err != nil {
+		return false, cs.writeSimple(http.StatusBadRequest, "malformed request", 0)
+	}
+	cw := &coldWriter{h: make(http.Header), status: http.StatusOK}
+	e.mux.ServeHTTP(cw, req)
+
+	b := cs.wbuf[:0]
+	b = append(b, "HTTP/1.1 "...)
+	b = strconv.AppendInt(b, int64(cw.status), 10)
+	b = append(b, ' ')
+	b = append(b, http.StatusText(cw.status)...)
+	b = append(b, "\r\nContent-Length: "...)
+	b = strconv.AppendInt(b, int64(cw.buf.Len()), 10)
+	b = append(b, "\r\n"...)
+	for k, vs := range cw.h {
+		for _, v := range vs {
+			b = append(b, k...)
+			b = append(b, ": "...)
+			b = append(b, v...)
+			b = append(b, "\r\n"...)
+		}
+	}
+	b = append(b, "\r\n"...)
+	cs.wbuf = b
+	if err := cs.writev(b, cw.buf.Bytes()); err != nil {
+		return false, err
+	}
+	return http11, nil
+}
+
+// coldWriter is the minimal ResponseWriter behind serveCold.
+type coldWriter struct {
+	h      http.Header
+	buf    bytes.Buffer
+	status int
+	wrote  bool
+}
+
+func (w *coldWriter) Header() http.Header { return w.h }
+func (w *coldWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+}
+func (w *coldWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.buf.Write(p)
+}
+
+// writeSimple answers a status with a short plain-text body (retrySecs > 0
+// adds Retry-After), built entirely in connection scratch — error paths
+// stay allocation-free too, so overload answers are as cheap as successes.
+func (cs *connState) writeSimple(status int, msg string, retrySecs int) error {
+	b := cs.wbuf[:0]
+	b = append(b, "HTTP/1.1 "...)
+	b = strconv.AppendInt(b, int64(status), 10)
+	b = append(b, ' ')
+	b = append(b, http.StatusText(status)...)
+	b = append(b, "\r\nContent-Length: "...)
+	b = strconv.AppendInt(b, int64(len(msg)+1), 10)
+	b = append(b, "\r\nContent-Type: text/plain; charset=utf-8\r\n"...)
+	if retrySecs > 0 {
+		b = append(b, "Retry-After: "...)
+		b = strconv.AppendInt(b, int64(retrySecs), 10)
+		b = append(b, "\r\n"...)
+	}
+	b = append(b, "\r\n"...)
+	b = append(b, msg...)
+	b = append(b, '\n')
+	cs.wbuf = b
+	_, err := cs.conn.Write(b)
+	return err
+}
+
+// writeInvokeError is writeInvokeError's status mapping for the edge path.
+func (cs *connState) writeInvokeError(err error) error {
+	switch {
+	case errors.Is(err, pool.ErrSaturated):
+		return cs.writeSimple(http.StatusTooManyRequests, "saturated", 1)
+	case errors.Is(err, pool.ErrDegraded):
+		return cs.writeSimple(http.StatusServiceUnavailable, "degraded", 1)
+	case errors.Is(err, pool.ErrDraining):
+		return cs.writeSimple(http.StatusServiceUnavailable, "draining", 5)
+	case errors.Is(err, pool.ErrUnknownFunction):
+		return cs.writeSimple(http.StatusNotFound, "unknown function", 0)
+	case errors.Is(err, context.DeadlineExceeded):
+		return cs.writeSimple(http.StatusGatewayTimeout, "deadline exceeded", 0)
+	case errors.Is(err, context.Canceled):
+		return cs.writeSimple(StatusClientClosedRequest, "client closed request", 0)
+	default:
+		return cs.writeSimple(http.StatusInternalServerError, err.Error(), 0)
+	}
+}
+
+// retrySecs converts a breaker's retry hint to whole seconds, minimum 1.
+func retrySecs(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func trimCRLF(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+	}
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	return b
+}
+
+// trimOWS strips optional whitespace (spaces/tabs) from both ends.
+func trimOWS(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t') {
+		b = b[1:]
+	}
+	for n := len(b); n > 0 && (b[n-1] == ' ' || b[n-1] == '\t'); n = len(b) {
+		b = b[:n-1]
+	}
+	return b
+}
+
+// parseDecimal parses a non-negative decimal without allocating.
+func parseDecimal(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+		if n < 0 {
+			return 0, false // overflow
+		}
+	}
+	return n, true
+}

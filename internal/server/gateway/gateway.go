@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -95,6 +97,36 @@ func (g *Gateway) maxBody() int64 {
 	return 1 << 20
 }
 
+// bodyPool recycles request-body buffers so the /invoke read path does not
+// allocate a fresh slice per request. A buffer read here becomes the
+// invocation's ArgBuf payload zero-copy, so it may only return to the pool
+// once the runtime has certainly released the aliasing VMA — see
+// bodyRecyclable.
+var bodyPool = sync.Pool{New: func() any {
+	b := make([]byte, 32<<10)
+	return &b
+}}
+
+// getBody returns a pooled buffer with capacity for n bytes.
+func getBody(n int64) *[]byte {
+	bp := bodyPool.Get().(*[]byte)
+	if int64(cap(*bp)) < n {
+		*bp = make([]byte, n)
+	}
+	return bp
+}
+
+// bodyRecyclable reports whether an Invoke outcome guarantees the runtime
+// no longer aliases the request's payload buffer. Every completed outcome
+// (success, function error, pre-submit refusal) qualifies: the ArgBuf was
+// released before Invoke returned. Deadline/cancel outcomes do NOT — they
+// may be ABANDONS, where the in-flight invocation still owns the ArgBuf
+// aliasing our buffer; those buffers are leaked to the GC (rare path) and
+// the pool simply allocates a fresh one later.
+func bodyRecyclable(err error) bool {
+	return !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled)
+}
+
 func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	fn := r.PathValue("fn")
 	if g.draining.Load() {
@@ -123,8 +155,7 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		brk, probe = b, p
 	}
 
-	release, ok := g.Adm.Admit()
-	if !ok {
+	if !g.Adm.TryAdmit() {
 		if probe {
 			brk.CancelProbe() // the refusal says nothing about the function
 		}
@@ -132,22 +163,54 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "saturated: too many requests in flight", http.StatusTooManyRequests)
 		return
 	}
-	defer release()
+	defer g.Adm.Release()
 
-	payload, err := io.ReadAll(io.LimitReader(r.Body, g.maxBody()+1))
-	if err != nil {
-		if probe {
-			brk.CancelProbe()
-		}
-		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	if int64(len(payload)) > g.maxBody() {
+	// Declared-oversized payloads are refused BEFORE a single body byte is
+	// buffered: the 413 must not cost pool memory or read bandwidth.
+	if r.ContentLength > g.maxBody() {
 		if probe {
 			brk.CancelProbe()
 		}
 		http.Error(w, "payload too large", http.StatusRequestEntityTooLarge)
 		return
+	}
+
+	var (
+		payload []byte
+		pooled  *[]byte
+	)
+	if cl := r.ContentLength; cl >= 0 {
+		// Known length within bounds: read straight into a pooled buffer
+		// that becomes the ArgBuf payload zero-copy.
+		pooled = getBody(cl)
+		payload = (*pooled)[:cl]
+		if _, err := io.ReadFull(r.Body, payload); err != nil {
+			bodyPool.Put(pooled)
+			if probe {
+				brk.CancelProbe()
+			}
+			http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	} else {
+		// Unknown length (chunked): the rare compatibility path — buffer
+		// plainly, enforce the cap after the fact.
+		var err error
+		payload, err = io.ReadAll(io.LimitReader(r.Body, g.maxBody()+1))
+		if err != nil {
+			if probe {
+				brk.CancelProbe()
+			}
+			http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if int64(len(payload)) > g.maxBody() {
+			if probe {
+				brk.CancelProbe()
+			}
+			http.Error(w, "payload too large", http.StatusRequestEntityTooLarge)
+			return
+		}
 	}
 
 	ctx := r.Context()
@@ -162,12 +225,20 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		g.recordOutcome(brk, probe, err)
 	}
 	if err != nil {
+		if pooled != nil && bodyRecyclable(err) {
+			bodyPool.Put(pooled)
+		}
 		g.writeInvokeError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(resp)
+	// The response may alias the request buffer (echo-shaped functions);
+	// recycle only after the write has copied it out.
+	if pooled != nil {
+		bodyPool.Put(pooled)
+	}
 }
 
 // recordOutcome classifies one invocation result for the function's
@@ -417,6 +488,8 @@ func (g *Gateway) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 // Where /statsz is per-function serving metrics, /varz is the runtime's
 // own internals.
 type Varz struct {
+	NumCPU           int     `json:"num_cpu"`    // physical parallelism available
+	GOMAXPROCS       int     `json:"gomaxprocs"` // parallelism the runtime may use
 	Executors        int     `json:"executors"`
 	Orchestrators    int     `json:"orchestrators"`
 	JBSQBound        int     `json:"jbsq_bound"`
@@ -472,6 +545,8 @@ func (g *Gateway) handleVarz(w http.ResponseWriter, _ *http.Request) {
 	ext, internal, execQ := g.Pool.QueueDepths()
 	st := g.Pool.Stats()
 	doc := Varz{
+		NumCPU:           runtime.NumCPU(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		Executors:        cfg.Executors,
 		Orchestrators:    cfg.Orchestrators,
 		JBSQBound:        cfg.JBSQBound,
@@ -488,7 +563,7 @@ func (g *Gateway) handleVarz(w http.ResponseWriter, _ *http.Request) {
 		AdmitAdaptive:    g.Adm.Adaptive(),
 		AdmitTargetMs:    float64(g.Adm.Target()) / 1e6,
 		AdmitIntervalMs:  float64(g.Adm.Interval()) / 1e6,
-		PDFree:           tab.FreeCount(),
+		PDFree:           tab.FreeCountExact(),
 		PDLive:           tab.LivePDs(),
 		Cgets:            tab.Cgets(),
 		Cputs:            tab.Cputs(),

@@ -114,6 +114,11 @@ func (e *executor) run() {
 			return
 		}
 		if e.queue.Len() > 0 {
+			// About to stall on PD supply — but the supply may be sitting
+			// as carved credits on idle executors' caches, invisible to
+			// nextRunnable's FreeCount check. Pull every credit back first
+			// so a stall only happens against the true physical count.
+			e.pool.tab.reclaimCredits()
 			// Queued work gated on PD supply. Register as a PD waiter,
 			// then re-check: Cput increments the free counter before
 			// reading the waiter count, so either our re-check sees the
@@ -354,12 +359,16 @@ func (e *executor) finishInvocation(c *continuation) {
 			p.stats.Orphaned.Add(uint64(orphans))
 		}
 	}
+	// Capture the runner before releasing c.mu: once detached, the LAST
+	// orphan's finish may recycle c (putCont nils c.runner) the moment
+	// the lock drops, racing an unlocked read of the field.
+	runner := c.runner
 	c.mu.Unlock()
 
 	// The runner finished its final yield and is parked on its work
 	// channel again; re-pool it, then recycle the continuation (unless
 	// detached — see above).
-	p.putRunner(c.runner)
+	p.putRunner(runner)
 	if !detached {
 		p.putCont(c)
 	}

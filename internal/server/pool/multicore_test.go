@@ -1,0 +1,221 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPDTableCreditStress hammers the credit-cached PD table from many
+// goroutines (run under -race and GOMAXPROCS >= 8 in CI) and checks the
+// free-list invariants the credit scheme must preserve:
+//
+//  1. No PD is ever handed to two holders at once (free-list integrity
+//     across per-cache credits, shard refills, and steals).
+//  2. External grants (reserve = PDReserve) never push the number of
+//     concurrently held external PDs past numPDs - reserve — the paper's
+//     §3.3 guarantee that internal invocations always find a PD, which the
+//     credit batching must not weaken.
+//  3. At quiescence every PD is back: reclaim + VerifyIdle sees the exact
+//     physical supply, i.e. no PD (or credit) leaked into a private cache.
+func TestPDTableCreditStress(t *testing.T) {
+	const (
+		numPDs  = 512
+		reserve = 64
+		workers = 16
+		iters   = 3000
+	)
+	tab := NewTable(numPDs)
+	// Force the credit path on even under contention-induced dips: the
+	// floor only needs to keep the reserve honest.
+	tab.SetCreditFloor(reserve + 2*creditBatch)
+
+	held := make([]atomic.Int32, numPDs) // per-PD holder flag: invariant 1
+	var extHeld atomic.Int64             // concurrently held external PDs: invariant 2
+	var grants, faults atomic.Uint64
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cache := tab.newCache()
+			// Even workers take external grants (above the reserve), odd
+			// workers internal ones — both roles contend on the same table.
+			rsv := 0
+			if w%2 == 0 {
+				rsv = reserve
+			}
+			local := make([]PDID, 0, 8)
+			for i := 0; i < iters; i++ {
+				pd, err := tab.cgetCached(rsv, cache)
+				if err != nil {
+					faults.Add(1)
+					// Exhaustion is a legal outcome under contention; drop
+					// what we hold and keep going.
+					for _, p := range local {
+						if held[p].Swap(0) != 1 {
+							t.Errorf("double free of PD %d", p)
+						}
+						if rsv > 0 {
+							extHeld.Add(-1)
+						}
+						tab.cputCached(p, cache)
+					}
+					local = local[:0]
+					continue
+				}
+				grants.Add(1)
+				if held[pd].Swap(1) != 0 {
+					t.Errorf("PD %d granted while already held", pd)
+				}
+				if rsv > 0 {
+					if n := extHeld.Add(1); n > numPDs-reserve {
+						t.Errorf("external holds %d exceed numPDs-reserve=%d", n, numPDs-reserve)
+					}
+				}
+				local = append(local, pd)
+				// Hold a small working set to keep real concurrency in the
+				// held population, then release oldest-first.
+				if len(local) >= 4+w%5 {
+					p := local[0]
+					local = local[1:]
+					if held[p].Swap(0) != 1 {
+						t.Errorf("double free of PD %d", p)
+					}
+					if rsv > 0 {
+						extHeld.Add(-1)
+					}
+					if err := tab.cputCached(p, cache); err != nil {
+						t.Errorf("cput(%d): %v", p, err)
+					}
+				}
+			}
+			for _, p := range local {
+				if held[p].Swap(0) != 1 {
+					t.Errorf("double free of PD %d", p)
+				}
+				if rsv > 0 {
+					extHeld.Add(-1)
+				}
+				tab.cputCached(p, cache)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if extHeld.Load() != 0 {
+		t.Fatalf("external hold accounting drifted: %d", extHeld.Load())
+	}
+	if tab.LivePDs() != 0 {
+		t.Fatalf("LivePDs=%d at quiescence, want 0", tab.LivePDs())
+	}
+	if got := tab.FreeCountExact(); got != numPDs {
+		t.Fatalf("FreeCountExact=%d at quiescence, want %d", got, numPDs)
+	}
+	if err := tab.VerifyIdle(); err != nil {
+		t.Fatalf("VerifyIdle: %v", err)
+	}
+	t.Logf("grants=%d faults=%d procs=%d", grants.Load(), faults.Load(), runtime.GOMAXPROCS(0))
+}
+
+// TestPDTableCreditCarveReclaim pins the credit lifecycle at the unit
+// level: carving only happens above the floor, consuming spends the
+// private line, and reclaim folds every outstanding credit back into the
+// shared counter so exact accounting is restored.
+func TestPDTableCreditCarveReclaim(t *testing.T) {
+	const numPDs = 256
+	tab := NewTable(numPDs)
+	tab.SetCreditFloor(64)
+	cache := tab.newCache()
+
+	// First grant through the cache carves a batch: the shared counter
+	// drops by creditBatch while only one PD is actually live.
+	pd, err := tab.cgetCached(0, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free := tab.FreeCount(); free != numPDs-creditBatch {
+		t.Fatalf("after carve: FreeCount=%d, want %d (batch carved)", free, numPDs-creditBatch)
+	}
+	if live := tab.LivePDs(); live != 1 {
+		t.Fatalf("after carve: LivePDs=%d, want 1 (credits are not live PDs)", live)
+	}
+	if exact := tab.FreeCountExact(); exact != numPDs-1 {
+		t.Fatalf("after carve: FreeCountExact=%d, want %d", exact, numPDs-1)
+	}
+
+	// The next creditBatch-1 grants spend the carved line without touching
+	// the shared counter.
+	pds := []PDID{pd}
+	for i := 0; i < creditBatch-1; i++ {
+		p, err := tab.cgetCached(0, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pds = append(pds, p)
+	}
+	if free := tab.FreeCount(); free != numPDs-creditBatch {
+		t.Fatalf("spending credits moved FreeCount to %d, want %d", free, numPDs-creditBatch)
+	}
+
+	for _, p := range pds {
+		if err := tab.cputCached(p, cache); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reclaim folds the (now fully unspent) credits back; the conservative
+	// and exact views converge on the full supply.
+	tab.reclaimCredits()
+	if free := tab.FreeCount(); free != numPDs {
+		t.Fatalf("after reclaim: FreeCount=%d, want %d", free, numPDs)
+	}
+	if err := tab.VerifyIdle(); err != nil {
+		t.Fatalf("VerifyIdle: %v", err)
+	}
+}
+
+// TestPDTableCreditRespectsReserve: an external grant must fail while the
+// CONSERVATIVE free count sits at the reserve, even when the consumer
+// holds unspent credits — credits accelerate allocation, they never
+// weaken the §3.3 admission predicate.
+func TestPDTableCreditRespectsReserve(t *testing.T) {
+	const (
+		numPDs  = 128
+		reserve = 96
+	)
+	tab := NewTable(numPDs)
+	tab.SetCreditFloor(1) // carve aggressively
+	cache := tab.newCache()
+
+	var held []PDID
+	for {
+		pd, err := tab.cgetCached(reserve, cache)
+		if err != nil {
+			break
+		}
+		held = append(held, pd)
+	}
+	// Every successful external grant observed nfree >= reserve at grant
+	// time; with credits outstanding the exact count can sit above the
+	// conservative one, but the number of grants can never exceed
+	// numPDs - reserve.
+	if len(held) > numPDs-reserve {
+		t.Fatalf("%d external grants exceed numPDs-reserve=%d", len(held), numPDs-reserve)
+	}
+	// Internal grants (reserve 0) must still succeed — the reserve exists
+	// exactly so internals cannot starve.
+	pd, err := tab.cgetCached(0, cache)
+	if err != nil {
+		t.Fatalf("internal grant starved despite reserve: %v", err)
+	}
+	tab.cputCached(pd, cache)
+	for _, p := range held {
+		tab.cputCached(p, cache)
+	}
+	tab.reclaimCredits()
+	if err := tab.VerifyIdle(); err != nil {
+		t.Fatalf("VerifyIdle: %v", err)
+	}
+}

@@ -144,7 +144,7 @@ func (o *orchestrator) run() {
 		}
 		o.mu.Unlock()
 		target.enqueue(r)
-		o.pool.stats.Dispatched.Add(1)
+		o.pool.stats.Dispatched.AddShard(o.id, 1)
 		o.mu.Lock()
 	}
 }

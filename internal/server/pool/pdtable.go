@@ -70,6 +70,13 @@ const pdBatch = 16
 // back to the shards so free IDs cannot strand on an idle executor.
 const pdCacheMax = 2 * pdBatch
 
+// creditBatch is how many units of free-counter supply an executor carves
+// off the global counter at once. With credits in hand, the §3.3 reserve
+// check costs one CAS on the executor's OWN cache line instead of a CAS on
+// the shared counter — the shared line is touched (read-only for internals,
+// one load for externals) but never written on the hot path.
+const creditBatch = 16
+
 // pdShard is one slice of the global free list, under its own lock.
 type pdShard struct {
 	mu   sync.Mutex
@@ -87,11 +94,29 @@ type pdShard struct {
 // reserve invariant ("external requests start only while more than
 // PDReserve PDs remain free") holds across all shards and caches: Cget
 // reserves a unit with one CAS on the counter before touching any list.
+//
+// Under many cores that single CAS becomes the contention point (every
+// invocation RMWs the same cache line), so executors additionally carve
+// per-cache CREDIT batches off the counter while supply is plentiful
+// (nfree >= creditFloor+creditBatch). A credit is one unit of pre-paid
+// reservation: consuming it replaces the shared CAS with a CAS on the
+// executor's private line. Safety: the physical free supply always equals
+// nfree + Σcredits(+in-flight consumes), so physFree >= nfree, and an
+// external consume additionally checks nfree >= reserve — together with
+// the distinct credit being consumed this gives physFree >= reserve+1,
+// exactly the "admit iff free > reserve" rule of the legacy CAS. Near the
+// floor no credits are carved and the legacy CAS runs, so the invariant
+// stays EXACT where it matters (reserve/shedding territory); tests with
+// small tables never carve at all (floor >= numPDs).
 type Table struct {
-	nfree  atomic.Int64  // unallocated PDs (shards + caches)
+	nfree  atomic.Int64  // unallocated PDs (shards + caches) minus outstanding credits
 	shards []pdShard     // IDs round-robined across shards
 	live   []atomic.Bool // indexed by PDID; true while allocated
 	numPDs int
+
+	// creditFloor: no credits are carved while nfree would drop below it.
+	// Set before concurrent use (NewTable default, SetCreditFloor).
+	creditFloor int64
 
 	// caches registered by executors (newCache); Cget steals from them
 	// when the shards run dry but the counter says IDs exist.
@@ -140,13 +165,37 @@ func NewTable(numPDs int) *Table {
 		s.free = append(s.free, PDID(id))
 	}
 	t.nfree.Store(int64(numPDs))
+	// Default floor: only plentiful tables carve credits; small tables
+	// (and every pre-existing test fixture) run the exact legacy CAS.
+	t.creditFloor = int64(numPDs / 4)
+	if t.creditFloor < 64 {
+		t.creditFloor = 64
+	}
 	return t
+}
+
+// SetCreditFloor overrides the credit-carving floor: while the free counter
+// is at or below floor+creditBatch, Cget runs the exact legacy reserve CAS
+// and no supply moves into per-executor credits. The pool raises this above
+// its shedding threshold so credits never blur the counter in reserve or
+// shedding territory. Not safe to call concurrently with allocations.
+func (t *Table) SetCreditFloor(floor int) {
+	if floor < 0 {
+		floor = 0
+	}
+	t.creditFloor = int64(floor)
 }
 
 // pdCache is one executor's private PD free list. The owner refills it in
 // batches from the table's shards; other executors may steal from it under
 // its lock when the shards run dry, so no free ID can strand here.
 type pdCache struct {
+	// credits is this executor's pre-carved share of the free counter —
+	// the owner's reserve check CASes this private line, not t.nfree.
+	// Padded so the list lock and thieves never share its cache line.
+	credits atomic.Int64
+	_       [56]byte
+
 	t    *Table
 	mu   sync.Mutex
 	free []PDID
@@ -173,6 +222,59 @@ func (t *Table) reserveOne(reserve int) bool {
 		}
 		if t.nfree.CompareAndSwap(cur, cur-1) {
 			return true
+		}
+	}
+}
+
+// tryCredit claims one unit of supply from the executor's pre-carved
+// credits, carving a fresh batch off the global counter when the cache is
+// dry and supply sits comfortably above the floor. A consumed credit is
+// exactly a successful reserveOne: the caller owns one physical ID.
+//
+// Externals (reserve > 0) take one extra pure LOAD of the shared counter:
+// admitting on nfree >= reserve while also holding a distinct credit means
+// the physical free supply exceeds reserve after the admit — the same
+// guarantee the legacy CAS gives — without writing the shared line.
+func (t *Table) tryCredit(reserve int, cache *pdCache) bool {
+	carved := false
+	for {
+		cur := cache.credits.Load()
+		if cur > 0 {
+			if reserve > 0 && t.nfree.Load() < int64(reserve) {
+				return false
+			}
+			if cache.credits.CompareAndSwap(cur, cur-1) {
+				return true
+			}
+			continue
+		}
+		if carved {
+			return false
+		}
+		carved = true
+		free := t.nfree.Load()
+		if free < t.creditFloor+creditBatch {
+			return false
+		}
+		if !t.nfree.CompareAndSwap(free, free-creditBatch) {
+			return false
+		}
+		cache.credits.Add(creditBatch)
+	}
+}
+
+// reclaimCredits returns every outstanding credit to the global counter.
+// Called wherever a stranded credit could matter: an executor about to
+// stall on PD exhaustion, a failed cget retrying, Drain, and VerifyIdle.
+// Concurrent consumers are safe: Swap and the consume CAS serialize, so a
+// credit is counted exactly once — either consumed or reclaimed.
+func (t *Table) reclaimCredits() {
+	t.cacheMu.Lock()
+	caches := t.caches
+	t.cacheMu.Unlock()
+	for _, c := range caches {
+		if n := c.credits.Swap(0); n > 0 {
+			t.nfree.Add(n)
 		}
 	}
 }
@@ -290,7 +392,17 @@ func (t *Table) cgetCached(reserve int, cache *pdCache) (PDID, error) {
 }
 
 func (t *Table) cget(reserve int, cache *pdCache) (PDID, error) {
-	if !t.reserveOne(reserve) {
+	ok := cache != nil && t.tryCredit(reserve, cache)
+	if !ok {
+		ok = t.reserveOne(reserve)
+		if !ok {
+			// The last supply may be stranded as credits on idle
+			// executors; pull it back and retry once.
+			t.reclaimCredits()
+			ok = t.reserveOne(reserve)
+		}
+	}
+	if !ok {
 		if t.nfree.Load() <= 0 {
 			// True exhaustion is an accounted fault; a reserve-gated
 			// refusal is ordinary backpressure.
@@ -354,11 +466,33 @@ func (t *Table) cput(pd PDID, cache *pdCache) error {
 func (t *Table) HasFree() bool { return t.FreeCount() > 0 }
 
 // FreeCount returns the number of free PDs (global shards plus every
-// per-executor cache) — one atomic load.
+// per-executor cache) — one atomic load. While executors hold carved
+// credits the value is CONSERVATIVE: it undercounts the physical supply by
+// at most ncaches*creditBatch. Capacity checks built on it (shedding,
+// nextRunnable's advisory gate) therefore err toward refusing work, never
+// toward over-admitting; reclaimCredits restores exactness on the stall,
+// drain, and verify paths.
 func (t *Table) FreeCount() int { return int(t.nfree.Load()) }
 
-// LivePDs returns the number of currently allocated user PDs.
-func (t *Table) LivePDs() int { return t.numPDs - t.FreeCount() }
+// FreeCountExact is FreeCount with outstanding per-executor credits
+// counted back in — the exact physical free supply at quiescence. It walks
+// the caches, so it is for cold (observability/test) paths only.
+func (t *Table) FreeCountExact() int { return t.numPDs - t.LivePDs() }
+
+// LivePDs returns the number of currently allocated user PDs. Unlike the
+// hot-path FreeCount, it counts outstanding per-executor credits back into
+// the free supply (a cold walk over the caches), so at quiescence it is
+// exact — the lifecycle and chaos suites poll it for leak detection.
+func (t *Table) LivePDs() int {
+	free := t.nfree.Load()
+	t.cacheMu.Lock()
+	caches := t.caches
+	t.cacheMu.Unlock()
+	for _, c := range caches {
+		free += c.credits.Load()
+	}
+	return t.numPDs - int(free)
+}
 
 // Faults returns the cumulative isolation-violation count.
 func (t *Table) Faults() uint64 { return t.faults.Load() }
@@ -377,6 +511,7 @@ func (t *Table) Shards() int { return len(t.shards) }
 // hold each user PD ID exactly once, and no live flag is set. It takes
 // every list lock, so it is for quiescent (test/drain) use only.
 func (t *Table) VerifyIdle() error {
+	t.reclaimCredits()
 	if got := int(t.nfree.Load()); got != t.numPDs {
 		return fmt.Errorf("pdtable: free counter %d, want %d (PD leak)", got, t.numPDs)
 	}

@@ -3,6 +3,7 @@ package pool
 import (
 	"context"
 	"errors"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -218,30 +219,34 @@ type request struct {
 }
 
 // FuncStats accumulates per-function live measurements. The latency
-// histogram shards per executor so the completion path never contends on
-// one histogram mutex; reads merge the shards.
+// histogram and the hot counters shard per executor so the completion path
+// touches only the finishing executor's cache lines; reads merge the
+// shards.
 type FuncStats struct {
 	Name     string
-	Count    atomic.Uint64 // completed invocations (external + nested)
-	Errors   atomic.Uint64
+	Count    metrics.StripedUint64 // completed invocations (external + nested)
+	Errors   metrics.StripedUint64
 	Watchdog atomic.Uint64            // invocations flagged past ExecTimeout
 	Latency  metrics.ShardedHistogram // arrival -> completion, ns
 }
 
-// Stats is the pool-wide counter set.
+// Stats is the pool-wide counter set. Counters bumped on every request
+// (Dispatched per handoff, Completed/Expired/Canceled per finish) stripe
+// per orchestrator/executor so 32-way completion traffic never ping-pongs
+// one cache line; rare-event counters stay plain atomics.
 type Stats struct {
 	perFunc map[string]*FuncStats // immutable after Start
 	funcs   []*FuncStats          // registration order
 
-	Dispatched atomic.Uint64 // orchestrator -> executor handoffs
-	Completed  atomic.Uint64 // finished invocations
-	Expired    atomic.Uint64 // finished with context.DeadlineExceeded
-	Canceled   atomic.Uint64 // finished with context.Canceled (caller gone / kin canceled)
-	Rejected   atomic.Uint64 // ErrSaturated external submissions
-	Shed       atomic.Uint64 // ErrDegraded external submissions (PD pressure, tiered shedding)
-	Orphaned   atomic.Uint64 // children detached at parent teardown without a Wait
-	Watchdog   atomic.Uint64 // invocations flagged stuck past ExecTimeout
-	Swept      atomic.Uint64 // dead requests reaped from orchestrator queues pre-dispatch
+	Dispatched metrics.StripedUint64 // orchestrator -> executor handoffs (shard = orchestrator)
+	Completed  metrics.StripedUint64 // finished invocations (shard = finishing executor)
+	Expired    metrics.StripedUint64 // finished with context.DeadlineExceeded
+	Canceled   metrics.StripedUint64 // finished with context.Canceled (caller gone / kin canceled)
+	Rejected   atomic.Uint64         // ErrSaturated external submissions
+	Shed       atomic.Uint64         // ErrDegraded external submissions (PD pressure, tiered shedding)
+	Orphaned   atomic.Uint64         // children detached at parent teardown without a Wait
+	Watchdog   atomic.Uint64         // invocations flagged stuck past ExecTimeout
+	Swept      atomic.Uint64         // dead requests reaped from orchestrator queues pre-dispatch
 }
 
 // FuncStats returns the accumulator for a function name (nil if unknown).
@@ -282,7 +287,11 @@ type Pool struct {
 	// wake-every-executor broadcast. A counter rather than a flag: a
 	// waiter stays registered until it actually wakes, so one executor's
 	// stall re-check finding work cannot consume another's wakeup.
+	// Padded: every cput LOADS this line — it must not be invalidated by
+	// the per-request RMWs on inflightN/sweepables below.
+	_         [56]byte
 	pdWaiters atomic.Int64
+	_         [56]byte
 
 	// shedThr is the tiered-shedding threshold (PDReserve+PDShedMargin,
 	// 0 = disabled): Invoke refuses external requests while the free-PD
@@ -294,7 +303,6 @@ type Pool struct {
 	// Immutable after Start.
 	state StateBackend
 
-	rr       atomic.Uint64 // round-robin external submission
 	draining atomic.Bool
 	started  atomic.Bool
 	startAt  time.Time
@@ -309,13 +317,17 @@ type Pool struct {
 	// free workloads must not pay (see sweeper). sweepKick (cap 1) carries
 	// the counter's 0→1 wakeup.
 	sweepables atomic.Int64
+	_          [56]byte
 	sweepKick  chan struct{}
 
 	// inflightN counts external requests in flight (a raw counter, not a
 	// WaitGroup: Invoke increments concurrently with Drain's wait, which
 	// WaitGroup forbids from a zero counter). Decrements that cross zero
-	// while draining signal idleCh so Drain can stop waiting.
+	// while draining signal idleCh so Drain can stop waiting. Padded onto
+	// its own cache line: it is the one RMW every external request pays
+	// twice, and it must not share a line with read-mostly neighbours.
 	inflightN atomic.Int64
+	_         [56]byte
 	idleCh    chan struct{}  // cap 1; drain-time zero-crossing signal
 	loops     sync.WaitGroup // orchestrator/executor/sweeper goroutines
 }
@@ -328,6 +340,20 @@ func New(cfg Config, reg *router.Registry) *Pool {
 	if cfg.PDShedMargin > 0 {
 		p.shedThr = cfg.PDReserve + cfg.PDShedMargin
 	}
+	// Credit carving must stop strictly above both the §3.3 reserve and
+	// the shedding band, so the exact legacy CAS governs all admission
+	// decisions anywhere near those thresholds (see Table.SetCreditFloor).
+	floor := cfg.NumPDs / 4
+	if m := cfg.PDReserve + 2*creditBatch; floor < m {
+		floor = m
+	}
+	if m := p.shedThr + 2*creditBatch; floor < m {
+		floor = m
+	}
+	if floor < 64 {
+		floor = 64
+	}
+	p.tab.SetCreditFloor(floor)
 	p.reqPool.New = func() any { return &request{done: make(chan struct{}, 1)} }
 	p.contPool.New = func() any {
 		return &continuation{
@@ -471,12 +497,20 @@ func (p *Pool) Start() {
 	funcs := p.reg.Funcs()
 	p.code = make([]*VMA, len(funcs))
 	p.stats.perFunc = make(map[string]*FuncStats, len(funcs))
+	// Hot counters stripe across their writers: per-finish counters over
+	// the executors, the dispatch counter over the orchestrators.
+	p.stats.Completed.SetShards(p.cfg.Executors)
+	p.stats.Expired.SetShards(p.cfg.Executors)
+	p.stats.Canceled.SetShards(p.cfg.Executors)
+	p.stats.Dispatched.SetShards(p.cfg.Orchestrators)
 	for _, f := range funcs {
 		// Register loads the function code into an executable VMA shared
 		// with every PD (the Fig. 8 G bit), cf. core.System.Register.
 		p.code[f.ID] = p.tab.NewGlobalVMA(nil, vmatable.PermRX)
 		fs := &FuncStats{Name: f.Name}
 		fs.Latency.SetShards(p.cfg.Executors)
+		fs.Count.SetShards(p.cfg.Executors)
+		fs.Errors.SetShards(p.cfg.Executors)
 		p.stats.perFunc[f.Name] = fs
 		p.stats.funcs = append(p.stats.funcs, fs)
 	}
@@ -606,18 +640,11 @@ func (p *Pool) sweepableDone() {
 	p.sweepables.Add(-1)
 }
 
-// Invoke runs one external request through the live runtime: stage the
-// ArgBuf, submit to an orchestrator, wait for completion or ctx expiry.
-// The orchestrator is chosen round-robin, as the simulator spreads
-// arrivals by request ID.
-func (p *Pool) Invoke(ctx context.Context, fn string, payload []byte) ([]byte, error) {
-	if !p.started.Load() {
-		return nil, errors.New("pool: not started")
-	}
-	def := p.reg.Lookup(fn)
-	if def == nil {
-		return nil, ErrUnknownFunction
-	}
+// submit stages one external request and hands it to an orchestrator: the
+// admission/shedding checks, the ArgBuf staging, and the queue handoff
+// shared by Invoke and InvokeTimed. On success the caller owns the wait on
+// r.done; on error everything is already released.
+func (p *Pool) submit(def *router.Func, payload []byte, deadline time.Time) (*request, error) {
 	// Count ourselves in flight BEFORE checking the drain flag, so no
 	// accepted request can strand in a queue nobody services: either our
 	// increment lands before Drain's flag flip (Drain then waits for us),
@@ -646,21 +673,47 @@ func (p *Pool) Invoke(ctx context.Context, fn string, payload []byte) ([]byte, e
 	r.buf = p.tab.NewVMA(ExecutorPD, payload, vmatable.PermRW)
 	r.external = true
 	r.arrival = time.Now()
-	if dl, ok := ctx.Deadline(); ok {
-		r.deadline = dl
+	r.deadline = deadline
+	// Spread submissions across orchestrators with the per-P random
+	// source: rand/v2's global generator never touches a shared cache
+	// line, unlike the old round-robin counter whose single atomic was
+	// RMW'd by every submitting goroutine.
+	o := p.orchs[0]
+	if len(p.orchs) > 1 {
+		o = p.orchs[rand.IntN(len(p.orchs))]
 	}
-	o := p.orchs[int(p.rr.Add(1))%len(p.orchs)]
 	if err := o.submitExternal(r); err != nil {
 		p.inflightDone()
 		p.stats.Rejected.Add(1)
 		p.releaseRequest(r)
 		return nil, err
 	}
-	if !r.deadline.IsZero() {
+	if !deadline.IsZero() {
 		// A deadline makes the request sweepable; arm the sweeper for its
 		// lifetime (balanced by finish). Deadline-free requests leave the
 		// sweeper parked and timer-free.
 		p.sweepableAdd()
+	}
+	return r, nil
+}
+
+// Invoke runs one external request through the live runtime: stage the
+// ArgBuf, submit to an orchestrator, wait for completion or ctx expiry.
+func (p *Pool) Invoke(ctx context.Context, fn string, payload []byte) ([]byte, error) {
+	if !p.started.Load() {
+		return nil, errors.New("pool: not started")
+	}
+	def := p.reg.Lookup(fn)
+	if def == nil {
+		return nil, ErrUnknownFunction
+	}
+	var deadline time.Time
+	if dl, ok := ctx.Deadline(); ok {
+		deadline = dl
+	}
+	r, err := p.submit(def, payload, deadline)
+	if err != nil {
+		return nil, err
 	}
 	select {
 	case <-r.done:
@@ -684,6 +737,44 @@ func (p *Pool) Invoke(ctx context.Context, fn string, payload []byte) ([]byte, e
 	}
 }
 
+// InvokeTimed is Invoke for callers that manage deadlines without a
+// context — the zero-allocation HTTP edge, which cannot afford
+// context.WithTimeout's allocations. def comes from Registry.Lookup or
+// LookupBytes; deadline may be zero (none); expired, when non-nil, is the
+// caller's own timer channel armed for that deadline (nil blocks that
+// select arm, i.e. wait forever).
+//
+// On timeout the request is ABANDONED (abandoned=true, err =
+// context.DeadlineExceeded): the runtime still owns the request and its
+// ArgBuf, which may alias the caller's payload buffer — the caller must
+// treat that buffer as lost and must not drain/reuse the fired timer
+// channel entry it consumed here.
+func (p *Pool) InvokeTimed(def *router.Func, payload []byte, deadline time.Time, expired <-chan time.Time) (resp []byte, abandoned bool, err error) {
+	if !p.started.Load() {
+		return nil, false, errors.New("pool: not started")
+	}
+	if def == nil {
+		return nil, false, ErrUnknownFunction
+	}
+	r, err := p.submit(def, payload, deadline)
+	if err != nil {
+		return nil, false, err
+	}
+	select {
+	case <-r.done:
+		if err := r.err; err != nil {
+			p.releaseRequest(r)
+			return nil, false, err
+		}
+		b, err := r.buf.Read(ExecutorPD)
+		p.releaseRequest(r)
+		return b, false, err
+	case <-expired:
+		r.canceled.Store(true)
+		return nil, true, context.DeadlineExceeded
+	}
+}
+
 // finish completes a request: record stats (latency on the finishing
 // executor's shard), publish the error, then signal completion — a token
 // on the done channel for external requests (Invoke's select), or the
@@ -698,20 +789,20 @@ func (p *Pool) finish(shard int, r *request, err error) {
 	r.err = err
 	fs := p.stats.perFunc[r.fn.Name]
 	fs.Latency.RecordShard(shard, time.Since(r.arrival).Nanoseconds())
-	fs.Count.Add(1)
+	fs.Count.AddShard(shard, 1)
 	if err != nil {
-		fs.Errors.Add(1)
+		fs.Errors.AddShard(shard, 1)
 		// Lifecycle accounting is centralized here so queue sweeps,
 		// dequeue checks, and cooperative in-body unwinding all count the
 		// same way (the gateway maps Canceled onto 499, Expired onto 504).
 		switch {
 		case errors.Is(err, context.Canceled):
-			p.stats.Canceled.Add(1)
+			p.stats.Canceled.AddShard(shard, 1)
 		case errors.Is(err, context.DeadlineExceeded):
-			p.stats.Expired.Add(1)
+			p.stats.Expired.AddShard(shard, 1)
 		}
 	}
-	p.stats.Completed.Add(1)
+	p.stats.Completed.AddShard(shard, 1)
 	if r.external {
 		r.done <- struct{}{}
 		p.inflightDone()
@@ -799,6 +890,9 @@ func (p *Pool) Drain(ctx context.Context) error {
 		e.close()
 	}
 	p.loops.Wait()
+	// Return carved credits so post-drain accounting (FreeCount,
+	// VerifyIdle) sees the exact physical supply.
+	p.tab.reclaimCredits()
 	// Only executor goroutines park runners; with the loops gone the
 	// channel is quiescent and every parked runner can be released.
 	for {

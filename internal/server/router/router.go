@@ -214,6 +214,17 @@ func (r *Registry) Lookup(name string) *Func {
 	return r.byName[name]
 }
 
+// LookupBytes is Lookup keyed by raw bytes — the zero-allocation edge
+// parses function names out of the request line and must not materialize a
+// string per request. The m[string(b)] form compiles to a map probe
+// without converting (no allocation); the key string is only built on a
+// miss-free hit path internally by the runtime, never on the heap.
+func (r *Registry) LookupBytes(name []byte) *Func {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byName[string(name)]
+}
+
 // Funcs returns all registered functions in registration order.
 func (r *Registry) Funcs() []*Func {
 	r.mu.RLock()

@@ -93,6 +93,14 @@ type Config struct {
 
 	// MaxBodyBytes bounds /invoke payloads (default 1 MiB).
 	MaxBodyBytes int64
+
+	// Edge serves HTTP through the zero-allocation edge front end
+	// (gateway.Edge) instead of net/http: the POST /invoke fast path runs
+	// from socket to function and back without per-request heap
+	// allocations. Management endpoints behave identically (they are
+	// delegated to the same handlers). net/http remains the default for
+	// its wider protocol surface (HTTP/2, chunked bodies, TLS).
+	Edge bool
 }
 
 // DefaultConfig returns the default daemon setup.
@@ -127,7 +135,8 @@ type Daemon struct {
 	pool  *pool.Pool
 	state *state.Store // nil when StateCap < 0
 	gw    *gateway.Gateway
-	http  *http.Server
+	http  *http.Server  // nil when Cfg.Edge
+	edge  *gateway.Edge // nil unless Cfg.Edge
 
 	addr    atomic.Value // string; set once serving
 	started atomic.Bool
@@ -229,7 +238,11 @@ func (d *Daemon) start() error {
 		RequestTimeout: d.Cfg.RequestTimeout,
 		MaxBodyBytes:   d.Cfg.MaxBodyBytes,
 	}
-	d.http = &http.Server{Handler: d.gw.Handler()}
+	if d.Cfg.Edge {
+		d.edge = gateway.NewEdge(d.gw)
+	} else {
+		d.http = &http.Server{Handler: d.gw.Handler()}
+	}
 	return nil
 }
 
@@ -241,6 +254,9 @@ func (d *Daemon) State() *state.Store { return d.state }
 
 // Gateway exposes the HTTP layer (tests, stats).
 func (d *Daemon) Gateway() *gateway.Gateway { return d.gw }
+
+// Edge exposes the zero-allocation front end (nil unless Config.Edge).
+func (d *Daemon) Edge() *gateway.Edge { return d.edge }
 
 // Addr returns the bound listen address once serving ("" before).
 func (d *Daemon) Addr() string {
@@ -256,6 +272,9 @@ func (d *Daemon) Serve(ln net.Listener) error {
 		return err
 	}
 	d.addr.Store(ln.Addr().String())
+	if d.edge != nil {
+		return d.edge.Serve(ln)
+	}
 	err := d.http.Serve(ln)
 	if err == http.ErrServerClosed {
 		return nil
@@ -288,7 +307,11 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 	// Stop accepting connections and wait for in-flight HTTP handlers —
 	// each of which waits on its invocation — then drain the pool's
 	// internal state and stop the runtime goroutines.
-	if err := d.http.Shutdown(ctx); err != nil {
+	if d.edge != nil {
+		if err := d.edge.Shutdown(ctx); err != nil {
+			return err
+		}
+	} else if err := d.http.Shutdown(ctx); err != nil {
 		return err
 	}
 	if err := d.pool.Drain(ctx); err != nil {
