@@ -67,6 +67,7 @@ type connState struct {
 	wbuf  []byte // response head (and small error bodies)
 	body  []byte // request body; becomes the ArgBuf payload zero-copy
 	fname []byte // function name, copied out of the volatile read buffer
+	host  []byte // Host header, copied out of the volatile read buffer
 
 	// nb is the writev pair (head + VMA-backed response). WriteTo CONSUMES
 	// a net.Buffers, so nb is rebuilt each response from the persistent
@@ -89,6 +90,7 @@ var csPool = sync.Pool{New: func() any {
 		br:    bufio.NewReaderSize(nil, 16<<10),
 		wbuf:  make([]byte, 0, 256),
 		fname: make([]byte, 0, 64),
+		host:  make([]byte, 0, 64),
 	}
 }}
 
@@ -128,7 +130,11 @@ func (e *Edge) Shutdown(ctx context.Context) error {
 	}
 	for c, cs := range e.conns {
 		if !cs.busy.Load() {
-			// Parked between requests: fail its pending read now.
+			// Parked between requests: fail its pending read now. A conn
+			// whose request line has just arrived but which has not yet
+			// reached markBusy will observe draining there (both sides
+			// cross e.mu) and clear this deadline before its header and
+			// body reads — the kick only ever kills the parked ReadSlice.
 			c.SetReadDeadline(time.Now())
 		}
 	}
@@ -171,6 +177,7 @@ var (
 	hdrConnection       = []byte("Connection")
 	hdrExpect           = []byte("Expect")
 	hdrTransferEncoding = []byte("Transfer-Encoding")
+	hdrHost             = []byte("Host")
 	valClose            = []byte("close")
 	val100Continue      = []byte("100-continue")
 	pathInvoke          = []byte("/invoke/")
@@ -193,6 +200,25 @@ func (e *Edge) serveConn(cs *connState) {
 	}
 }
 
+// markBusy flags the connection as mid-request, synchronizing with
+// Shutdown's idle-kick through e.mu. Without it there is a window between
+// ReadSlice returning a request line and busy flipping true in which
+// Shutdown sees a "parked" connection and arms an already-expired read
+// deadline — failing the in-flight request's header/body reads and
+// dropping it without a response. Taking the lock orders the two: either
+// Shutdown saw busy=true and skipped the kick, or this side sees draining
+// and clears the deadline so the final request completes (serveConn exits
+// after it via the draining check).
+func (e *Edge) markBusy(cs *connState) {
+	e.mu.Lock()
+	cs.busy.Store(true)
+	kicked := e.draining.Load()
+	e.mu.Unlock()
+	if kicked {
+		cs.conn.SetReadDeadline(time.Time{})
+	}
+}
+
 // reqHead is the parsed request envelope, filled per request.
 type reqHead struct {
 	contentLen     int64 // -1 = absent
@@ -208,12 +234,12 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 	line, err := cs.br.ReadSlice('\n')
 	if err != nil {
 		if err == bufio.ErrBufferFull {
-			cs.busy.Store(true)
+			e.markBusy(cs)
 			return false, cs.writeSimple(http.StatusRequestURITooLong, "request line too long", 0)
 		}
 		return false, err
 	}
-	cs.busy.Store(true)
+	e.markBusy(cs)
 	defer cs.busy.Store(false)
 
 	line = trimCRLF(line)
@@ -237,12 +263,16 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 		cs.fname = append(cs.fname[:0], path[len(pathInvoke):]...)
 	} else {
 		// Cold path (GET endpoints, anything else): reconstruct a request
-		// for the normal mux. Copies and allocations are fine here.
+		// for the normal mux. Copies and allocations are fine here, but
+		// framing is not — serveCold must consume (or refuse-and-close)
+		// any declared body, or its bytes would be parsed as the next
+		// request line under keep-alive.
 		methodS, pathS := string(method), string(path)
-		if err := e.readHead(cs, &reqHead{}); err != nil {
+		var h reqHead
+		if err := e.readHead(cs, &h); err != nil {
 			return false, err
 		}
-		return e.serveCold(cs, methodS, pathS, http11)
+		return e.serveCold(cs, methodS, pathS, http11, &h)
 	}
 
 	var h reqHead
@@ -264,18 +294,12 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 	cl := int(h.contentLen)
 
 	if e.draining.Load() || e.g.Pool.Draining() {
-		if err := cs.discard(cl); err != nil {
-			return false, err
-		}
-		return keepAlive, cs.writeSimple(http.StatusServiceUnavailable, "draining", 5)
+		return cs.reject(&h, keepAlive, http.StatusServiceUnavailable, "draining", 5)
 	}
 
 	def := e.g.Reg.LookupBytes(cs.fname)
 	if def == nil {
-		if err := cs.discard(cl); err != nil {
-			return false, err
-		}
-		return keepAlive, cs.writeSimple(http.StatusNotFound, "unknown function", 0)
+		return cs.reject(&h, keepAlive, http.StatusNotFound, "unknown function", 0)
 	}
 
 	// Circuit breaker, then admission — the same order and semantics as
@@ -287,10 +311,7 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 	if brk != nil {
 		p, ok, retry := brk.Allow(time.Now())
 		if !ok {
-			if err := cs.discard(cl); err != nil {
-				return false, err
-			}
-			return keepAlive, cs.writeSimple(http.StatusServiceUnavailable, "circuit open", retrySecs(retry))
+			return cs.reject(&h, keepAlive, http.StatusServiceUnavailable, "circuit open", retrySecs(retry))
 		}
 		probe = p
 	}
@@ -298,10 +319,7 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 		if probe {
 			brk.CancelProbe()
 		}
-		if err := cs.discard(cl); err != nil {
-			return false, err
-		}
-		return keepAlive, cs.writeSimple(http.StatusTooManyRequests, "saturated", 1)
+		return cs.reject(&h, keepAlive, http.StatusTooManyRequests, "saturated", 1)
 	}
 	defer e.g.Adm.Release()
 
@@ -395,16 +413,27 @@ func (cs *connState) writev(head, body []byte) error {
 	return err
 }
 
+// errRefused marks a request readHead already answered (400/431): the
+// caller must close the connection without writing anything further. The
+// previous code returned writeSimple's error here — nil on a successful
+// write — so serveOne carried on and stacked a second response (e.g. 411)
+// onto the same request.
+var errRefused = errors.New("edge: refusal already written")
+
 // readHead parses the header block into h, leaving the reader positioned
-// at the body. Unknown headers are skipped; only the four the edge acts on
+// at the body. Unknown headers are skipped; only the five the edge acts on
 // are matched (case-insensitively, without copies).
 func (e *Edge) readHead(cs *connState, h *reqHead) error {
 	h.contentLen = -1
+	cs.host = cs.host[:0]
 	for {
 		line, err := cs.br.ReadSlice('\n')
 		if err != nil {
 			if err == bufio.ErrBufferFull {
-				return cs.writeSimple(http.StatusRequestHeaderFieldsTooLarge, "header too large", 0)
+				if werr := cs.writeSimple(http.StatusRequestHeaderFieldsTooLarge, "header too large", 0); werr != nil {
+					return werr
+				}
+				return errRefused
 			}
 			return err
 		}
@@ -421,7 +450,10 @@ func (e *Edge) readHead(cs *connState, h *reqHead) error {
 		case bytes.EqualFold(key, hdrContentLength):
 			n, ok := parseDecimal(val)
 			if !ok {
-				return cs.writeSimple(http.StatusBadRequest, "bad content-length", 0)
+				if werr := cs.writeSimple(http.StatusBadRequest, "bad content-length", 0); werr != nil {
+					return werr
+				}
+				return errRefused
 			}
 			h.contentLen = n
 		case bytes.EqualFold(key, hdrConnection):
@@ -434,6 +466,10 @@ func (e *Edge) readHead(cs *connState, h *reqHead) error {
 			}
 		case bytes.EqualFold(key, hdrTransferEncoding):
 			h.chunked = true
+		case bytes.EqualFold(key, hdrHost):
+			// Copied into connection scratch: the value's bytes live in
+			// the volatile read buffer, invalidated by the next ReadSlice.
+			cs.host = append(cs.host[:0], val...)
 		}
 	}
 }
@@ -449,13 +485,56 @@ func (cs *connState) discard(n int) error {
 	return err
 }
 
+// reject answers a refusal issued before any body byte was consumed. A
+// normal client has the declared body in flight, so it is discarded and
+// the connection kept alive. An Expect: 100-continue client has NOT sent
+// the body and is waiting for the interim response — blocking in Discard
+// would stall both sides until the client's expect timeout — so the final
+// status goes out immediately and the connection closes, which RFC 9110
+// §10.1.1 permits in place of the 100.
+func (cs *connState) reject(h *reqHead, keepAlive bool, status int, msg string, retry int) (bool, error) {
+	if h.expectContinue {
+		return false, cs.writeSimple(status, msg, retry)
+	}
+	if err := cs.discard(int(h.contentLen)); err != nil {
+		return false, err
+	}
+	return keepAlive, cs.writeSimple(status, msg, retry)
+}
+
 // serveCold feeds a non-fast-path request through the regular gateway mux
 // via a buffered ResponseWriter, then serializes the result. Allocation
-// cost is irrelevant here.
-func (e *Edge) serveCold(cs *connState, method, path string, http11 bool) (bool, error) {
-	req, err := http.NewRequest(method, "http://jordd"+path, nil)
+// cost is irrelevant here; connection framing is not. A declared body is
+// read off the wire before the mux runs (so keep-alive stays aligned on a
+// request-line boundary), oversized or chunked bodies are refused with the
+// connection closing (never buffered), and Connection: close is honored.
+func (e *Edge) serveCold(cs *connState, method, path string, http11 bool, h *reqHead) (bool, error) {
+	keepAlive := http11 && !h.wantClose
+	if h.chunked {
+		return false, cs.writeSimple(http.StatusLengthRequired, "content-length required", 0)
+	}
+	if h.contentLen > e.g.maxBody() {
+		return false, cs.writeSimple(http.StatusRequestEntityTooLarge, "payload too large", 0)
+	}
+	var body io.Reader
+	if h.contentLen > 0 {
+		if h.expectContinue {
+			if _, err := cs.conn.Write(continue100); err != nil {
+				return false, err
+			}
+		}
+		buf := make([]byte, h.contentLen)
+		if _, err := io.ReadFull(cs.br, buf); err != nil {
+			return false, err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, "http://jordd"+path, body)
 	if err != nil {
 		return false, cs.writeSimple(http.StatusBadRequest, "malformed request", 0)
+	}
+	if len(cs.host) > 0 {
+		req.Host = string(cs.host)
 	}
 	cw := &coldWriter{h: make(http.Header), status: http.StatusOK}
 	e.mux.ServeHTTP(cw, req)
@@ -481,7 +560,7 @@ func (e *Edge) serveCold(cs *connState, method, path string, http11 bool) (bool,
 	if err := cs.writev(b, cw.buf.Bytes()); err != nil {
 		return false, err
 	}
-	return http11, nil
+	return keepAlive, nil
 }
 
 // coldWriter is the minimal ResponseWriter behind serveCold.
@@ -579,9 +658,14 @@ func trimOWS(b []byte) []byte {
 	return b
 }
 
-// parseDecimal parses a non-negative decimal without allocating.
+// parseDecimal parses a non-negative decimal without allocating. Inputs
+// longer than 18 digits are rejected outright: 18 digits always fit int64,
+// while longer strings could wrap the n*10+digit accumulator past the sign
+// bit and back to a small positive value — a Content-Length alias that
+// would let the edge misframe the body (checking n < 0 alone misses the
+// double-wrap case).
 func parseDecimal(b []byte) (int64, bool) {
-	if len(b) == 0 {
+	if len(b) == 0 || len(b) > 18 {
 		return 0, false
 	}
 	var n int64
@@ -590,9 +674,6 @@ func parseDecimal(b []byte) (int64, bool) {
 			return 0, false
 		}
 		n = n*10 + int64(c-'0')
-		if n < 0 {
-			return 0, false // overflow
-		}
 	}
 	return n, true
 }

@@ -215,6 +215,141 @@ func TestEdgeExpectContinue(t *testing.T) {
 	}
 }
 
+// TestEdgeColdPathBodyFraming: a cold-path request carrying a body must
+// not desync the connection — the body bytes have to be consumed before
+// the next keep-alive request is parsed, or they would be read as a
+// request line (a request-smuggling vector behind a proxy). The POST to
+// /statsz 404s through the mux (no POST route), but the pipelined GET
+// after it must still parse and answer cleanly.
+func TestEdgeColdPathBodyFraming(t *testing.T) {
+	addr, _, stop := newEdgeRig(t, smallPool())
+	defer stop()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	io.WriteString(c, "POST /statsz HTTP/1.1\r\nHost: x\r\nContent-Length: 17\r\n\r\nGET /x HTTP/1.1\r\n")
+	io.WriteString(c, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+	c.SetReadDeadline(time.Now().Add(3 * time.Second))
+	br := bufio.NewReader(c)
+	readResponse := func() string {
+		status, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading status line: %v", err)
+		}
+		cl := -1
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				t.Fatalf("reading headers: %v", err)
+			}
+			if line == "\r\n" {
+				break
+			}
+			if n, err := fmt.Sscanf(line, "Content-Length: %d", &cl); n == 1 && err == nil {
+				continue
+			}
+		}
+		if cl < 0 {
+			t.Fatalf("response %q missing Content-Length", status)
+		}
+		if _, err := io.CopyN(io.Discard, br, int64(cl)); err != nil {
+			t.Fatalf("reading body: %v", err)
+		}
+		return status
+	}
+	first := readResponse()
+	second := readResponse()
+	if !strings.Contains(second, "200") {
+		t.Fatalf("pipelined GET after cold POST: first=%q second=%q (body bytes leaked into framing)", first, second)
+	}
+}
+
+// TestEdgeExpectContinueRejected: a 100-continue client that hits a
+// rejection path (unknown function here) has not sent its body — the edge
+// must answer the final status immediately instead of blocking in Discard
+// waiting for bytes the client will never send, and then close (the
+// declared-but-unsent body would otherwise desync keep-alive).
+func TestEdgeExpectContinueRejected(t *testing.T) {
+	addr, _, stop := newEdgeRig(t, smallPool())
+	defer stop()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	io.WriteString(c, "POST /invoke/nosuch HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\nExpect: 100-continue\r\n\r\n")
+	// No body sent. The 404 must arrive well before any expect-timeout; the
+	// read deadline is the stall detector.
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	br := bufio.NewReader(c)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("edge stalled waiting for an unsent 100-continue body: %v", err)
+	}
+	if !strings.Contains(line, "404") {
+		t.Fatalf("status line %q, want 404", line)
+	}
+	// The connection must close after the final status.
+	if _, err := io.Copy(io.Discard, br); err != nil {
+		t.Fatalf("draining to EOF: %v", err)
+	}
+}
+
+// TestEdgeContentLengthOverflow: a Content-Length long enough to wrap
+// int64 back to a small positive value must be rejected as malformed, not
+// used for framing.
+func TestEdgeContentLengthOverflow(t *testing.T) {
+	addr, _, stop := newEdgeRig(t, smallPool())
+	defer stop()
+	for _, cl := range []string{
+		"92233720368547758080",  // 10*MaxInt64: wraps positive
+		"184467440737095516165", // 2^64+5: aliases to 5
+	} {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(c, "POST /invoke/echo HTTP/1.1\r\nHost: x\r\nContent-Length: %s\r\n\r\n", cl)
+		c.SetReadDeadline(time.Now().Add(3 * time.Second))
+		all, err := io.ReadAll(c) // refusal closes the conn: read to EOF
+		if err != nil {
+			t.Fatalf("cl=%s: %v", cl, err)
+		}
+		if !strings.HasPrefix(string(all), "HTTP/1.1 400") {
+			t.Fatalf("cl=%s: response %q, want 400", cl, all)
+		}
+		// Exactly one response: the old readHead returned nil after the
+		// 400 write and stacked a second response on the same request.
+		if n := strings.Count(string(all), "HTTP/1.1 "); n != 1 {
+			t.Fatalf("cl=%s: %d responses on one request: %q", cl, n, all)
+		}
+		c.Close()
+	}
+}
+
+// TestEdgeColdConnectionClose: Connection: close on a cold-path request
+// must actually close the connection after the response.
+func TestEdgeColdConnectionClose(t *testing.T) {
+	addr, _, stop := newEdgeRig(t, smallPool())
+	defer stop()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	io.WriteString(c, "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+	c.SetReadDeadline(time.Now().Add(3 * time.Second))
+	b, err := io.ReadAll(c) // must reach EOF, not hang until deadline
+	if err != nil {
+		t.Fatalf("connection not closed after Connection: close: %v", err)
+	}
+	if !strings.Contains(string(b), "200") {
+		t.Fatalf("response %q, want 200", b)
+	}
+}
+
 // TestEdgeInvokeAllocs is the PR's headline invariant: the socket ->
 // function -> response path allocates nothing per request in steady state.
 // It measures whole-process allocation deltas (runtime.MemStats.Mallocs)
