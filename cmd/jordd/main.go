@@ -20,6 +20,9 @@
 //	GET  /readyz       overload view: drain vs degraded vs open breakers
 //	GET  /statsz       live JSON counters and latency percentiles
 //	GET  /varz         runtime internals: pool config, PD supply, queues
+//	GET  /tracez       per-invocation stage traces (slowest, errored, recent)
+//	GET  /flightz      flight-recorder incidents frozen at overload events
+//	GET  /metrics      the same counters in Prometheus text format
 //
 // Overload control (see README "Overload control & degraded modes"): the
 // admission cap is steered adaptively by queue delay (-admit-target, 0 to
@@ -57,7 +60,7 @@ import (
 	"log"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -163,15 +166,23 @@ func main() {
 	}
 
 	if *pprofAddr != "" {
-		// pprof rides DefaultServeMux (the blank net/http/pprof import) on
-		// its own listener so profiling never shares a port with /invoke.
+		// pprof rides a DEDICATED mux on its own listener: registering on
+		// DefaultServeMux (the blank-import pattern) would hand /debug/pprof
+		// to any other code that serves the default mux, and profiling must
+		// never share a surface with /invoke.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		pln, err := net.Listen("tcp", *pprofAddr)
 		if err != nil {
 			log.Fatalf("pprof listen: %v", err)
 		}
 		log.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
 		go func() {
-			if err := http.Serve(pln, nil); err != nil {
+			if err := http.Serve(pln, pmux); err != nil {
 				log.Printf("pprof: %v", err)
 			}
 		}()

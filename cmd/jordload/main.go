@@ -12,7 +12,11 @@
 //	         [-payload hello] [-mix none] [-users 64] [-timeout 5s]
 //	         [-abandon 0] [-seed 1]
 //	         [-retries 0] [-retry-budget 0.2] [-retry-base 20ms]
-//	         [-max-p99 0] [-min-ok 0] [-baseline-rps 0]
+//	         [-max-p99 0] [-min-ok 0] [-baseline-rps 0] [-trace]
+//
+// With -trace, jordload pulls the server's /tracez after the run and
+// prints per-stage latency attribution (parse/admit/queue/exec/...) plus
+// the slowest retained traces — pinpointing WHERE a slow p99 was spent.
 //
 // After the run jordload queries the server's /varz for its core and
 // executor counts and prints a per-core throughput summary: achieved ok
@@ -85,6 +89,7 @@ func main() {
 		retries     = flag.Int("retries", 0, "max retries per request on 429/503")
 		retryBudget = flag.Float64("retry-budget", 0.2, "global retry cap as a fraction of requests sent")
 		retryBase   = flag.Duration("retry-base", 20*time.Millisecond, "backoff base; attempt n waits ~base*2^n, jittered")
+		tracez      = flag.Bool("trace", false, "after the run, pull the server's /tracez and print stage attribution")
 		maxP99      = flag.Duration("max-p99", 0, "fail the run if ok-latency p99 exceeds this (0 = off)")
 		minOK       = flag.Uint64("min-ok", 0, "fail the run if fewer requests succeed (0 = off)")
 		baseline    = flag.Float64("baseline-rps", 0, "measured 1-core throughput for the scaling-efficiency summary (0 = skip)")
@@ -326,6 +331,13 @@ func main() {
 			snap.Mean/1e6, float64(snap.Max)/1e6)
 	}
 	printCoreSummary(client, *addr, float64(snap.Count)/elapsed.Seconds(), *baseline)
+	if *tracez {
+		filter := *fn
+		if mix.Value() != "none" {
+			filter = "" // the mix spreads over many functions: show them all
+		}
+		printTraceSummary(client, *addr, filter)
+	}
 
 	// Smoke-check assertions for CI.
 	failed := false
@@ -343,6 +355,76 @@ func main() {
 	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// printTraceSummary pulls the server's /tracez and prints where the time
+// went: per-stage p50/p99/avg across every traced invocation, then the
+// slowest retained traces with their stage breakdowns — the server-side
+// answer to "the client saw a slow p99; which stage caused it?".
+func printTraceSummary(client *http.Client, addr, fn string) {
+	url := fmt.Sprintf("http://%s/tracez", addr)
+	if fn != "" {
+		url += "?fn=" + fn
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		log.Printf("trace summary unavailable (/tracez: %v)", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Printf("trace summary unavailable (/tracez: %s)", resp.Status)
+		return
+	}
+	var doc struct {
+		Stages []struct {
+			Stage string `json:"stage"`
+			Count uint64 `json:"count"`
+			AvgNS int64  `json:"avg_ns"`
+			P50NS int64  `json:"p50_ns"`
+			P99NS int64  `json:"p99_ns"`
+		} `json:"stages"`
+		Slow []struct {
+			Func  string `json:"func"`
+			Spans []struct {
+				Outcome string           `json:"outcome"`
+				DurNS   int64            `json:"dur_ns"`
+				Stages  map[string]int64 `json:"stages"`
+				OtherNS int64            `json:"other_ns"`
+			} `json:"spans"`
+		} `json:"slow"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		log.Printf("trace summary unavailable (/tracez decode: %v)", err)
+		return
+	}
+	if len(doc.Stages) == 0 {
+		fmt.Printf("\ntrace           no spans recorded\n")
+		return
+	}
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	fmt.Printf("\nserver stages   %-9s %10s %12s %12s %12s\n", "stage", "count", "avg ms", "p50 ms", "p99 ms")
+	for _, st := range doc.Stages {
+		fmt.Printf("                %-9s %10d %12.4f %12.4f %12.4f\n",
+			st.Stage, st.Count, ms(st.AvgNS), ms(st.P50NS), ms(st.P99NS))
+	}
+	for _, fs := range doc.Slow {
+		for _, sp := range fs.Spans {
+			if sp.DurNS <= 0 {
+				continue
+			}
+			var parts []string
+			for _, stage := range []string{"parse", "admit", "queue", "init", "exec", "wait", "state", "teardown", "resp"} {
+				if d, ok := sp.Stages[stage]; ok && d > 0 {
+					parts = append(parts, fmt.Sprintf("%s %.0f%%", stage, 100*float64(d)/float64(sp.DurNS)))
+				}
+			}
+			if sp.OtherNS > 0 {
+				parts = append(parts, fmt.Sprintf("other %.0f%%", 100*float64(sp.OtherNS)/float64(sp.DurNS)))
+			}
+			fmt.Printf("slowest %-8s %8.3fms %-8s %s\n", fs.Func, ms(sp.DurNS), sp.Outcome, strings.Join(parts, "  "))
+		}
 	}
 }
 

@@ -6,12 +6,20 @@
 // Usage:
 //
 //	jordtrace [-nested 2]
+//	jordtrace -live host:port [-fn name]
+//
+// With -live, instead of simulating, jordtrace pulls a REAL trace from a
+// running jordd's /tracez (its slowest retained invocation, optionally
+// filtered to one function) and renders the same Figure 4 flow from the
+// measured wall-clock stage stamps.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 
 	"jord"
@@ -22,12 +30,21 @@ import (
 
 func main() {
 	nested := cliutil.NewNonNegInt(2)
+	live := flag.String("live", "", "render a real trace pulled from this jordd host:port instead of simulating")
+	liveFn := flag.String("fn", "", "with -live: restrict to one function")
 	flag.Var(nested, "nested", "number of nested invocations the traced function makes (>= 0)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "jordtrace: unexpected arguments: %v\n", flag.Args())
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *live != "" {
+		if err := renderLive(*live, *liveFn); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	sys, err := jord.NewSystem(jord.DefaultConfig())
@@ -88,4 +105,112 @@ func main() {
 
 	fmt.Println("\nevent timeline:")
 	fmt.Print(tracer.Render(freq))
+}
+
+// liveSpan mirrors the /tracez span wire form (see gateway /tracez).
+type liveSpan struct {
+	ID       uint64           `json:"id"`
+	ParentID uint64           `json:"parent_id"`
+	Func     string           `json:"func"`
+	External bool             `json:"external"`
+	Outcome  string           `json:"outcome"`
+	Watchdog bool             `json:"watchdog"`
+	DurNS    int64            `json:"dur_ns"`
+	Children int32            `json:"children"`
+	StateOps int32            `json:"state_ops"`
+	Stages   map[string]int64 `json:"stages"`
+	OtherNS  int64            `json:"other_ns"`
+}
+
+// renderLive pulls /tracez from a running jordd and renders its slowest
+// retained invocation (optionally one function's) in the Figure 4 flow —
+// the live twin of the simulated rendering, with wall-clock nanoseconds in
+// place of virtual cycles.
+func renderLive(addr, fn string) error {
+	url := fmt.Sprintf("http://%s/tracez", addr)
+	if fn != "" {
+		url += "?fn=" + fn
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("fetching /tracez: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetching /tracez: %s", resp.Status)
+	}
+	var doc struct {
+		Slow []struct {
+			Func  string     `json:"func"`
+			Spans []liveSpan `json:"spans"`
+		} `json:"slow"`
+		Recent []liveSpan `json:"recent"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("decoding /tracez: %w", err)
+	}
+
+	// Pick the slowest retained external span; fall back to the most recent.
+	var pick *liveSpan
+	for i := range doc.Slow {
+		for j := range doc.Slow[i].Spans {
+			s := &doc.Slow[i].Spans[j]
+			if s.External && (pick == nil || s.DurNS > pick.DurNS) {
+				pick = s
+			}
+		}
+	}
+	if pick == nil {
+		for i := range doc.Recent {
+			s := &doc.Recent[i]
+			if s.External && (pick == nil || s.DurNS > pick.DurNS) {
+				pick = s
+			}
+		}
+	}
+	if pick == nil {
+		return fmt.Errorf("no traced invocations retained yet — send some traffic first")
+	}
+
+	st := func(name string) int64 { return pick.Stages[name] }
+	fmt.Printf("one live request through the Figure 4 flow: %s (%s, %.3f ms total",
+		pick.Func, pick.Outcome, float64(pick.DurNS)/1e6)
+	if pick.Children > 0 {
+		fmt.Printf(", %d nested calls", pick.Children)
+	}
+	if pick.Watchdog {
+		fmt.Print(", watchdog-flagged")
+	}
+	fmt.Print(")\n\n")
+	row := func(label string, ns int64, note string) {
+		if ns <= 0 {
+			return
+		}
+		if note != "" {
+			note = "  (" + note + ")"
+		}
+		fmt.Printf("  %-14s %10.0f ns%s\n", label, float64(ns), note)
+	}
+	fmt.Println("gateway:       parse request line, headers, body off the socket")
+	row("parse", st("parse"), "")
+	fmt.Println("admission:     breaker verdict + admission gate")
+	row("admit", st("admit"), "")
+	fmt.Println("orchestrator:  enqueue -> JBSQ dispatch -> enqueue into executor")
+	row("queue", st("queue"), "")
+	fmt.Println("executor:      cget PD, map stack/heap, pmove ArgBuf")
+	row("init", st("init"), "")
+	fmt.Println("function:      execute in PD, nested call cexit/center cycles")
+	row("exec", st("exec"), "")
+	row("wait", st("wait"), "suspended on nested calls")
+	if n := st("state"); n > 0 {
+		row("state", n, fmt.Sprintf("%d shared-state ops, inside exec", pick.StateOps))
+	}
+	fmt.Println("teardown:      write back output, release ArgBuf, cput PD")
+	row("teardown", st("teardown"), "")
+	fmt.Println("response:      writev head + VMA-backed body to the socket")
+	row("resp", st("resp"), "")
+	if pick.OtherNS > 0 {
+		row("other", pick.OtherNS, "unattributed")
+	}
+	return nil
 }

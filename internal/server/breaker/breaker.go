@@ -70,6 +70,11 @@ type Config struct {
 	// Cooldown is how long an open breaker refuses requests before
 	// admitting a half-open probe (default 2s).
 	Cooldown time.Duration
+	// OnTrip, when set, is invoked with the function name each time a
+	// breaker opens. It runs under the breaker's mutex, so it must be fast
+	// and must never call back into the breaker — it exists so the flight
+	// recorder can freeze state at the moment of the trip.
+	OnTrip func(name string)
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +109,7 @@ type bucket struct {
 type Breaker struct {
 	cfg      Config
 	bucketNS int64
+	name     string // for Config.OnTrip; set by NewSet, empty on bare New
 
 	// state sits alone on its cache line: the closed-state Allow fast path
 	// is a single load of it, and that line must not be invalidated by the
@@ -228,6 +234,9 @@ func (b *Breaker) reopenLocked(now time.Time) {
 	b.resetWindow()
 	b.state.Store(int32(Open))
 	b.trips.Add(1)
+	if b.cfg.OnTrip != nil {
+		b.cfg.OnTrip(b.name)
+	}
 }
 
 // resetWindow clears the sliding window (trip and close both start the
@@ -292,7 +301,9 @@ type Set struct {
 func NewSet(cfg Config, names []string) *Set {
 	s := &Set{cfg: cfg.withDefaults(), m: make(map[string]*Breaker, len(names))}
 	for _, n := range names {
-		s.m[n] = New(s.cfg)
+		b := New(s.cfg)
+		b.name = n
+		s.m[n] = b
 	}
 	return s
 }

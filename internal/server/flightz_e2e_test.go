@@ -1,0 +1,157 @@
+package server
+
+// End-to-end flight-recorder test: a forced breaker trip on a live daemon
+// must freeze an incident — reason, recent traces, and runtime gauges —
+// retrievable over GET /flightz. This is the ISSUE acceptance criterion
+// for the incident plane.
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"jord/internal/server/pool"
+	"jord/internal/server/router"
+)
+
+func TestFlightzCapturesBreakerTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Pool = pool.Config{
+		Executors:     2,
+		Orchestrators: 1,
+		NumPDs:        64,
+	}
+	cfg.BreakerWindow = 500 * time.Millisecond
+	cfg.BreakerCooldown = 5 * time.Second // keep it open for the scrape
+	cfg.BreakerRatio = 0.5
+	cfg.BreakerMinSamples = 5
+	cfg.RequestTimeout = 5 * time.Second
+
+	d := New(cfg)
+	d.MustRegister("echo", func(ctx router.Ctx) ([]byte, error) {
+		return ctx.Payload(), nil
+	})
+	d.MustRegister("poison", func(ctx router.Ctx) ([]byte, error) {
+		panic("poison: always broken")
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- d.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	client := newClient()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		if err := d.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+		client.CloseIdleConnections()
+	}()
+
+	// Some healthy traffic first so the frozen incident has spans to carry.
+	for i := 0; i < 8; i++ {
+		if status, body, _ := postInvoke(t, client, base, "echo", "warm"); status != 200 || body != "warm" {
+			t.Fatalf("echo: status=%d body=%q", status, body)
+		}
+	}
+
+	// Hammer poison until the breaker opens.
+	deadline := time.Now().Add(10 * time.Second)
+	tripped := false
+	for time.Now().Before(deadline) {
+		status, body, _ := postInvoke(t, client, base, "poison", "x")
+		if status == http.StatusServiceUnavailable && strings.Contains(body, "circuit open") {
+			tripped = true
+			break
+		}
+		if status != http.StatusInternalServerError {
+			t.Fatalf("poison answered %d %q, want 500 until the trip", status, body)
+		}
+	}
+	if !tripped {
+		t.Fatal("breaker never opened")
+	}
+
+	// The trip must have frozen a flight-recorder incident with the
+	// breaker reason, recent traces, and the runtime gauge snapshot.
+	var incidents []struct {
+		Seq    uint64 `json:"seq"`
+		Reason string `json:"reason"`
+		Wall   string `json:"wall"`
+		Traces []struct {
+			Func    string `json:"func"`
+			Outcome string `json:"outcome"`
+		} `json:"traces"`
+		Stats *struct {
+			FreePDs    int `json:"free_pds"`
+			AdmitLimit int `json:"admit_limit"`
+		} `json:"stats"`
+	}
+	if status := getJSON(t, client, base+"/flightz", &incidents); status != http.StatusOK {
+		t.Fatalf("/flightz status = %d", status)
+	}
+	if len(incidents) == 0 {
+		t.Fatal("breaker trip froze no incident")
+	}
+	inc := incidents[len(incidents)-1]
+	found := false
+	for _, i := range incidents {
+		if i.Reason == "breaker_trip:poison" {
+			inc, found = i, true
+		}
+	}
+	if !found {
+		t.Fatalf("no breaker_trip:poison incident; got %+v", incidents)
+	}
+	if len(inc.Traces) == 0 {
+		t.Fatal("incident froze no traces")
+	}
+	poisonSeen := false
+	for _, tr := range inc.Traces {
+		if tr.Func == "poison" && tr.Outcome == "panicked" {
+			poisonSeen = true
+		}
+	}
+	if !poisonSeen {
+		t.Fatalf("frozen traces lack the panicking invocations: %+v", inc.Traces)
+	}
+	if inc.Stats == nil {
+		t.Fatal("incident has no runtime gauge snapshot")
+	}
+	if inc.Stats.FreePDs <= 0 || inc.Stats.AdmitLimit <= 0 {
+		t.Fatalf("gauge snapshot looks unfrozen: %+v", inc.Stats)
+	}
+	if inc.Wall == "" {
+		t.Fatal("incident has no wall-clock stamp")
+	}
+
+	// The same trip shows up in /tracez error retention too: panicked
+	// spans are tail-sampled regardless of load.
+	var doc struct {
+		Errors []struct {
+			Func    string `json:"func"`
+			Outcome string `json:"outcome"`
+		} `json:"errors"`
+	}
+	if status := getJSON(t, client, base+"/tracez?fn=poison", &doc); status != http.StatusOK {
+		t.Fatalf("/tracez status = %d", status)
+	}
+	if len(doc.Errors) == 0 {
+		t.Fatal("panicked invocations missing from /tracez errors")
+	}
+	for _, e := range doc.Errors {
+		if e.Func != "poison" {
+			t.Fatalf("?fn=poison leaked %q", e.Func)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"jord/internal/server/pool"
+	"jord/internal/server/trace"
 )
 
 // Edge is the zero-allocation HTTP/1.1 front end: a purpose-built server
@@ -78,6 +79,12 @@ type connState struct {
 
 	timer      *time.Timer // per-request deadline for InvokeTimed, recycled
 	timerArmed bool
+
+	// span is the per-request trace record for the fast path, embedded
+	// here (not on the stack) so handing its address to InvokeTimed can
+	// never force a heap allocation. The runtime adopts it at submit and
+	// hands it back with the completion; refusals publish it directly.
+	span trace.Span
 
 	// busy is true while a request is being processed; Shutdown only
 	// deadline-kicks conns parked between requests.
@@ -275,11 +282,25 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 		return e.serveCold(cs, methodS, pathS, http11, &h)
 	}
 
+	// Trace origin: after the request line is in hand (the blocking
+	// keep-alive read must not count) and before the header/body reads.
+	rec := e.g.Pool.Trace()
+	var tMark int64
+	if rec != nil {
+		tMark = rec.Now()
+		cs.span = trace.Span{FuncID: -1, External: true, StartNS: tMark}
+	}
+
 	var h reqHead
 	if err := e.readHead(cs, &h); err != nil {
 		return false, err
 	}
 	keepAlive = http11 && !h.wantClose
+	if rec != nil {
+		t := rec.Now()
+		cs.span.Stages[trace.StageParse] += t - tMark
+		tMark = t
+	}
 
 	// Header-derived refusals, before any body byte moves:
 	// declared-oversized payloads must not cost pool memory or bandwidth
@@ -294,12 +315,17 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 	cl := int(h.contentLen)
 
 	if e.draining.Load() || e.g.Pool.Draining() {
+		refuseTrace(rec, cs, tMark)
 		return cs.reject(&h, keepAlive, http.StatusServiceUnavailable, "draining", 5)
 	}
 
 	def := e.g.Reg.LookupBytes(cs.fname)
 	if def == nil {
+		refuseTrace(rec, cs, tMark)
 		return cs.reject(&h, keepAlive, http.StatusNotFound, "unknown function", 0)
+	}
+	if rec != nil {
+		cs.span.FuncID = int32(def.ID)
 	}
 
 	// Circuit breaker, then admission — the same order and semantics as
@@ -311,6 +337,7 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 	if brk != nil {
 		p, ok, retry := brk.Allow(time.Now())
 		if !ok {
+			refuseTrace(rec, cs, tMark)
 			return cs.reject(&h, keepAlive, http.StatusServiceUnavailable, "circuit open", retrySecs(retry))
 		}
 		probe = p
@@ -319,9 +346,15 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 		if probe {
 			brk.CancelProbe()
 		}
+		refuseTrace(rec, cs, tMark)
 		return cs.reject(&h, keepAlive, http.StatusTooManyRequests, "saturated", 1)
 	}
 	defer e.g.Adm.Release()
+	if rec != nil {
+		t := rec.Now()
+		cs.span.Stages[trace.StageAdmit] += t - tMark
+		tMark = t
+	}
 
 	if h.expectContinue {
 		if _, err := cs.conn.Write(continue100); err != nil {
@@ -344,6 +377,12 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 		}
 		return false, err
 	}
+	if rec != nil {
+		// The body read folds into parse: wire time, not runtime time.
+		t := rec.Now()
+		cs.span.Stages[trace.StageParse] += t - tMark
+		tMark = t
+	}
 
 	// Deadline via the connection's recycled timer: InvokeTimed selects on
 	// its channel directly, so no context (or timer) is allocated.
@@ -362,7 +401,11 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 		expired = cs.timer.C
 	}
 
-	resp, abandoned, err := e.g.Pool.InvokeTimed(def, payload, deadline, expired)
+	var spp *trace.Span
+	if rec != nil {
+		spp = &cs.span
+	}
+	resp, abandoned, err := e.g.Pool.InvokeTimed(def, payload, deadline, expired, spp)
 
 	if cs.timerArmed {
 		cs.timerArmed = false
@@ -387,6 +430,26 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 		e.g.recordOutcome(brk, probe, err)
 	}
 	if err != nil {
+		// Abandoned requests are published by the runtime when they finally
+		// finish (the canceled rule in pool.finish); everything else is the
+		// edge's to publish. A span the runtime never adopted (submit-time
+		// refusal) has no EndNS — classify and close it here.
+		if rec != nil && !abandoned {
+			sh := int(cs.span.Shard)
+			if cs.span.EndNS == 0 {
+				sh = -1
+				cs.span.EndNS = rec.Now()
+				switch {
+				case errors.Is(err, pool.ErrDegraded):
+					cs.span.Outcome = trace.OutcomeShed
+				case errors.Is(err, pool.ErrSaturated):
+					cs.span.Outcome = trace.OutcomeSaturated
+				default:
+					cs.span.Outcome = trace.OutcomeError
+				}
+			}
+			rec.Publish(sh, &cs.span)
+		}
 		return keepAlive, cs.writeInvokeError(err)
 	}
 
@@ -400,7 +463,31 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 	if err := cs.writev(b, resp); err != nil {
 		return false, err
 	}
+	if rec != nil {
+		// Response writev, stamped after the bytes hit the socket; then the
+		// completed span lands on the shard of the executor that finished it.
+		t := rec.Now()
+		if cs.span.EndNS > 0 {
+			cs.span.Stages[trace.StageResp] += t - cs.span.EndNS
+		}
+		cs.span.EndNS = t
+		rec.Publish(int(cs.span.Shard), &cs.span)
+	}
 	return keepAlive, nil
+}
+
+// refuseTrace closes and publishes a span for a request refused at the edge
+// (draining, unknown function, open breaker, admission). The time since the
+// last mark is charged to admit — the refusal verdict IS the admission work.
+func refuseTrace(rec *trace.Recorder, cs *connState, tMark int64) {
+	if rec == nil {
+		return
+	}
+	t := rec.Now()
+	cs.span.Stages[trace.StageAdmit] += t - tMark
+	cs.span.EndNS = t
+	cs.span.Outcome = trace.OutcomeRefused
+	rec.Publish(-1, &cs.span)
 }
 
 // writev writes head+body with one gathered write, rebuilding the

@@ -51,6 +51,13 @@ type Gateway struct {
 	MaxBodyBytes int64
 
 	draining atomic.Bool
+
+	// Interval-rate bookkeeping for /statsz: per-function completion counts
+	// at the previous Snapshot, so each report carries a windowed rate
+	// (delta since the last scrape) alongside the lifetime average.
+	snapMu     sync.Mutex
+	lastCounts map[string]uint64
+	lastSnapAt time.Time
 }
 
 // SetDraining flips the health signal: while draining, /healthz answers
@@ -68,6 +75,9 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", g.handleReadyz)
 	mux.HandleFunc("GET /statsz", g.handleStatsz)
 	mux.HandleFunc("GET /varz", g.handleVarz)
+	mux.HandleFunc("GET /tracez", g.handleTracez)
+	mux.HandleFunc("GET /flightz", g.handleFlightz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
 	return mux
 }
 
@@ -352,14 +362,19 @@ func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // FuncStatsz is one function's row in the /statsz report. Latencies are
 // microseconds, measured arrival -> completion on the live path.
 type FuncStatsz struct {
-	Name          string  `json:"name"`
-	Count         uint64  `json:"count"`
-	Errors        uint64  `json:"errors"`
-	Watchdog      uint64  `json:"watchdog,omitempty"` // flagged past ExecTimeout
-	Breaker       string  `json:"breaker,omitempty"`  // closed | open | half-open
-	BreakerTrips  uint64  `json:"breaker_trips,omitempty"`
-	ShortCircuits uint64  `json:"short_circuits,omitempty"` // 503s served while not closed
+	Name          string `json:"name"`
+	Count         uint64 `json:"count"`
+	Errors        uint64 `json:"errors"`
+	Watchdog      uint64 `json:"watchdog,omitempty"` // flagged past ExecTimeout
+	Breaker       string `json:"breaker,omitempty"`  // closed | open | half-open
+	BreakerTrips  uint64 `json:"breaker_trips,omitempty"`
+	ShortCircuits uint64 `json:"short_circuits,omitempty"` // 503s served while not closed
+	// ThroughputRPS is the LIFETIME average (count / uptime) — stable but
+	// stale under changing load. IntervalRPS is the windowed rate since the
+	// previous /statsz scrape (falls back to the lifetime average on the
+	// first scrape), which is what a dashboard should plot.
 	ThroughputRPS float64 `json:"throughput_rps"`
+	IntervalRPS   float64 `json:"interval_rps"`
 	P50Us         float64 `json:"p50_us"`
 	P99Us         float64 `json:"p99_us"`
 	P999Us        float64 `json:"p999_us"`
@@ -449,6 +464,14 @@ func (g *Gateway) Snapshot() Statsz {
 		st := g.Store.StatsSnapshot()
 		doc.State = &st
 	}
+	// Windowed rates: one lock per Snapshot, never on the serving path.
+	now := time.Now()
+	g.snapMu.Lock()
+	elapsed := now.Sub(g.lastSnapAt).Seconds()
+	first := g.lastSnapAt.IsZero() || elapsed <= 0
+	if g.lastCounts == nil {
+		g.lastCounts = make(map[string]uint64)
+	}
 	for _, fs := range st.Funcs() {
 		snap := fs.Latency.Snapshot()
 		row := FuncStatsz{
@@ -470,8 +493,16 @@ func (g *Gateway) Snapshot() Statsz {
 		if uptime > 0 {
 			row.ThroughputRPS = float64(row.Count) / uptime
 		}
+		if first {
+			row.IntervalRPS = row.ThroughputRPS
+		} else if prev := g.lastCounts[fs.Name]; row.Count >= prev {
+			row.IntervalRPS = float64(row.Count-prev) / elapsed
+		}
+		g.lastCounts[fs.Name] = row.Count
 		doc.Funcs = append(doc.Funcs, row)
 	}
+	g.lastSnapAt = now
+	g.snapMu.Unlock()
 	return doc
 }
 

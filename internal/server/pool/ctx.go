@@ -8,6 +8,7 @@ import (
 
 	"jord/internal/mem/vmatable"
 	"jord/internal/server/router"
+	"jord/internal/server/trace"
 )
 
 // Ctx is the live programming interface a function body sees — the same
@@ -152,9 +153,29 @@ func (c *Ctx) Async(fn string, payload []byte) (router.Cookie, error) {
 	child := p.getRequest()
 	child.fn = def
 	child.buf = buf
-	child.arrival = time.Now()
 	child.deadline = cont.req.deadline // nested work inherits the deadline
 	child.parent = cont
+	if tr := p.tr; tr != nil {
+		// Sub-span: the child gets its own span linked to the parent. The
+		// parent's span ID is assigned lazily here on its first Async —
+		// the plain no-fan-out hot path never touches the shared counter.
+		// As in Pool.submit, the trace stamp IS the arrival record: no
+		// traced-path reader of child.arrival exists, so time.Now is
+		// skipped.
+		pr := cont.req
+		if pr.span.ID == 0 {
+			pr.span.ID = tr.NextID()
+		}
+		m := tr.Now()
+		child.span.StartNS = m
+		child.span.ParentID = pr.span.ID
+		child.span.FuncID = int32(def.ID)
+		child.tSubmit = m
+		child.tMark = m
+		pr.span.Children++
+	} else {
+		child.arrival = time.Now()
+	}
 	cont.mu.Lock()
 	cont.children = append(cont.children, child)
 	cont.live++
@@ -206,10 +227,24 @@ func (c *Ctx) Wait(ck router.Cookie) ([]byte, error) {
 
 	if suspend {
 		// cexit: hand the executor back; it runs other work until the
-		// child completes and readyResume re-centers us.
+		// child completes and readyResume re-centers us. The suspended
+		// window is the span's wait stage, bracketing exec around it.
+		tr := c.pool.tr
+		if tr != nil {
+			r := cont.req
+			now := tr.Now()
+			r.span.Stages[trace.StageExec] += now - r.tMark
+			r.tMark = now
+		}
 		cont.exec.suspends.Add(1)
 		cont.yieldCh <- struct{}{}
 		<-cont.resumeCh
+		if tr != nil {
+			r := cont.req
+			now := tr.Now()
+			r.span.Stages[trace.StageWait] += now - r.tMark
+			r.tMark = now
+		}
 	}
 
 	if err := child.err; err != nil {
@@ -240,12 +275,31 @@ func (c *Ctx) StateGet(scope router.StateScope, key string) (router.StateSnap, e
 	if p.state == nil {
 		return nil, ErrNoState
 	}
+	t0 := c.stateStart()
 	s, err := p.state.Get(c.cont.pd, c.cont.req.fn.Name, scope, key)
+	c.stateEnd(t0)
 	if err != nil {
 		return nil, err
 	}
 	c.cont.holds = append(c.cont.holds, s)
 	return s, nil
+}
+
+// stateStart/stateEnd bracket one state-tier operation for the span's
+// state stage (a break-out of exec time, not subtracted from it).
+func (c *Ctx) stateStart() int64 {
+	if tr := c.pool.tr; tr != nil {
+		return tr.Now()
+	}
+	return 0
+}
+
+func (c *Ctx) stateEnd(t0 int64) {
+	if tr := c.pool.tr; tr != nil {
+		r := c.cont.req
+		r.span.Stages[trace.StageState] += tr.Now() - t0
+		r.span.StateOps++
+	}
 }
 
 // StateTake acquires exclusive write ownership of a key: the store pmoves
@@ -257,7 +311,9 @@ func (c *Ctx) StateTake(scope router.StateScope, key string) (router.StateTx, er
 	if p.state == nil {
 		return nil, ErrNoState
 	}
+	t0 := c.stateStart()
 	tx, err := p.state.Take(c.cont.pd, c.cont.req.fn.Name, scope, key)
+	c.stateEnd(t0)
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +328,10 @@ func (c *Ctx) StatePut(scope router.StateScope, key string, val []byte) (uint64,
 	if p.state == nil {
 		return 0, ErrNoState
 	}
-	return p.state.Put(c.cont.pd, c.cont.req.fn.Name, scope, key, val)
+	t0 := c.stateStart()
+	ver, err := p.state.Put(c.cont.pd, c.cont.req.fn.Name, scope, key, val)
+	c.stateEnd(t0)
+	return ver, err
 }
 
 // StateDelete removes a key (fails while another invocation owns it).
@@ -281,7 +340,10 @@ func (c *Ctx) StateDelete(scope router.StateScope, key string) error {
 	if p.state == nil {
 		return ErrNoState
 	}
-	return p.state.Delete(c.cont.pd, c.cont.req.fn.Name, scope, key)
+	t0 := c.stateStart()
+	err := p.state.Delete(c.cont.pd, c.cont.req.fn.Name, scope, key)
+	c.stateEnd(t0)
+	return err
 }
 
 // cancelChildren marks every outstanding (submitted, un-collected,

@@ -9,6 +9,7 @@ import (
 
 	"jord/internal/mem/vmatable"
 	"jord/internal/server/router"
+	"jord/internal/server/trace"
 )
 
 // executor is the live port of core.Executor: one worker goroutine with a
@@ -187,12 +188,27 @@ func (e *executor) requeueFront(r *request) {
 func (e *executor) startInvocation(r *request) {
 	p := e.pool
 
+	// Dequeue stamp: close the queue stage (submission -> pickup,
+	// accumulating across PD-stall requeues via +=).
+	tr := p.tr
+	var tDeq int64
+	if tr != nil {
+		tDeq = tr.Now()
+		r.span.Stages[trace.StageQueue] += tDeq - r.tMark
+		r.tMark = tDeq
+	}
+
 	// Feed the adaptive admission loop: the external queue delay (gateway
 	// submission -> executor pickup) is the signal CoDel steers on. Gated
-	// on the hook so raw pools pay nothing.
+	// on the hook so raw pools pay nothing; with tracing on it rides the
+	// dequeue stamp instead of reading the clock again.
 	if r.external {
 		if obs := p.cfg.ObserveQueueDelay; obs != nil {
-			obs(time.Since(r.arrival))
+			if tr != nil {
+				obs(time.Duration(tDeq - r.tSubmit))
+			} else {
+				obs(time.Since(r.arrival))
+			}
 		}
 	}
 
@@ -235,6 +251,13 @@ func (e *executor) startInvocation(r *request) {
 		return
 	}
 
+	// PD-init stamp: cget + pmove done, the body is about to enter.
+	if tr != nil {
+		t := tr.Now()
+		r.span.Stages[trace.StageInit] += t - r.tMark
+		r.tMark = t
+	}
+
 	if p.cfg.ExecTimeout > 0 {
 		c.startAt = time.Now()
 		e.mu.Lock()
@@ -274,6 +297,14 @@ func (e *executor) finishInvocation(c *continuation) {
 	p := e.pool
 	r := c.req
 
+	// Exec-end stamp: everything from here to finish is teardown, closed
+	// by finish's end-of-span clock read (no extra read for it).
+	if tr := p.tr; tr != nil {
+		t := tr.Now()
+		r.span.Stages[trace.StageExec] += t - r.tMark
+		r.tMark = t
+	}
+
 	ferr := c.err
 	if ferr == nil {
 		// The function writes its outputs into the ArgBuf while its PD
@@ -306,6 +337,9 @@ func (e *executor) finishInvocation(c *continuation) {
 	if p.cfg.ExecTimeout > 0 {
 		e.untrack(c)
 		p.sweepableDone()
+		if c.wdFlagged {
+			r.span.Flagged = true // watchdog-flagged traces are always retained
+		}
 	}
 
 	// Reap un-Waited children before the continuation can recycle — a
@@ -407,6 +441,13 @@ func (e *executor) flagStuck(cut time.Time) {
 			}
 			if cb := p.cfg.OnWatchdog; cb != nil {
 				cb(c.req.fn.Name)
+			}
+			if tr := p.tr; tr != nil {
+				// Freeze a flight-recorder incident: a stuck body holding
+				// a PD and runner is exactly the state worth forensics.
+				// Rate-limited inside; the capture reads only atomics and
+				// trace-internal locks (safe under e.mu).
+				tr.TripWatchdog(c.req.fn.Name)
 			}
 		}
 	}

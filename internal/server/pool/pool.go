@@ -12,6 +12,7 @@ import (
 	"jord/internal/mem/vmatable"
 	"jord/internal/metrics"
 	"jord/internal/server/router"
+	"jord/internal/server/trace"
 )
 
 // Errors returned by the external invoke path. The gateway maps them onto
@@ -135,6 +136,12 @@ type Config struct {
 	// lets per-function circuit breakers count stuck bodies as failures.
 	// Must be fast and non-blocking.
 	OnWatchdog func(fnName string)
+
+	// NoTrace disables the always-on per-invocation tracing layer
+	// (internal/server/trace). Tracing is ON by default — the invoke
+	// benchmarks and alloc gates run with it enabled — and this knob
+	// exists for the on-vs-off overhead comparison jordbench reports.
+	NoTrace bool
 }
 
 // Normalized returns the configuration with every zero field replaced by
@@ -216,6 +223,16 @@ type request struct {
 	completed bool // nested only; guarded by parent.mu
 	orphaned  bool // nested only; parent finished without Wait (guarded by parent.mu)
 	err       error
+
+	// span is the invocation's trace record, embedded by value so tracing
+	// allocates nothing and recycles with the request. Ownership follows
+	// the request's: the runtime stamps stages until finish; a traced
+	// external caller (the edge, see InvokeTimed) copies it out after the
+	// done token and publishes it itself once the response is written.
+	span    trace.Span
+	tSubmit int64 // submission mark on the trace clock (latency origin)
+	tMark   int64 // last stage boundary on the trace clock
+	traced  bool  // an external caller owns response stamping + publish
 }
 
 // FuncStats accumulates per-function live measurements. The latency
@@ -303,6 +320,10 @@ type Pool struct {
 	// Immutable after Start.
 	state StateBackend
 
+	// tr is the per-invocation tracing plane (nil iff Config.NoTrace).
+	// Immutable after New; every hot-path stamp is gated on one nil check.
+	tr *trace.Recorder
+
 	draining atomic.Bool
 	started  atomic.Bool
 	startAt  time.Time
@@ -354,6 +375,9 @@ func New(cfg Config, reg *router.Registry) *Pool {
 		floor = 64
 	}
 	p.tab.SetCreditFloor(floor)
+	if !cfg.NoTrace {
+		p.tr = trace.NewRecorder(cfg.Executors)
+	}
 	p.reqPool.New = func() any { return &request{done: make(chan struct{}, 1)} }
 	p.contPool.New = func() any {
 		return &continuation{
@@ -401,6 +425,10 @@ func (p *Pool) putRequest(r *request) {
 	r.completed = false
 	r.orphaned = false
 	r.err = nil
+	r.span = trace.Span{}
+	r.tSubmit = 0
+	r.tMark = 0
+	r.traced = false
 	p.reqPool.Put(r)
 }
 
@@ -471,6 +499,9 @@ func (p *Pool) SetState(b StateBackend) { p.state = b }
 // State returns the attached shared-state tier (nil if none).
 func (p *Pool) State() StateBackend { return p.state }
 
+// Trace returns the tracing recorder (nil iff Config.NoTrace).
+func (p *Pool) Trace() *trace.Recorder { return p.tr }
+
 // Config returns the normalized configuration.
 func (p *Pool) Config() Config { return p.cfg }
 
@@ -513,6 +544,13 @@ func (p *Pool) Start() {
 		fs.Errors.SetShards(p.cfg.Executors)
 		p.stats.perFunc[f.Name] = fs
 		p.stats.funcs = append(p.stats.funcs, fs)
+	}
+	if p.tr != nil {
+		names := make([]string, len(funcs))
+		for _, f := range funcs {
+			names[f.ID] = f.Name
+		}
+		p.tr.InitFuncs(names)
 	}
 
 	for i := 0; i < p.cfg.Executors; i++ {
@@ -644,7 +682,7 @@ func (p *Pool) sweepableDone() {
 // admission/shedding checks, the ArgBuf staging, and the queue handoff
 // shared by Invoke and InvokeTimed. On success the caller owns the wait on
 // r.done; on error everything is already released.
-func (p *Pool) submit(def *router.Func, payload []byte, deadline time.Time) (*request, error) {
+func (p *Pool) submit(def *router.Func, payload []byte, deadline time.Time, sp *trace.Span) (*request, error) {
 	// Count ourselves in flight BEFORE checking the drain flag, so no
 	// accepted request can strand in a queue nobody services: either our
 	// increment lands before Drain's flag flip (Drain then waits for us),
@@ -664,6 +702,9 @@ func (p *Pool) submit(def *router.Func, payload []byte, deadline time.Time) (*re
 	if thr := p.shedThr; thr > 0 && p.tab.FreeCount() <= thr {
 		p.inflightDone()
 		p.stats.Shed.Add(1)
+		if p.tr != nil {
+			p.tr.NoteShed() // shed-burst flight-recorder trigger
+		}
 		return nil, ErrDegraded
 	}
 	// Stage the request payload into a fresh ArgBuf owned by the runtime
@@ -672,8 +713,29 @@ func (p *Pool) submit(def *router.Func, payload []byte, deadline time.Time) (*re
 	r.fn = def
 	r.buf = p.tab.NewVMA(ExecutorPD, payload, vmatable.PermRW)
 	r.external = true
-	r.arrival = time.Now()
 	r.deadline = deadline
+	if tr := p.tr; tr != nil {
+		// One trace-clock read is the only arrival stamp a traced request
+		// needs: every downstream reader of r.arrival (untraced latency,
+		// the ObserveQueueDelay fallback) has a traced branch running off
+		// the span marks instead, so the time.Now below is skipped. A
+		// traced caller (the edge) hands in a pre-stamped span —
+		// parse/admit stages and the earlier start — and takes publish
+		// ownership back with the completion token.
+		m := tr.Now()
+		if sp != nil {
+			r.span = *sp
+			r.traced = true
+		} else {
+			r.span.StartNS = m
+		}
+		r.span.FuncID = int32(def.ID)
+		r.span.External = true
+		r.tSubmit = m
+		r.tMark = m
+	} else {
+		r.arrival = time.Now()
+	}
 	// Spread submissions across orchestrators with the per-P random
 	// source: rand/v2's global generator never touches a shared cache
 	// line, unlike the old round-robin counter whose single atomic was
@@ -711,7 +773,7 @@ func (p *Pool) Invoke(ctx context.Context, fn string, payload []byte) ([]byte, e
 	if dl, ok := ctx.Deadline(); ok {
 		deadline = dl
 	}
-	r, err := p.submit(def, payload, deadline)
+	r, err := p.submit(def, payload, deadline, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -749,19 +811,29 @@ func (p *Pool) Invoke(ctx context.Context, fn string, payload []byte) ([]byte, e
 // ArgBuf, which may alias the caller's payload buffer — the caller must
 // treat that buffer as lost and must not drain/reuse the fired timer
 // channel entry it consumed here.
-func (p *Pool) InvokeTimed(def *router.Func, payload []byte, deadline time.Time, expired <-chan time.Time) (resp []byte, abandoned bool, err error) {
+//
+// sp, when non-nil (and tracing is on), is the caller's pre-stamped trace
+// span (edge parse/admit stages): the runtime adopts it for the request's
+// lifetime and copies it back — stages, outcome, finishing shard — before
+// returning a completion, at which point the caller owns stamping the
+// response-write stage and publishing. On abandonment the span stays with
+// the runtime, which publishes the canceled trace itself at finish.
+func (p *Pool) InvokeTimed(def *router.Func, payload []byte, deadline time.Time, expired <-chan time.Time, sp *trace.Span) (resp []byte, abandoned bool, err error) {
 	if !p.started.Load() {
 		return nil, false, errors.New("pool: not started")
 	}
 	if def == nil {
 		return nil, false, ErrUnknownFunction
 	}
-	r, err := p.submit(def, payload, deadline)
+	r, err := p.submit(def, payload, deadline, sp)
 	if err != nil {
 		return nil, false, err
 	}
 	select {
 	case <-r.done:
+		if r.traced && sp != nil {
+			*sp = r.span
+		}
 		if err := r.err; err != nil {
 			p.releaseRequest(r)
 			return nil, false, err
@@ -788,7 +860,34 @@ func (p *Pool) finish(shard int, r *request, err error) {
 	}
 	r.err = err
 	fs := p.stats.perFunc[r.fn.Name]
-	fs.Latency.RecordShard(shard, time.Since(r.arrival).Nanoseconds())
+	var latNS int64
+	if tr := p.tr; tr != nil {
+		// One clock read closes both the span and the latency histogram.
+		end := tr.Now()
+		latNS = end - r.tSubmit
+		s := &r.span
+		s.EndNS = end
+		// Whatever ran after the exec-end stamp (output write-back, ArgBuf
+		// pmove, handle release, PD cput) is teardown; a request that died
+		// before PD init never reached that stamp and keeps the remainder
+		// unattributed ("other" in /tracez).
+		if s.Stages[trace.StageInit] > 0 {
+			s.Stages[trace.StageTeardown] += end - r.tMark
+		}
+		s.Outcome = outcomeOf(err)
+		s.Shard = int32(shard)
+		// Publish unless a traced external caller owns the span (it will
+		// stamp the response write and publish after the done token). An
+		// abandoned traced request has no caller left to publish — the
+		// runtime does it here. (A finish racing the abandonment's flag
+		// store may drop that one trace; never double-publish.)
+		if !r.traced || r.canceled.Load() {
+			tr.Publish(shard, s)
+		}
+	} else {
+		latNS = time.Since(r.arrival).Nanoseconds()
+	}
+	fs.Latency.RecordShard(shard, latNS)
 	fs.Count.AddShard(shard, 1)
 	if err != nil {
 		fs.Errors.AddShard(shard, 1)
@@ -836,6 +935,23 @@ func (p *Pool) finish(shard int, r *request, err error) {
 	parent.mu.Unlock()
 	if resume {
 		parent.exec.readyResume(parent)
+	}
+}
+
+// outcomeOf maps a finish error onto the span's outcome enum — no error
+// strings, so publishing an errored span allocates nothing.
+func outcomeOf(err error) trace.Outcome {
+	switch {
+	case err == nil:
+		return trace.OutcomeOK
+	case errors.Is(err, ErrPanicked):
+		return trace.OutcomePanicked
+	case errors.Is(err, context.DeadlineExceeded):
+		return trace.OutcomeExpired
+	case errors.Is(err, context.Canceled):
+		return trace.OutcomeCanceled
+	default:
+		return trace.OutcomeError
 	}
 }
 

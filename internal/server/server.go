@@ -29,6 +29,7 @@ import (
 	"jord/internal/server/pool"
 	"jord/internal/server/router"
 	"jord/internal/server/state"
+	"jord/internal/server/trace"
 )
 
 // Config assembles one live worker daemon.
@@ -201,6 +202,18 @@ func (d *Daemon) start() error {
 			Cooldown:     d.Cfg.BreakerCooldown,
 			FailureRatio: d.Cfg.BreakerRatio,
 			MinSamples:   d.Cfg.BreakerMinSamples,
+			// Freeze a flight-recorder incident at the moment of every trip.
+			// The pool is built after this Set, so the closure reads d.pool
+			// lazily; trips can only fire once traffic flows, well after
+			// start() assigned it. Runs under the breaker mutex: TripBreaker
+			// is rate-limited and touches only trace/atomic state.
+			OnTrip: func(name string) {
+				if p := d.pool; p != nil {
+					if tr := p.Trace(); tr != nil {
+						tr.TripBreaker(name)
+					}
+				}
+			},
 		}, d.Reg.Names())
 		pc.OnWatchdog = breakers.RecordFault
 	}
@@ -226,6 +239,29 @@ func (d *Daemon) start() error {
 		}
 		d.state = st
 		d.pool.SetState(st)
+	}
+
+	// Flight-recorder context: when an incident freezes (breaker trip, shed
+	// burst, watchdog flag), snapshot the gauges an operator needs alongside
+	// the frozen traces. Reads only atomics and lock-free views.
+	if tr := d.pool.Trace(); tr != nil {
+		p := d.pool
+		tr.SetFlightStats(func() trace.FlightStats {
+			ext, internal, execQ := p.QueueDepths()
+			st := p.Stats()
+			return trace.FlightStats{
+				ExtQueue:     ext,
+				IntQueue:     internal,
+				ExecQueue:    execQ,
+				FreePDs:      p.Table().FreeCountExact(),
+				LivePDs:      p.Table().LivePDs(),
+				Inflight:     adm.Inflight(),
+				AdmitLimit:   int(adm.Limit()),
+				Shed:         st.Shed.Load(),
+				Rejected:     st.Rejected.Load(),
+				OpenBreakers: breakers.NotClosed(),
+			}
+		})
 	}
 
 	d.pool.Start()

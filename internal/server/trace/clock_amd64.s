@@ -1,0 +1,12 @@
+// Raw invariant-TSC read for the trace fast clock (see clock_amd64.go for
+// the calibration and safety gates that decide whether it is ever used).
+
+#include "textflag.h"
+
+// func rdtsc() int64
+TEXT ·rdtsc(SB), NOSPLIT, $0-8
+	RDTSC
+	SHLQ $32, DX
+	ORQ  DX, AX
+	MOVQ AX, ret+0(FP)
+	RET

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package trace
+
+// Non-amd64: no TSC fast path; the recorder clock stays on the runtime's
+// monotonic clock (time.Since), which every stamp site already handles.
+
+const tscEnabled = false
+
+func tscNow() int64 { return 0 }
+
+func initFastClock() {}

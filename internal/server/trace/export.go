@@ -1,0 +1,187 @@
+package trace
+
+// Export views: the JSON shapes served by GET /tracez and GET /flightz.
+// These run off the hot path and may allocate freely.
+
+// SpanView is the wire form of one span.
+type SpanView struct {
+	ID       uint64           `json:"id"`
+	ParentID uint64           `json:"parent_id,omitempty"`
+	Func     string           `json:"func"`
+	External bool             `json:"external"`
+	Outcome  string           `json:"outcome"`
+	Watchdog bool             `json:"watchdog,omitempty"`
+	StartNS  int64            `json:"start_ns"`
+	DurNS    int64            `json:"dur_ns"`
+	Children int32            `json:"children,omitempty"`
+	StateOps int32            `json:"state_ops,omitempty"`
+	Stages   map[string]int64 `json:"stages"`
+	OtherNS  int64            `json:"other_ns,omitempty"` // dur minus attributed stages
+}
+
+// StageView is one stage's merged latency summary.
+type StageView struct {
+	Stage string `json:"stage"`
+	Count uint64 `json:"count"`
+	AvgNS int64  `json:"avg_ns"`
+	P50NS int64  `json:"p50_ns"`
+	P99NS int64  `json:"p99_ns"`
+}
+
+// FuncSlowView is one function's slowest retained traces.
+type FuncSlowView struct {
+	Func  string     `json:"func"`
+	Spans []SpanView `json:"spans"`
+}
+
+// Doc is the /tracez document.
+type Doc struct {
+	NowNS  int64          `json:"now_ns"`
+	Stages []StageView    `json:"stages"`
+	Slow   []FuncSlowView `json:"slow"`
+	Errors []SpanView     `json:"errors"`
+	Recent []SpanView     `json:"recent"`
+}
+
+// IncidentView is the /flightz wire form of one incident.
+type IncidentView struct {
+	Seq    uint64       `json:"seq"`
+	Reason string       `json:"reason"`
+	Wall   string       `json:"wall"`
+	AtNS   int64        `json:"at_ns"`
+	Stats  *FlightStats `json:"stats,omitempty"`
+	Traces []SpanView   `json:"traces"`
+}
+
+// view converts a span for export.
+func (r *Recorder) view(s *Span) SpanView {
+	v := SpanView{
+		ID:       s.ID,
+		ParentID: s.ParentID,
+		Func:     r.FuncName(s.FuncID),
+		External: s.External,
+		Outcome:  s.Outcome.Name(),
+		Watchdog: s.Flagged,
+		StartNS:  s.StartNS,
+		DurNS:    s.Dur(),
+		Children: s.Children,
+		StateOps: s.StateOps,
+		Stages:   make(map[string]int64, 4),
+	}
+	var attributed int64
+	for st := 0; st < NumStages; st++ {
+		d := s.Stages[st]
+		if d <= 0 {
+			continue
+		}
+		v.Stages[Stage(st).Name()] = d
+		if Stage(st) != StageState { // state is a break-out of exec
+			attributed += d
+		}
+	}
+	if other := v.DurNS - attributed; other > 0 {
+		v.OtherNS = other
+	}
+	return v
+}
+
+// Tracez builds the /tracez document. fn filters the slow/error/recent
+// span lists to one function name ("" = all); limit bounds each span list
+// (<= 0 picks a default of 32).
+func (r *Recorder) Tracez(fn string, limit int) Doc {
+	if limit <= 0 {
+		limit = 32
+	}
+	doc := Doc{NowNS: r.Now()}
+
+	hists := r.StageHists()
+	for st := range hists {
+		h := &hists[st]
+		if h.Count == 0 {
+			continue
+		}
+		doc.Stages = append(doc.Stages, StageView{
+			Stage: h.Stage,
+			Count: h.Count,
+			AvgNS: h.SumNS / int64(h.Count),
+			P50NS: h.quantileNS(0.50),
+			P99NS: h.quantileNS(0.99),
+		})
+	}
+
+	r.slowMu.Lock()
+	for id, fs := range r.funcs {
+		name := r.FuncName(int32(id))
+		if fn != "" && name != fn {
+			continue
+		}
+		if fs.n == 0 {
+			continue
+		}
+		fv := FuncSlowView{Func: name}
+		spans := make([]Span, fs.n)
+		copy(spans, fs.spans[:fs.n])
+		for i := range spans {
+			fv.Spans = append(fv.Spans, r.view(&spans[i]))
+		}
+		doc.Slow = append(doc.Slow, fv)
+	}
+	r.slowMu.Unlock()
+
+	r.errMu.Lock()
+	n := r.errN
+	cnt := int(n)
+	if cnt > errCap {
+		cnt = errCap
+	}
+	errs := make([]Span, 0, cnt)
+	for i := 0; i < cnt; i++ {
+		errs = append(errs, r.errRing[(n-1-uint64(i))&(errCap-1)])
+	}
+	r.errMu.Unlock()
+	for i := range errs {
+		if fn != "" && r.FuncName(errs[i].FuncID) != fn {
+			continue
+		}
+		doc.Errors = append(doc.Errors, r.view(&errs[i]))
+		if len(doc.Errors) >= limit {
+			break
+		}
+	}
+
+	recent := r.recentSpans(ringCap * len(r.shards))
+	for i := range recent {
+		if fn != "" && r.FuncName(recent[i].FuncID) != fn {
+			continue
+		}
+		doc.Recent = append(doc.Recent, r.view(&recent[i]))
+		if len(doc.Recent) >= limit {
+			break
+		}
+	}
+	return doc
+}
+
+// Flightz builds the /flightz document, newest incident first.
+func (r *Recorder) Flightz() []IncidentView {
+	incs := r.Incidents()
+	out := make([]IncidentView, 0, len(incs))
+	for i := range incs {
+		inc := &incs[i]
+		iv := IncidentView{
+			Seq:    inc.Seq,
+			Reason: inc.Reason,
+			Wall:   inc.Wall.UTC().Format("2006-01-02T15:04:05.000Z"),
+			AtNS:   inc.AtNS,
+		}
+		if inc.HasStats {
+			st := inc.Stats
+			iv.Stats = &st
+		}
+		for j := range inc.Traces {
+			iv.Traces = append(iv.Traces, r.view(&inc.Traces[j]))
+		}
+		out = append(out, iv)
+	}
+	return out
+}
