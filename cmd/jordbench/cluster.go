@@ -1,0 +1,405 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"jord/internal/cluster"
+	"jord/internal/metrics"
+	"jord/internal/server"
+	"jord/internal/server/pool"
+	"jord/internal/server/router"
+)
+
+// clusterExecutors is the pool size of each in-process worker. Small on
+// purpose: the point of the sweep is dispatcher scaling across WORKERS,
+// so each worker must be saturable without eating the whole machine —
+// with 2 executors a 1,2,4 sweep needs 8 cores of function work at the
+// top, which the CI runners have.
+const clusterExecutors = 2
+
+// clusterPoint is one row of the 1→N worker scaling curve through the
+// JBSQ dispatcher.
+type clusterPoint struct {
+	Workers            int `json:"workers"`
+	ExecutorsPerWorker int `json:"executors_per_worker"`
+
+	// EffectiveCores is min(workers x executors, NumCPU): the function
+	// parallelism the machine can actually grant this point (dispatcher
+	// and clients need cores too, which is why the efficiency gate floor
+	// is conservative). Efficiency normalizes speedup by the ratio of
+	// effective cores to the first point's, so a sweep on a small box
+	// reads honestly instead of fabricating linear scaling.
+	EffectiveCores int `json:"effective_cores"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Us         float64 `json:"p50_us"`
+	P99Us         float64 `json:"p99_us"`
+	Speedup       float64 `json:"speedup"`    // vs the first point
+	Efficiency    float64 `json:"efficiency"` // Speedup / (effN / eff1)
+
+	// Dispatcher-side accounting for the measured window: every request
+	// must be dispatched (no 429/503/retry under a correctly sized load).
+	Dispatched uint64 `json:"dispatched"`
+	Rejected   uint64 `json:"rejected"`
+	Retries    uint64 `json:"retries"`
+}
+
+// clusterReport is the whole BENCH_cluster.json document.
+type clusterReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+
+	RequestsPerPoint int `json:"requests_per_point"`
+	ClientWorkers    int `json:"client_workers"`
+
+	Points []clusterPoint `json:"points"`
+}
+
+// clusterRig is one running point: N worker daemons on loopback, a
+// dispatcher over them, and the dispatcher's own HTTP server.
+type clusterRig struct {
+	daemons []*server.Daemon
+	serveCh []chan error
+	disp    *cluster.Dispatcher
+	front   *http.Server
+	frontLn net.Listener
+	addr    string
+}
+
+func startClusterRig(n int) (*clusterRig, error) {
+	rig := &clusterRig{}
+	var workerAddrs []string
+	for i := 0; i < n; i++ {
+		d := server.New(server.Config{
+			Pool: pool.Config{Executors: clusterExecutors, JBSQBound: 4},
+			// The zero-alloc edge keeps per-worker overhead out of the
+			// scaling signal; management endpoints behave identically.
+			Edge:           true,
+			RequestTimeout: 30 * time.Second,
+		})
+		d.MustRegister("echo", func(ctx router.Ctx) ([]byte, error) {
+			return ctx.Payload(), nil
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			rig.stop()
+			return nil, err
+		}
+		ch := make(chan error, 1)
+		go func() { ch <- d.Serve(ln) }()
+		rig.daemons = append(rig.daemons, d)
+		rig.serveCh = append(rig.serveCh, ch)
+		workerAddrs = append(workerAddrs, ln.Addr().String())
+	}
+
+	rig.disp = cluster.New(cluster.Config{
+		Workers:        workerAddrs,
+		HealthInterval: 50 * time.Millisecond,
+		RequestTimeout: 30 * time.Second,
+	})
+	rig.disp.Start()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rig.stop()
+		return nil, err
+	}
+	rig.frontLn = ln
+	rig.addr = ln.Addr().String()
+	rig.front = &http.Server{Handler: rig.disp.Handler()}
+	go func() { _ = rig.front.Serve(ln) }()
+
+	// Wait for the health loop to admit every worker.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://" + rig.addr + "/readyz")
+		if err == nil {
+			var doc cluster.Readyz
+			derr := json.NewDecoder(resp.Body).Decode(&doc)
+			resp.Body.Close()
+			if derr == nil && doc.Ready && doc.ReadyWorkers == n {
+				return rig, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			rig.stop()
+			return nil, fmt.Errorf("cluster rig: %d workers not ready within 5s", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (r *clusterRig) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if r.front != nil {
+		_ = r.front.Shutdown(ctx)
+	}
+	if r.disp != nil {
+		r.disp.Stop()
+	}
+	for i, d := range r.daemons {
+		if err := d.Shutdown(ctx); err != nil {
+			log.Printf("worker %d shutdown: %v", i, err)
+		}
+		<-r.serveCh[i]
+	}
+}
+
+// dispatcherCounters scrapes the dispatcher's own placement counters.
+func dispatcherCounters(addr string) (dispatched, rejected, retries uint64, err error) {
+	resp, err := http.Get("http://" + addr + "/statsz")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	var doc cluster.Statsz
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return 0, 0, 0, err
+	}
+	return doc.Dispatched,
+		doc.RejectedSaturated + doc.RejectedNoWorkers + doc.Exhausted + doc.Passthrough,
+		doc.ErrRetries + doc.DrainRetries,
+		nil
+}
+
+// runClusterPoint measures the echo workload through the dispatcher with
+// n workers behind it.
+func runClusterPoint(n, requests, clients int, payload []byte) (clusterPoint, error) {
+	rig, err := startClusterRig(n)
+	if err != nil {
+		return clusterPoint{}, err
+	}
+	defer rig.stop()
+
+	httpClient := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        clients * 2,
+			MaxIdleConnsPerHost: clients * 2,
+			IdleConnTimeout:     90 * time.Second,
+		},
+		Timeout: 30 * time.Second,
+	}
+	url := "http://" + rig.addr + "/invoke/echo"
+	do := func() error {
+		resp, err := httpClient.Post(url, "application/octet-stream", bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("dispatcher answered %s", resp.Status)
+		}
+		return nil
+	}
+
+	// Warm the whole chain — client transports, dispatcher keep-alive
+	// pool, worker PD caches — before the measured window.
+	warm := requests / 10
+	if warm > 2000 {
+		warm = 2000
+	}
+	perWarm := warm/clients + 1
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func() {
+			for i := 0; i < perWarm; i++ {
+				if err := do(); err != nil {
+					errCh <- fmt.Errorf("warmup: %w", err)
+					return
+				}
+			}
+			errCh <- nil
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errCh; err != nil {
+			return clusterPoint{}, err
+		}
+	}
+
+	d0, r0, t0, err := dispatcherCounters(rig.addr)
+	if err != nil {
+		return clusterPoint{}, err
+	}
+
+	var hist metrics.ShardedHistogram
+	hist.SetShards(clients)
+	perWork := requests / clients
+
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			for i := 0; i < perWork; i++ {
+				t := time.Now()
+				if err := do(); err != nil {
+					errCh <- err
+					return
+				}
+				hist.RecordShard(c, time.Since(t).Nanoseconds())
+			}
+			errCh <- nil
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errCh; err != nil {
+			return clusterPoint{}, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	d1, r1, t1, err := dispatcherCounters(rig.addr)
+	if err != nil {
+		return clusterPoint{}, err
+	}
+
+	total := perWork * clients
+	snap := hist.Snapshot()
+	effCores := n * clusterExecutors
+	if ncpu := runtime.NumCPU(); effCores > ncpu {
+		effCores = ncpu
+	}
+	return clusterPoint{
+		Workers:            n,
+		ExecutorsPerWorker: clusterExecutors,
+		EffectiveCores:     effCores,
+		ThroughputRPS:      float64(total) / elapsed.Seconds(),
+		P50Us:              float64(snap.P50) / 1e3,
+		P99Us:              float64(snap.P99) / 1e3,
+		Dispatched:         d1 - d0,
+		Rejected:           r1 - r0,
+		Retries:            t1 - t0,
+	}, nil
+}
+
+func parseWorkerCounts(s string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", tok)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty worker count list")
+	}
+	return out, nil
+}
+
+// runCluster sweeps the dispatcher over 1→N in-process workers on
+// loopback and writes BENCH_cluster.json. It returns whether the
+// -cluster-gate checks failed (the caller exits nonzero).
+func runCluster(out string, requests, clients int, counts string, gate bool) bool {
+	points, err := parseWorkerCounts(counts)
+	if err != nil {
+		log.Fatalf("-cluster-nodes: %v", err)
+	}
+	payload := []byte("jordbench-cluster-payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+
+	report := clusterReport{
+		GeneratedBy:      "jordbench -cluster",
+		GoVersion:        runtime.Version(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		NumCPU:           runtime.NumCPU(),
+		RequestsPerPoint: requests,
+		ClientWorkers:    clients,
+	}
+
+	var base clusterPoint
+	for i, n := range points {
+		pt, err := runClusterPoint(n, requests, clients, payload)
+		if err != nil {
+			log.Fatalf("cluster %d workers: %v", n, err)
+		}
+		if i == 0 {
+			base = pt
+		}
+		pt.Speedup = pt.ThroughputRPS / base.ThroughputRPS
+		pt.Efficiency = pt.Speedup / (float64(pt.EffectiveCores) / float64(base.EffectiveCores))
+		log.Printf("cluster %2d workers (%d effective cores): %9.0f req/s  p99 %7.1fus  speedup %.2fx  efficiency %.2f  (%d dispatched, %d rejected, %d retries)",
+			pt.Workers, pt.EffectiveCores, pt.ThroughputRPS, pt.P99Us, pt.Speedup, pt.Efficiency,
+			pt.Dispatched, pt.Rejected, pt.Retries)
+		report.Points = append(report.Points, pt)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(out, buf, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", out)
+	}
+
+	if gate {
+		return !checkClusterGates(report)
+	}
+	return false
+}
+
+// checkClusterGates evaluates the CI smoke gates: the sized load must
+// never be refused or retried, and the 2-worker point must scale with a
+// conservative efficiency floor — conservative because the dispatcher
+// hop, the HTTP clients, and all N workers share one process and one
+// machine, unlike a real deployment.
+func checkClusterGates(report clusterReport) bool {
+	ok := true
+	for _, pt := range report.Points {
+		if pt.Rejected != 0 || pt.Retries != 0 {
+			log.Printf("GATE FAIL: %d workers: %d rejected, %d retries under a sized load (want 0)",
+				pt.Workers, pt.Rejected, pt.Retries)
+			ok = false
+		}
+	}
+
+	// Efficiency is only meaningful when the machine can actually grant
+	// the 2-worker point more parallelism than the 1-worker point (plus
+	// headroom for the dispatcher and clients). On a small box the gate
+	// skips — the honest outcome; CI provides the multi-core machine.
+	const floor = 0.55
+	needCPU := 2*clusterExecutors + 2
+	gated := false
+	for _, pt := range report.Points {
+		if pt.Workers != 2 {
+			continue
+		}
+		gated = true
+		if report.NumCPU < needCPU {
+			log.Printf("gate skipped: 2-worker efficiency needs >= %d CPUs, machine has %d", needCPU, report.NumCPU)
+			break
+		}
+		if pt.Efficiency < floor {
+			log.Printf("GATE FAIL: 2-worker scaling efficiency %.2f (want >= %.2f)", pt.Efficiency, floor)
+			ok = false
+		} else {
+			log.Printf("gate ok: 2-worker scaling efficiency %.2f (floor %.2f)", pt.Efficiency, floor)
+		}
+	}
+	if !gated {
+		log.Printf("gate skipped: no 2-worker point in the sweep")
+	}
+	return ok
+}

@@ -6,6 +6,8 @@
 //	jordbench -workload hotel -system jord -loads 1,2,4,6 [-measure 5000]
 //	jordbench -live [-live-out BENCH_live.json] [-live-requests 50000] [-live-workers 16]
 //	          [-live-cores 1,2,4,8,16,32] [-live-gate]
+//	jordbench -cluster [-cluster-out BENCH_cluster.json] [-cluster-nodes 1,2,4]
+//	          [-cluster-requests 20000] [-cluster-workers 16] [-cluster-gate]
 //	jordbench -state [-state-out BENCH_state.json] [-state-requests 30000] [-state-workers 16]
 //	jordbench ... [-cpuprofile cpu.out] [-mutexprofile mutex.out] [-blockprofile block.out]
 //
@@ -37,6 +39,15 @@
 // profiles covering the whole run (mutex and block profiling are enabled
 // at full rate when requested) — the tooling loop for finding cross-core
 // contention in the live path.
+//
+// With -cluster, jordbench boots N in-process jordd workers on loopback
+// behind the JBSQ(k) front-end dispatcher (internal/cluster) and measures
+// the echo workload end to end — client → dispatcher → worker → back —
+// per worker count in -cluster-nodes, writing the 1→N scaling curve to
+// BENCH_cluster.json. -cluster-gate makes it a CI smoke gate: the sized
+// load must see zero dispatcher rejections/retries, and the 2-worker
+// point must reach a conservative scaling-efficiency floor when the
+// machine has cores enough to grant it.
 //
 // With -state, jordbench drives the shared-state tier the same way and
 // writes BENCH_state.json: the granted (pcopy R) and promoted (VTE G bit)
@@ -121,6 +132,13 @@ func main() {
 		mutexprofile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file (enables full-rate mutex profiling)")
 		blockprofile = flag.String("blockprofile", "", "write a blocking profile to this file (enables full-rate block profiling)")
 
+		clusterBench    = flag.Bool("cluster", false, "benchmark the JBSQ dispatcher over N in-process workers on loopback")
+		clusterOut      = flag.String("cluster-out", "BENCH_cluster.json", "output file for -cluster ('-' = stdout)")
+		clusterRequests = flag.Int("cluster-requests", 20000, "measured requests per -cluster point")
+		clusterClients  = flag.Int("cluster-workers", 16, "concurrent clients for -cluster")
+		clusterNodes    = flag.String("cluster-nodes", "1,2,4", "comma-separated worker counts for the -cluster scaling sweep")
+		clusterGate     = flag.Bool("cluster-gate", false, "exit nonzero if -cluster misses the no-rejection or 2-worker scaling-efficiency gates")
+
 		stateBench    = flag.Bool("state", false, "benchmark the shared-state tier (snapshot reads, RMW, social mix vs copy baseline)")
 		stateOut      = flag.String("state-out", "BENCH_state.json", "output file for -state ('-' = stdout)")
 		stateRequests = flag.Int("state-requests", 30000, "measured requests per -state scenario")
@@ -144,6 +162,20 @@ func main() {
 			os.Exit(2)
 		}
 		gateFailed := runLive(*liveOut, *liveRequests, *liveWorkers, *liveCores, *liveGate)
+		stopProfiles()
+		if gateFailed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *clusterBench {
+		if *clusterRequests < 1 || *clusterClients < 1 {
+			fmt.Fprintln(os.Stderr, "jordbench: -cluster-requests and -cluster-workers must be positive")
+			flag.Usage()
+			os.Exit(2)
+		}
+		gateFailed := runCluster(*clusterOut, *clusterRequests, *clusterClients, *clusterNodes, *clusterGate)
 		stopProfiles()
 		if gateFailed {
 			os.Exit(1)

@@ -1,0 +1,149 @@
+// Command jorddispatch is the cluster front end: a JBSQ(k) dispatcher
+// that spreads POST /invoke/{fn} across N jordd workers — the paper's
+// join-bounded-shortest-queue orchestrator policy applied one level up,
+// across worker processes instead of executor goroutines.
+//
+// Usage:
+//
+//	jorddispatch -workers 127.0.0.1:8041,127.0.0.1:8042 [-addr :8040]
+//	             [-bound 0] [-health-interval 250ms] [-timeout 60s]
+//	             [-max-body 1048576]
+//
+// Placement: each worker may hold at most k outstanding dispatcher
+// requests (-bound; 0 auto-sizes k per worker from its /readyz to
+// 4 x executors x jbsq, matching the worker's own admission cap). A new
+// request joins the ready worker with the fewest outstanding. When every
+// ready worker sits at its bound, the dispatcher answers 429 with
+// Retry-After — it never buffers unboundedly.
+//
+// Health: each worker's /readyz is polled every -health-interval;
+// workers that stop being ready (draining, degraded) are ejected from
+// placement and re-admitted when they recover. Transport failures eject
+// instantly and re-place the request on another worker. A 503 carrying
+// the X-Jord-Draining marker re-places too — worker drain is a placement
+// problem, not an answer. Plain 429/503s (saturation, degradation,
+// breakers) forward to the client verbatim, Retry-After included.
+//
+// Endpoints:
+//
+//	POST /invoke/{fn}        dispatch a function invocation
+//	GET  /healthz /readyz    dispatcher liveness / aggregated readiness
+//	GET  /statsz /varz       placement counters + aggregated worker stats
+//	GET  /metrics            Prometheus text
+//	GET  /workers            per-worker placement state
+//	POST /workers/add?addr=     admit a new worker
+//	POST /workers/drain?addr=   stop placing on a worker (in-flight finish);
+//	                            &resume=1 undoes it
+//	POST /workers/remove?addr=  remove an idle worker (&force=1 overrides)
+//
+// Worker replacement without dropped requests: drain, poll /workers until
+// outstanding hits 0, remove, add the replacement.
+// SIGINT/SIGTERM drains the dispatcher itself: /readyz goes 503 so an
+// upstream balancer stops routing here, in-flight forwards finish, then
+// the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"jord/internal/cluster"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jorddispatch: ")
+
+	var (
+		addr     = flag.String("addr", ":8040", "HTTP listen address")
+		workers  = flag.String("workers", "", "comma-separated jordd worker addresses (host:port), required")
+		bound    = flag.Int("bound", 0, "JBSQ k: max outstanding requests per worker (0 = auto from each worker's /readyz)")
+		interval = flag.Duration("health-interval", 250*time.Millisecond, "worker /readyz polling period")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request deadline across all placement attempts (0 = none)")
+		maxBody  = flag.Int64("max-body", 1<<20, "max /invoke payload bytes (bodies are buffered for re-placement)")
+		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "jorddispatch: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	var list []string
+	for _, tok := range strings.Split(*workers, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			list = append(list, tok)
+		}
+	}
+	if len(list) == 0 {
+		fmt.Fprintln(os.Stderr, "jorddispatch: -workers is required (comma-separated host:port list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *bound < 0 {
+		fmt.Fprintln(os.Stderr, "jorddispatch: -bound must be non-negative")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// 0 on the CLI means "no deadline"; the library reads < 0 as none and
+	// 0 as its own default.
+	rt := *timeout
+	if rt == 0 {
+		rt = -1
+	}
+	d := cluster.New(cluster.Config{
+		Workers:        list,
+		Bound:          *bound,
+		HealthInterval: *interval,
+		RequestTimeout: rt,
+		MaxBodyBytes:   *maxBody,
+	})
+	d.Start()
+
+	srv := &http.Server{Handler: d.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		s := <-sigs
+		log.Printf("caught %v, draining (up to %v)", s, *drainT)
+		d.SetDraining(true)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain: %v", err)
+		}
+		d.Stop()
+	}()
+
+	log.Printf("dispatching on %s over %d workers: %s (bound %s, health every %v)",
+		ln.Addr(), len(list), strings.Join(list, ", "), boundDesc(*bound), *interval)
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-drained
+	log.Print("drained")
+}
+
+func boundDesc(b int) string {
+	if b == 0 {
+		return "auto"
+	}
+	return fmt.Sprintf("%d", b)
+}

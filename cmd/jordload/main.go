@@ -61,7 +61,6 @@ import (
 	"net/http"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -225,13 +224,11 @@ func main() {
 			}
 			retriesIssued.Add(1)
 			// Jittered exponential backoff, never sooner than the server's
-			// Retry-After hint. rand's global source is goroutine-safe.
-			delay := time.Duration(float64(*retryBase) * float64(int(1)<<attempt) * (0.5 + rand.Float64()))
-			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
-				if hint := time.Duration(ra) * time.Second; hint > delay {
-					delay = hint
-				}
-			}
+			// Retry-After hint (delta-seconds or HTTP-date form), and never
+			// longer than the client timeout — a bogus hint must not stall
+			// this goroutine. rand's global source is goroutine-safe.
+			delay := retryDelay(*retryBase, attempt, 0.5+rand.Float64(),
+				resp.Header.Get("Retry-After"), time.Now(), *timeout)
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():
@@ -249,25 +246,7 @@ func main() {
 	// their timelines/profiles cross the store's promotion threshold).
 	draw := func() (string, string) { return *fn, *payload }
 	if mix.Value() == "social" {
-		zipf := rand.NewZipf(rng, 1.2, 1, uint64(users.Value()-1))
-		user := func() string { return fmt.Sprintf("u%d", zipf.Uint64()) }
-		draw = func() (string, string) {
-			u := user()
-			switch r := rng.Float64(); {
-			case r < 0.60:
-				return "social.timeline", u
-			case r < 0.85:
-				return "social.post", fmt.Sprintf("%s musing %d about single-address-space serverless", u, rng.Intn(1_000_000))
-			case r < 0.95:
-				v := user()
-				if v == u { // no self-follows: redraw flat once
-					v = fmt.Sprintf("u%d", rng.Intn(users.Value()))
-				}
-				return "social.follow", u + " " + v
-			default:
-				return "social.profile", u
-			}
-		}
+		draw = newSocialMix(rng, users.Value()).draw
 		log.Printf("offering %.0f rps of the social mix (%d users) to %s for %v",
 			*rps, users.Value(), *addr, *duration)
 	} else {

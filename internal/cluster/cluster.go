@@ -1,0 +1,590 @@
+// Package cluster is the front-end dispatcher tier: one process that
+// spreads POST /invoke/{fn} across N jordd workers over real sockets,
+// using the same placement policy the paper's orchestrators use one level
+// down — JBSQ(k), join-the-bounded-shortest-queue. Each worker gets a
+// bounded number of outstanding dispatcher requests (k); a new request
+// joins the ready worker with the fewest outstanding, and when every
+// worker is at its bound the dispatcher answers 429 with Retry-After
+// instead of buffering unboundedly. This mirrors tinyFaaS's rproxy /
+// faasd's gateway shape — a thin, health-aware reverse-proxy in front of
+// single-node FaaS daemons — with Jord's queue-bounding discipline.
+//
+// Health awareness rides the workers' own overload surface: the
+// dispatcher polls each worker's /readyz (which jordd already exposes,
+// distinguishing draining / degraded / breaker state) and ejects workers
+// that stop being ready, re-admitting them when they recover. Transport
+// failures eject passively and immediately. A 503 carrying the gateway's
+// X-Jord-Draining marker means THAT worker is going away — the request is
+// re-placed on another worker instead of surfacing the 503 — while plain
+// 429/503s (saturation, degradation) are forwarded verbatim, Retry-After
+// included: overload policy belongs to the workers, not the proxy.
+//
+// Workers can be drained and replaced at runtime without dropping
+// in-flight requests: drain stops new placement while outstanding
+// requests finish, remove refuses until the worker is idle, and add
+// admits a fresh worker into the JBSQ scan.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jord/internal/server/gateway"
+)
+
+// DefaultBound is the per-worker outstanding bound used until the
+// worker's /readyz reveals its real capacity (see Config.Bound).
+const DefaultBound = 64
+
+// Config assembles one dispatcher.
+type Config struct {
+	// Workers is the initial worker set, as host:port addresses.
+	Workers []string
+
+	// Bound is JBSQ's k: the max outstanding dispatcher requests per
+	// worker. 0 auto-sizes each worker from its /readyz document to
+	// 4 x executors x jbsq_bound — the same proportion as the worker's
+	// own default admission cap, so the dispatcher saturates exactly when
+	// the worker would start refusing (DefaultBound until the first
+	// successful poll).
+	Bound int
+
+	// HealthInterval is the /readyz polling period (default 250ms;
+	// < 0 disables active polling — passive ejection still applies, but
+	// nothing re-admits an ejected worker, so only tests want this).
+	HealthInterval time.Duration
+
+	// RequestTimeout bounds one client request end to end, including
+	// re-placement attempts (default 60s; < 0 = none).
+	RequestTimeout time.Duration
+
+	// MaxBodyBytes bounds /invoke payloads (default 1 MiB). Bodies are
+	// buffered — that is what makes re-placement after a worker failure
+	// possible — so the bound is also the dispatcher's memory guard.
+	MaxBodyBytes int64
+
+	// Client overrides the forwarding HTTP client (tests). The default
+	// keeps a large idle pool per worker so steady-state forwarding rides
+	// keep-alive connections.
+	Client *http.Client
+}
+
+func (c *Config) normalize() {
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 250 * time.Millisecond
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.RequestTimeout < 0 {
+		c.RequestTimeout = 0
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        4096,
+				MaxIdleConnsPerHost: 1024,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+}
+
+// worker is one jordd behind the dispatcher.
+type worker struct {
+	addr string
+	base string // "http://" + addr
+
+	outstanding atomic.Int64  // dispatcher requests currently placed here
+	dispatched  atomic.Uint64 // lifetime placements
+	bound       atomic.Int64  // current k (0 = DefaultBound, pre-poll)
+
+	// ejected is the health verdict: true while the worker must not
+	// receive new work (failed /readyz, transport error, drain marker).
+	// The health loop owns re-admission.
+	ejected atomic.Bool
+	// draining is the ADMIN verdict (drain/replace workflow): no new
+	// work, never auto-re-admitted. Orthogonal to ejected.
+	draining atomic.Bool
+
+	mu       sync.Mutex
+	lastErr  string
+	lastPoll time.Time
+	ready    readyzDoc // last successfully decoded /readyz
+}
+
+// readyzDoc is the subset of the worker gateway's /readyz document the
+// dispatcher consumes. Kept local so the dispatcher binary does not
+// depend on the worker's internals beyond the wire format.
+type readyzDoc struct {
+	Ready        bool     `json:"ready"`
+	Draining     bool     `json:"draining"`
+	Degraded     bool     `json:"degraded"`
+	OpenBreakers []string `json:"open_breakers"`
+	Executors    int      `json:"executors"`
+	JBSQBound    int      `json:"jbsq_bound"`
+}
+
+func (w *worker) boundNow() int64 {
+	if b := w.bound.Load(); b > 0 {
+		return b
+	}
+	return DefaultBound
+}
+
+func (w *worker) setErr(err error) {
+	w.mu.Lock()
+	if err != nil {
+		w.lastErr = err.Error()
+	} else {
+		w.lastErr = ""
+	}
+	w.mu.Unlock()
+}
+
+// admittable reports whether JBSQ may place new work here at all
+// (independent of the outstanding bound).
+func (w *worker) admittable() bool {
+	return !w.ejected.Load() && !w.draining.Load()
+}
+
+// Dispatcher spreads invocations across the worker set.
+type Dispatcher struct {
+	cfg    Config
+	client *http.Client
+
+	mu      sync.RWMutex
+	workers []*worker
+
+	draining atomic.Bool
+	started  time.Time
+
+	// Stats. dispatched counts successful placements (a response was
+	// relayed); rejectedBusy is the dispatcher's own 429 (every ready
+	// worker at its bound); rejectedDown its own 503 (no ready worker);
+	// errRetries / drainRetries are re-placements after a transport error
+	// / a draining worker's marked 503; lost counts requests that ran out
+	// of workers after at least one attempt (relayed as 503).
+	dispatched   atomic.Uint64
+	rejectedBusy atomic.Uint64
+	rejectedDown atomic.Uint64
+	errRetries   atomic.Uint64
+	drainRetries atomic.Uint64
+	lost         atomic.Uint64
+	passthrough  atomic.Uint64 // worker 429/503s forwarded verbatim
+
+	healthStop chan struct{}
+	healthDone chan struct{}
+}
+
+// New builds a dispatcher over the configured worker set. Call Start to
+// begin health polling, and serve Handler() on a listener.
+func New(cfg Config) *Dispatcher {
+	cfg.normalize()
+	d := &Dispatcher{cfg: cfg, client: cfg.Client, started: time.Now()}
+	for _, addr := range cfg.Workers {
+		d.workers = append(d.workers, d.newWorker(addr))
+	}
+	return d
+}
+
+func (d *Dispatcher) newWorker(addr string) *worker {
+	w := &worker{addr: addr, base: "http://" + addr}
+	if d.cfg.Bound > 0 {
+		w.bound.Store(int64(d.cfg.Bound))
+	}
+	return w
+}
+
+// Start launches the health loop (no-op when HealthInterval < 0).
+func (d *Dispatcher) Start() {
+	if d.cfg.HealthInterval < 0 || d.healthStop != nil {
+		return
+	}
+	d.healthStop = make(chan struct{})
+	d.healthDone = make(chan struct{})
+	go d.healthLoop()
+}
+
+// Stop ends the health loop. In-flight forwards are unaffected; callers
+// stop traffic via their HTTP server's Shutdown.
+func (d *Dispatcher) Stop() {
+	if d.healthStop == nil {
+		return
+	}
+	close(d.healthStop)
+	<-d.healthDone
+	d.healthStop = nil
+	d.healthDone = nil
+}
+
+// SetDraining flips the dispatcher-level drain signal: /invoke refuses
+// new work with a marked 503 and /healthz goes 503, while in-flight
+// forwards finish under the HTTP server's own Shutdown.
+func (d *Dispatcher) SetDraining(v bool) { d.draining.Store(v) }
+
+// snapshot returns the current worker slice (copy-on-write: safe to
+// iterate without the lock).
+func (d *Dispatcher) snapshot() []*worker {
+	d.mu.RLock()
+	ws := d.workers
+	d.mu.RUnlock()
+	return ws
+}
+
+// Handler returns the dispatcher's HTTP surface.
+func (d *Dispatcher) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /invoke/{fn}", d.handleInvoke)
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /readyz", d.handleReadyz)
+	mux.HandleFunc("GET /statsz", d.handleStatsz)
+	mux.HandleFunc("GET /varz", d.handleVarz)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	mux.HandleFunc("GET /workers", d.handleWorkers)
+	mux.HandleFunc("POST /workers/add", d.handleWorkerAdd)
+	mux.HandleFunc("POST /workers/drain", d.handleWorkerDrain)
+	mux.HandleFunc("POST /workers/remove", d.handleWorkerRemove)
+	return mux
+}
+
+// retryAfter mirrors the worker gateway's hint: whole seconds, minimum 1.
+func retryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+}
+
+// bodyPool recycles request-body buffers; a buffered body is what makes
+// re-placement after a worker failure possible.
+var bodyPool = sync.Pool{New: func() any {
+	b := make([]byte, 32<<10)
+	return &b
+}}
+
+func getBody(n int64) *[]byte {
+	bp := bodyPool.Get().(*[]byte)
+	if int64(cap(*bp)) < n {
+		*bp = make([]byte, n)
+	}
+	return bp
+}
+
+// pick runs the JBSQ(k) scan: among admittable workers not yet tried for
+// this request, reserve a slot on the one with the fewest outstanding
+// requests (ties to the earlier worker — stable, and with equal queues
+// placement quality is identical). Returns the reserved worker (caller
+// MUST release via outstanding.Add(-1)) or nil with anyReady reporting
+// whether ANY admittable worker exists (429 vs 503 at the caller).
+func (d *Dispatcher) pick(tried map[*worker]bool) (wk *worker, anyReady bool) {
+	ws := d.snapshot()
+	// The scan-then-reserve pair races with concurrent picks; a failed
+	// reservation rescans. Bounded so pathological contention degrades to
+	// "busy" instead of spinning.
+	for rescan := 0; rescan < 4; rescan++ {
+		var best *worker
+		var bestN int64
+		anyReady = false
+		for _, w := range ws {
+			if !w.admittable() {
+				continue
+			}
+			anyReady = true
+			if tried[w] {
+				continue
+			}
+			n := w.outstanding.Load()
+			if n >= w.boundNow() {
+				continue
+			}
+			if best == nil || n < bestN {
+				best, bestN = w, n
+			}
+		}
+		if best == nil {
+			return nil, anyReady
+		}
+		if best.outstanding.Add(1) <= best.boundNow() {
+			return best, true
+		}
+		best.outstanding.Add(-1) // lost the reservation race
+	}
+	return nil, anyReady
+}
+
+func (d *Dispatcher) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	fn := r.PathValue("fn")
+	if d.draining.Load() {
+		retryAfter(w, 5*time.Second)
+		w.Header().Set(gateway.DrainingHeader, "1")
+		http.Error(w, "dispatcher draining", http.StatusServiceUnavailable)
+		return
+	}
+
+	// Buffer the body up front (bounded): a request is only "in flight"
+	// against a worker once delivery starts, so a worker that dies takes
+	// no request bytes with it — the buffered body is re-sent elsewhere.
+	if r.ContentLength > d.cfg.MaxBodyBytes {
+		http.Error(w, "payload too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	var (
+		payload []byte
+		pooled  *[]byte
+	)
+	if cl := r.ContentLength; cl >= 0 {
+		pooled = getBody(cl)
+		payload = (*pooled)[:cl]
+		if _, err := io.ReadFull(r.Body, payload); err != nil {
+			bodyPool.Put(pooled)
+			http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	} else {
+		var err error
+		payload, err = io.ReadAll(io.LimitReader(r.Body, d.cfg.MaxBodyBytes+1))
+		if err != nil {
+			http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if int64(len(payload)) > d.cfg.MaxBodyBytes {
+			http.Error(w, "payload too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+	}
+	if pooled != nil {
+		defer bodyPool.Put(pooled)
+	}
+
+	ctx := r.Context()
+	if d.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	contentType := r.Header.Get("Content-Type")
+	tried := make(map[*worker]bool)
+	attempts := 0
+	for {
+		wk, anyReady := d.pick(tried)
+		if wk == nil {
+			switch {
+			case attempts > 0:
+				// At least one worker was tried and failed mid-stream;
+				// the remaining set is exhausted. 503: the CLUSTER could
+				// not serve this, distinct from per-request saturation.
+				d.lost.Add(1)
+				retryAfter(w, time.Second)
+				http.Error(w, "no worker could serve the request", http.StatusServiceUnavailable)
+			case anyReady:
+				// Ready workers exist but all sit at their JBSQ bound:
+				// the cluster is saturated, tell the client to back off.
+				d.rejectedBusy.Add(1)
+				retryAfter(w, time.Second)
+				http.Error(w, "cluster saturated: all workers at bound", http.StatusTooManyRequests)
+			default:
+				d.rejectedDown.Add(1)
+				retryAfter(w, time.Second)
+				http.Error(w, "no ready workers", http.StatusServiceUnavailable)
+			}
+			return
+		}
+		attempts++
+		done, relayErr := d.attempt(ctx, w, wk, fn, contentType, payload, tried)
+		wk.outstanding.Add(-1)
+		if done {
+			if relayErr == nil {
+				d.dispatched.Add(1)
+			}
+			return
+		}
+		if ctx.Err() != nil {
+			// The request deadline expired while re-placing.
+			http.Error(w, "deadline exceeded while dispatching", http.StatusGatewayTimeout)
+			return
+		}
+	}
+}
+
+// attempt forwards the request to one worker. It returns done=false when
+// the request should be re-placed on another worker (transport failure
+// before/while receiving the response head, or a drain-marked 503).
+func (d *Dispatcher) attempt(ctx context.Context, w http.ResponseWriter, wk *worker,
+	fn, contentType string, payload []byte, tried map[*worker]bool) (done bool, relayErr error) {
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, wk.base+"/invoke/"+fn, bytes.NewReader(payload))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return true, err
+	}
+	req.ContentLength = int64(len(payload))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The client's deadline, not the worker's health: answer 504
+			// without ejecting anyone.
+			http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+			return true, err
+		}
+		// Transport failure: eject passively (the health loop re-admits
+		// once /readyz answers again) and re-place. Note the at-least-once
+		// caveat: a connection that broke AFTER delivery re-executes the
+		// function on another worker, the same trade every FaaS
+		// reverse-proxy tier makes on worker death.
+		wk.ejected.Store(true)
+		wk.setErr(err)
+		tried[wk] = true
+		d.errRetries.Add(1)
+		return false, nil
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get(gateway.DrainingHeader) != "" {
+		// This worker is going away; that is a placement problem, not an
+		// answer. Eject it (its /readyz will hold it out until it either
+		// disappears or comes back ready) and try the rest of the fleet.
+		// Only when NO other worker can take the request does the drain
+		// 503 fall through to the client via the exhaustion path above.
+		ws := d.snapshot()
+		untried := 0
+		for _, other := range ws {
+			if other != wk && other.admittable() && !tried[other] {
+				untried++
+			}
+		}
+		if untried > 0 {
+			io.Copy(io.Discard, resp.Body)
+			wk.ejected.Store(true)
+			wk.setErr(errors.New("draining (marked 503)"))
+			tried[wk] = true
+			d.drainRetries.Add(1)
+			return false, nil
+		}
+	}
+
+	wk.dispatched.Add(1)
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		d.passthrough.Add(1)
+	}
+	return true, d.relay(w, resp)
+}
+
+// relay copies one worker response to the client verbatim: status,
+// Retry-After and drain markers included — the dispatcher adds no
+// interpretation to worker verdicts it did not re-place.
+func (d *Dispatcher) relay(w http.ResponseWriter, resp *http.Response) error {
+	h := w.Header()
+	for _, k := range []string{"Content-Type", "Retry-After", gateway.DrainingHeader} {
+		if v := resp.Header.Get(k); v != "" {
+			h.Set(k, v)
+		}
+	}
+	if resp.ContentLength >= 0 {
+		h.Set("Content-Length", fmt.Sprintf("%d", resp.ContentLength))
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, err := io.Copy(w, resp.Body)
+	return err
+}
+
+// AddWorker admits a new worker into the JBSQ scan. It starts admittable
+// and is probed at the next health tick.
+func (d *Dispatcher) AddWorker(addr string) error {
+	addr = strings.TrimSpace(addr)
+	if addr == "" {
+		return errors.New("cluster: empty worker address")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, w := range d.workers {
+		if w.addr == addr {
+			return fmt.Errorf("cluster: worker %s already present", addr)
+		}
+	}
+	ws := make([]*worker, len(d.workers), len(d.workers)+1)
+	copy(ws, d.workers)
+	d.workers = append(ws, d.newWorker(addr))
+	return nil
+}
+
+// DrainWorker stops new placement on a worker; outstanding requests
+// finish normally. Returns the outstanding count at the time of the call
+// so operators can poll for idleness before RemoveWorker.
+func (d *Dispatcher) DrainWorker(addr string) (outstanding int64, err error) {
+	w := d.find(addr)
+	if w == nil {
+		return 0, fmt.Errorf("cluster: unknown worker %s", addr)
+	}
+	w.draining.Store(true)
+	return w.outstanding.Load(), nil
+}
+
+// ResumeWorker clears a worker's admin drain.
+func (d *Dispatcher) ResumeWorker(addr string) error {
+	w := d.find(addr)
+	if w == nil {
+		return fmt.Errorf("cluster: unknown worker %s", addr)
+	}
+	w.draining.Store(false)
+	return nil
+}
+
+// RemoveWorker takes a worker out of the set. Unless force is set it
+// refuses while requests are still outstanding — drain first, poll, then
+// remove, and no in-flight request is ever dropped.
+func (d *Dispatcher) RemoveWorker(addr string, force bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, w := range d.workers {
+		if w.addr != addr {
+			continue
+		}
+		if n := w.outstanding.Load(); n > 0 && !force {
+			return fmt.Errorf("cluster: worker %s has %d outstanding requests (drain first, or force)", addr, n)
+		}
+		ws := make([]*worker, 0, len(d.workers)-1)
+		ws = append(ws, d.workers[:i]...)
+		ws = append(ws, d.workers[i+1:]...)
+		d.workers = ws
+		return nil
+	}
+	return fmt.Errorf("cluster: unknown worker %s", addr)
+}
+
+func (d *Dispatcher) find(addr string) *worker {
+	for _, w := range d.snapshot() {
+		if w.addr == addr {
+			return w
+		}
+	}
+	return nil
+}
+
+// Workers lists addresses in scan order (tests, admin).
+func (d *Dispatcher) Workers() []string {
+	ws := d.snapshot()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.addr
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// healthLoop polls every worker's /readyz each HealthInterval. It is the
+// only path that RE-ADMITS a worker: passive ejection (transport errors,
+// drain-marked 503s) takes a worker out instantly, and it stays out until
+// a poll sees it ready again — so a flapping worker costs at most one
+// failed request per flap, not one per in-flight request.
+func (d *Dispatcher) healthLoop() {
+	defer close(d.healthDone)
+	// First round immediately: a dispatcher booted against a dead worker
+	// should eject it before the first client request, not 250ms later.
+	d.pollAll()
+	t := time.NewTicker(d.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.healthStop:
+			return
+		case <-t.C:
+			d.pollAll()
+		}
+	}
+}
+
+func (d *Dispatcher) pollAll() {
+	ws := d.snapshot()
+	done := make(chan struct{}, len(ws))
+	for _, w := range ws {
+		go func(w *worker) {
+			d.poll(w)
+			done <- struct{}{}
+		}(w)
+	}
+	for range ws {
+		<-done
+	}
+}
+
+// poll probes one worker's /readyz and applies the verdict. The worker
+// gateway answers the document on BOTH 200 (ready) and 503 (draining or
+// degraded), so a decoded body is authoritative either way; only
+// transport-level failures fall back to "unreachable".
+func (d *Dispatcher) poll(w *worker) {
+	timeout := d.cfg.HealthInterval
+	if timeout < 100*time.Millisecond {
+		timeout = 100 * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/readyz", nil)
+	if err != nil {
+		d.applyVerdict(w, readyzDoc{}, err)
+		return
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		d.applyVerdict(w, readyzDoc{}, err)
+		return
+	}
+	defer resp.Body.Close()
+	var doc readyzDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		d.applyVerdict(w, readyzDoc{}, fmt.Errorf("decoding /readyz: %w", err))
+		return
+	}
+	d.applyVerdict(w, doc, nil)
+}
+
+func (d *Dispatcher) applyVerdict(w *worker, doc readyzDoc, err error) {
+	now := time.Now()
+	if err != nil {
+		w.ejected.Store(true)
+		w.mu.Lock()
+		w.lastErr = err.Error()
+		w.lastPoll = now
+		w.mu.Unlock()
+		return
+	}
+	// Auto-size the JBSQ bound from the worker's declared capacity: the
+	// same 4 x executors x jbsq proportion as the worker's own default
+	// admission cap. Fixed Config.Bound wins when set.
+	if d.cfg.Bound == 0 && doc.Executors > 0 && doc.JBSQBound > 0 {
+		w.bound.Store(int64(4 * doc.Executors * doc.JBSQBound))
+	}
+	w.ejected.Store(!doc.Ready)
+	w.mu.Lock()
+	w.lastErr = ""
+	if !doc.Ready {
+		switch {
+		case doc.Draining:
+			w.lastErr = "worker draining"
+		case doc.Degraded:
+			w.lastErr = "worker degraded"
+		default:
+			w.lastErr = "worker not ready"
+		}
+	}
+	w.ready = doc
+	w.lastPoll = now
+	w.mu.Unlock()
+}

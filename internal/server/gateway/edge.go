@@ -242,7 +242,7 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 	if err != nil {
 		if err == bufio.ErrBufferFull {
 			e.markBusy(cs)
-			return false, cs.writeSimple(http.StatusRequestURITooLong, "request line too long", 0)
+			return false, cs.writeSimple(http.StatusRequestURITooLong, "request line too long", 0, false)
 		}
 		return false, err
 	}
@@ -252,11 +252,11 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 	line = trimCRLF(line)
 	sp1 := bytes.IndexByte(line, ' ')
 	if sp1 < 0 {
-		return false, cs.writeSimple(http.StatusBadRequest, "malformed request line", 0)
+		return false, cs.writeSimple(http.StatusBadRequest, "malformed request line", 0, false)
 	}
 	sp2 := bytes.IndexByte(line[sp1+1:], ' ')
 	if sp2 < 0 {
-		return false, cs.writeSimple(http.StatusBadRequest, "malformed request line", 0)
+		return false, cs.writeSimple(http.StatusBadRequest, "malformed request line", 0, false)
 	}
 	sp2 += sp1 + 1
 	method, path, proto := line[:sp1], line[sp1+1:sp2], line[sp2+1:]
@@ -307,22 +307,22 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 	// (the connection closes — the body is unread on the wire), and
 	// chunked bodies belong to the net/http gateway, not the fast path.
 	if h.contentLen > e.g.maxBody() {
-		return false, cs.writeSimple(http.StatusRequestEntityTooLarge, "payload too large", 0)
+		return false, cs.writeSimple(http.StatusRequestEntityTooLarge, "payload too large", 0, false)
 	}
 	if h.chunked || h.contentLen < 0 {
-		return false, cs.writeSimple(http.StatusLengthRequired, "content-length required", 0)
+		return false, cs.writeSimple(http.StatusLengthRequired, "content-length required", 0, false)
 	}
 	cl := int(h.contentLen)
 
 	if e.draining.Load() || e.g.Pool.Draining() {
 		refuseTrace(rec, cs, tMark)
-		return cs.reject(&h, keepAlive, http.StatusServiceUnavailable, "draining", 5)
+		return cs.reject(&h, keepAlive, http.StatusServiceUnavailable, "draining", 5, true)
 	}
 
 	def := e.g.Reg.LookupBytes(cs.fname)
 	if def == nil {
 		refuseTrace(rec, cs, tMark)
-		return cs.reject(&h, keepAlive, http.StatusNotFound, "unknown function", 0)
+		return cs.reject(&h, keepAlive, http.StatusNotFound, "unknown function", 0, false)
 	}
 	if rec != nil {
 		cs.span.FuncID = int32(def.ID)
@@ -338,7 +338,7 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 		p, ok, retry := brk.Allow(time.Now())
 		if !ok {
 			refuseTrace(rec, cs, tMark)
-			return cs.reject(&h, keepAlive, http.StatusServiceUnavailable, "circuit open", retrySecs(retry))
+			return cs.reject(&h, keepAlive, http.StatusServiceUnavailable, "circuit open", retrySecs(retry), false)
 		}
 		probe = p
 	}
@@ -347,7 +347,7 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 			brk.CancelProbe()
 		}
 		refuseTrace(rec, cs, tMark)
-		return cs.reject(&h, keepAlive, http.StatusTooManyRequests, "saturated", 1)
+		return cs.reject(&h, keepAlive, http.StatusTooManyRequests, "saturated", 1, false)
 	}
 	defer e.g.Adm.Release()
 	if rec != nil {
@@ -517,7 +517,7 @@ func (e *Edge) readHead(cs *connState, h *reqHead) error {
 		line, err := cs.br.ReadSlice('\n')
 		if err != nil {
 			if err == bufio.ErrBufferFull {
-				if werr := cs.writeSimple(http.StatusRequestHeaderFieldsTooLarge, "header too large", 0); werr != nil {
+				if werr := cs.writeSimple(http.StatusRequestHeaderFieldsTooLarge, "header too large", 0, false); werr != nil {
 					return werr
 				}
 				return errRefused
@@ -537,7 +537,7 @@ func (e *Edge) readHead(cs *connState, h *reqHead) error {
 		case bytes.EqualFold(key, hdrContentLength):
 			n, ok := parseDecimal(val)
 			if !ok {
-				if werr := cs.writeSimple(http.StatusBadRequest, "bad content-length", 0); werr != nil {
+				if werr := cs.writeSimple(http.StatusBadRequest, "bad content-length", 0, false); werr != nil {
 					return werr
 				}
 				return errRefused
@@ -579,14 +579,14 @@ func (cs *connState) discard(n int) error {
 // would stall both sides until the client's expect timeout — so the final
 // status goes out immediately and the connection closes, which RFC 9110
 // §10.1.1 permits in place of the 100.
-func (cs *connState) reject(h *reqHead, keepAlive bool, status int, msg string, retry int) (bool, error) {
+func (cs *connState) reject(h *reqHead, keepAlive bool, status int, msg string, retry int, drain bool) (bool, error) {
 	if h.expectContinue {
-		return false, cs.writeSimple(status, msg, retry)
+		return false, cs.writeSimple(status, msg, retry, drain)
 	}
 	if err := cs.discard(int(h.contentLen)); err != nil {
 		return false, err
 	}
-	return keepAlive, cs.writeSimple(status, msg, retry)
+	return keepAlive, cs.writeSimple(status, msg, retry, drain)
 }
 
 // serveCold feeds a non-fast-path request through the regular gateway mux
@@ -598,10 +598,10 @@ func (cs *connState) reject(h *reqHead, keepAlive bool, status int, msg string, 
 func (e *Edge) serveCold(cs *connState, method, path string, http11 bool, h *reqHead) (bool, error) {
 	keepAlive := http11 && !h.wantClose
 	if h.chunked {
-		return false, cs.writeSimple(http.StatusLengthRequired, "content-length required", 0)
+		return false, cs.writeSimple(http.StatusLengthRequired, "content-length required", 0, false)
 	}
 	if h.contentLen > e.g.maxBody() {
-		return false, cs.writeSimple(http.StatusRequestEntityTooLarge, "payload too large", 0)
+		return false, cs.writeSimple(http.StatusRequestEntityTooLarge, "payload too large", 0, false)
 	}
 	var body io.Reader
 	if h.contentLen > 0 {
@@ -618,7 +618,7 @@ func (e *Edge) serveCold(cs *connState, method, path string, http11 bool, h *req
 	}
 	req, err := http.NewRequest(method, "http://jordd"+path, body)
 	if err != nil {
-		return false, cs.writeSimple(http.StatusBadRequest, "malformed request", 0)
+		return false, cs.writeSimple(http.StatusBadRequest, "malformed request", 0, false)
 	}
 	if len(cs.host) > 0 {
 		req.Host = string(cs.host)
@@ -671,9 +671,10 @@ func (w *coldWriter) Write(p []byte) (int, error) {
 }
 
 // writeSimple answers a status with a short plain-text body (retrySecs > 0
-// adds Retry-After), built entirely in connection scratch — error paths
-// stay allocation-free too, so overload answers are as cheap as successes.
-func (cs *connState) writeSimple(status int, msg string, retrySecs int) error {
+// adds Retry-After; drain adds the DrainingHeader cluster marker), built
+// entirely in connection scratch — error paths stay allocation-free too,
+// so overload answers are as cheap as successes.
+func (cs *connState) writeSimple(status int, msg string, retrySecs int, drain bool) error {
 	b := cs.wbuf[:0]
 	b = append(b, "HTTP/1.1 "...)
 	b = strconv.AppendInt(b, int64(status), 10)
@@ -687,6 +688,10 @@ func (cs *connState) writeSimple(status int, msg string, retrySecs int) error {
 		b = strconv.AppendInt(b, int64(retrySecs), 10)
 		b = append(b, "\r\n"...)
 	}
+	if drain {
+		b = append(b, DrainingHeader...)
+		b = append(b, ": 1\r\n"...)
+	}
 	b = append(b, "\r\n"...)
 	b = append(b, msg...)
 	b = append(b, '\n')
@@ -699,19 +704,19 @@ func (cs *connState) writeSimple(status int, msg string, retrySecs int) error {
 func (cs *connState) writeInvokeError(err error) error {
 	switch {
 	case errors.Is(err, pool.ErrSaturated):
-		return cs.writeSimple(http.StatusTooManyRequests, "saturated", 1)
+		return cs.writeSimple(http.StatusTooManyRequests, "saturated", 1, false)
 	case errors.Is(err, pool.ErrDegraded):
-		return cs.writeSimple(http.StatusServiceUnavailable, "degraded", 1)
+		return cs.writeSimple(http.StatusServiceUnavailable, "degraded", 1, false)
 	case errors.Is(err, pool.ErrDraining):
-		return cs.writeSimple(http.StatusServiceUnavailable, "draining", 5)
+		return cs.writeSimple(http.StatusServiceUnavailable, "draining", 5, true)
 	case errors.Is(err, pool.ErrUnknownFunction):
-		return cs.writeSimple(http.StatusNotFound, "unknown function", 0)
+		return cs.writeSimple(http.StatusNotFound, "unknown function", 0, false)
 	case errors.Is(err, context.DeadlineExceeded):
-		return cs.writeSimple(http.StatusGatewayTimeout, "deadline exceeded", 0)
+		return cs.writeSimple(http.StatusGatewayTimeout, "deadline exceeded", 0, false)
 	case errors.Is(err, context.Canceled):
-		return cs.writeSimple(StatusClientClosedRequest, "client closed request", 0)
+		return cs.writeSimple(StatusClientClosedRequest, "client closed request", 0, false)
 	default:
-		return cs.writeSimple(http.StatusInternalServerError, err.Error(), 0)
+		return cs.writeSimple(http.StatusInternalServerError, err.Error(), 0, false)
 	}
 }
 

@@ -81,6 +81,12 @@ func (g *Gateway) Handler() http.Handler {
 	return mux
 }
 
+// DrainingHeader marks a 503 as caused by THIS worker going away rather
+// than by load. A front-end dispatcher (internal/cluster) uses it to tell
+// "this node is draining — place the request on another worker" apart from
+// "the fleet is saturated — pass the 503 through to the client".
+const DrainingHeader = "X-Jord-Draining"
+
 // retryAfter stamps the client-backoff hint every 429/503 carries. The
 // header is whole seconds, rounded up, minimum 1 — sub-second hints would
 // serialize as "0", which clients read as "retry immediately".
@@ -141,6 +147,7 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	fn := r.PathValue("fn")
 	if g.draining.Load() {
 		retryAfter(w, 5*time.Second)
+		w.Header().Set(DrainingHeader, "1")
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -294,6 +301,7 @@ func (g *Gateway) writeInvokeError(w http.ResponseWriter, err error) {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, pool.ErrDraining):
 		retryAfter(w, 5*time.Second)
+		w.Header().Set(DrainingHeader, "1")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, pool.ErrUnknownFunction):
 		http.Error(w, err.Error(), http.StatusNotFound)
@@ -333,6 +341,13 @@ type Readyz struct {
 	// OpenBreakers lists functions currently quarantined (breaker open or
 	// half-open). The node stays ready: other functions serve normally.
 	OpenBreakers []string `json:"open_breakers,omitempty"`
+	// Executors and JBSQBound size the worker for a front-end dispatcher:
+	// internal/cluster auto-sizes its per-worker outstanding bound (JBSQ k)
+	// to 4 x executors x jbsq — the same proportion as the worker's own
+	// default admission cap, so the dispatcher saturates exactly when the
+	// worker would start refusing.
+	Executors int `json:"executors"`
+	JBSQBound int `json:"jbsq_bound"`
 }
 
 // handleReadyz answers 200 while the node should receive traffic and 503
@@ -341,12 +356,15 @@ type Readyz struct {
 // breakers alone do not fail readiness: they quarantine single functions,
 // not the node.
 func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	cfg := g.Pool.Config().Normalized()
 	doc := Readyz{
 		Draining:     g.draining.Load(),
 		Degraded:     g.Degraded(),
 		AdmitLimit:   g.Adm.Limit(),
 		AdmitMax:     g.Adm.Max(),
 		OpenBreakers: g.Breakers.NotClosed(),
+		Executors:    cfg.Executors,
+		JBSQBound:    cfg.JBSQBound,
 	}
 	doc.Ready = !doc.Draining && !doc.Degraded
 	w.Header().Set("Content-Type", "application/json")

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -141,6 +142,11 @@ type Daemon struct {
 
 	addr    atomic.Value // string; set once serving
 	started atomic.Bool
+
+	// startMu orders start() against Shutdown: Serve assembles the stack
+	// on its own goroutine, so a Shutdown racing with startup must wait
+	// for the fields above to be fully built (or observe none of them).
+	startMu sync.Mutex
 }
 
 // New builds a daemon. Register functions, then ListenAndServe or Serve.
@@ -168,6 +174,8 @@ func (d *Daemon) start() error {
 	if !d.started.CompareAndSwap(false, true) {
 		return fmt.Errorf("server: already started")
 	}
+	d.startMu.Lock()
+	defer d.startMu.Unlock()
 	pc := d.Cfg.Pool
 	norm := pc.Normalized()
 
@@ -283,16 +291,32 @@ func (d *Daemon) start() error {
 }
 
 // Pool exposes the worker runtime (tests, stats).
-func (d *Daemon) Pool() *pool.Pool { return d.pool }
+func (d *Daemon) Pool() *pool.Pool {
+	d.startMu.Lock()
+	defer d.startMu.Unlock()
+	return d.pool
+}
 
 // State exposes the shared-state tier (nil when disabled).
-func (d *Daemon) State() *state.Store { return d.state }
+func (d *Daemon) State() *state.Store {
+	d.startMu.Lock()
+	defer d.startMu.Unlock()
+	return d.state
+}
 
 // Gateway exposes the HTTP layer (tests, stats).
-func (d *Daemon) Gateway() *gateway.Gateway { return d.gw }
+func (d *Daemon) Gateway() *gateway.Gateway {
+	d.startMu.Lock()
+	defer d.startMu.Unlock()
+	return d.gw
+}
 
 // Edge exposes the zero-allocation front end (nil unless Config.Edge).
-func (d *Daemon) Edge() *gateway.Edge { return d.edge }
+func (d *Daemon) Edge() *gateway.Edge {
+	d.startMu.Lock()
+	defer d.startMu.Unlock()
+	return d.edge
+}
 
 // Addr returns the bound listen address once serving ("" before).
 func (d *Daemon) Addr() string {
@@ -331,10 +355,15 @@ func (d *Daemon) ListenAndServe() error {
 // invocations, finish everything in flight (bounded by DrainTimeout), then
 // close the listener. Safe to call once serving.
 func (d *Daemon) Shutdown(ctx context.Context) error {
-	if d.gw == nil {
+	// Taking startMu means a concurrent start() has either fully built
+	// the stack or not begun; the field snapshot below is never partial.
+	d.startMu.Lock()
+	gw, edge, httpSrv, p, st := d.gw, d.edge, d.http, d.pool, d.state
+	d.startMu.Unlock()
+	if gw == nil {
 		return fmt.Errorf("server: not started")
 	}
-	d.gw.SetDraining(true)
+	gw.SetDraining(true)
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d.Cfg.DrainTimeout)
@@ -343,20 +372,20 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 	// Stop accepting connections and wait for in-flight HTTP handlers —
 	// each of which waits on its invocation — then drain the pool's
 	// internal state and stop the runtime goroutines.
-	if d.edge != nil {
-		if err := d.edge.Shutdown(ctx); err != nil {
+	if edge != nil {
+		if err := edge.Shutdown(ctx); err != nil {
 			return err
 		}
-	} else if err := d.http.Shutdown(ctx); err != nil {
+	} else if err := httpSrv.Shutdown(ctx); err != nil {
 		return err
 	}
-	if err := d.pool.Drain(ctx); err != nil {
+	if err := p.Drain(ctx); err != nil {
 		return err
 	}
 	// With the pool drained no invocation can hold a state handle; closing
 	// the store frees every value VMA and returns its PD to the table.
-	if d.state != nil {
-		return d.state.Close()
+	if st != nil {
+		return st.Close()
 	}
 	return nil
 }
