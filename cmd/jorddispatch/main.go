@@ -7,7 +7,9 @@
 //
 //	jorddispatch -workers 127.0.0.1:8041,127.0.0.1:8042 [-addr :8040]
 //	             [-bound 0] [-health-interval 250ms] [-timeout 60s]
-//	             [-max-body 1048576]
+//	             [-max-body 1048576] [-no-idempotency] [-hedge]
+//	             [-hedge-delay 50ms] [-chaos SPEC] [-chaos-seed 1]
+//	             [-chaos-latency 100ms]
 //
 // Placement: each worker may hold at most k outstanding dispatcher
 // requests (-bound; 0 auto-sizes k per worker from its /readyz to
@@ -36,6 +38,26 @@
 //	                            &resume=1 undoes it
 //	POST /workers/remove?addr=  remove an idle worker (&force=1 overrides)
 //
+// Fault tolerance: every invocation carries an X-Jord-Idempotency-Key
+// (client-supplied wins), so a connection that breaks AFTER the request
+// reached a worker replays against that worker's dedup cache instead of
+// double-executing or surfacing a 502 (-no-idempotency restores the old
+// at-least-once/502 split). -hedge places a duplicate on a second worker
+// when the first has not answered within the function's adaptive hedge
+// delay (clamped p95 of recent latencies; -hedge-delay sets the
+// cold-start value); the first response wins and the loser is canceled.
+//
+// Chaos: -chaos injects deterministic transport faults against the
+// workers for resilience drills, e.g.
+//
+//	-chaos 'refused:0.05,reset-after-write:0.01' -chaos-seed 7
+//	-chaos '127.0.0.1:8041=stall x1'
+//
+// Faults: refused, reset-before-write, reset-after-write, reset-mid-body,
+// latency (delay = -chaos-latency), stall. Each clause is
+// [worker=]fault[:probability][xCount]. Health polls are never faulted,
+// so /readyz verdicts stay truthful while invokes suffer.
+//
 // Worker replacement without dropped requests: drain, poll /workers until
 // outstanding hits 0, remove, add the replacement.
 // SIGINT/SIGTERM drains the dispatcher itself: /readyz goes 503 so an
@@ -57,6 +79,7 @@ import (
 	"time"
 
 	"jord/internal/cluster"
+	"jord/internal/cluster/chaos"
 )
 
 func main() {
@@ -71,6 +94,12 @@ func main() {
 		timeout  = flag.Duration("timeout", 60*time.Second, "per-request deadline across all placement attempts (0 = none)")
 		maxBody  = flag.Int64("max-body", 1<<20, "max /invoke payload bytes (bodies are buffered for re-placement)")
 		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+		noIdem   = flag.Bool("no-idempotency", false, "do not stamp X-Jord-Idempotency-Key on invocations (post-delivery failures become 502s instead of idempotent replays)")
+		hedge    = flag.Bool("hedge", false, "hedge tail latency: duplicate slow requests on a second worker, first response wins")
+		hedgeD   = flag.Duration("hedge-delay", 0, "cold-start hedge delay before per-function latency is learned (0 = 50ms)")
+		chaosS   = flag.String("chaos", "", "fault-injection spec, comma-separated [worker=]fault[:p][xN] clauses (see package doc); empty = off")
+		chaosSd  = flag.Int64("chaos-seed", 1, "deterministic seed for -chaos probability rolls")
+		chaosLat = flag.Duration("chaos-latency", 100*time.Millisecond, "injected delay for -chaos latency faults")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -101,13 +130,32 @@ func main() {
 	if rt == 0 {
 		rt = -1
 	}
-	d := cluster.New(cluster.Config{
-		Workers:        list,
-		Bound:          *bound,
-		HealthInterval: *interval,
-		RequestTimeout: rt,
-		MaxBodyBytes:   *maxBody,
-	})
+	cfg := cluster.Config{
+		Workers:            list,
+		Bound:              *bound,
+		HealthInterval:     *interval,
+		RequestTimeout:     rt,
+		MaxBodyBytes:       *maxBody,
+		DisableIdempotency: *noIdem,
+		Hedge:              *hedge,
+		HedgeDelay:         *hedgeD,
+	}
+	if *chaosS != "" {
+		rules, err := chaos.ParseSpec(*chaosS, *chaosLat)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jorddispatch: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Client = &http.Client{
+			Transport: chaos.New(&http.Transport{
+				MaxIdleConns:        4096,
+				MaxIdleConnsPerHost: 1024,
+				IdleConnTimeout:     90 * time.Second,
+			}, *chaosSd, rules...),
+		}
+		log.Printf("CHAOS ON: injecting %q (seed %d) — invokes will fail on purpose", *chaosS, *chaosSd)
+	}
+	d := cluster.New(cfg)
 	d.Start()
 
 	srv := &http.Server{Handler: d.Handler()}

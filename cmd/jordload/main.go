@@ -11,7 +11,7 @@
 //	jordload [-addr 127.0.0.1:8034] [-fn echo] [-rps 100] [-duration 10s]
 //	         [-payload hello] [-mix none] [-users 64] [-timeout 5s]
 //	         [-abandon 0] [-seed 1]
-//	         [-retries 0] [-retry-budget 0.2] [-retry-base 20ms]
+//	         [-retries 0] [-retry-budget 0.2] [-retry-base 20ms] [-idem]
 //	         [-max-p99 0] [-min-ok 0] [-baseline-rps 0] [-trace]
 //
 // With -trace, jordload pulls the server's /tracez after the run and
@@ -68,6 +68,7 @@ import (
 
 	"jord/internal/cliutil"
 	"jord/internal/metrics"
+	"jord/internal/server/gateway"
 )
 
 func main() {
@@ -89,6 +90,7 @@ func main() {
 		retryBudget = flag.Float64("retry-budget", 0.2, "global retry cap as a fraction of requests sent")
 		retryBase   = flag.Duration("retry-base", 20*time.Millisecond, "backoff base; attempt n waits ~base*2^n, jittered")
 		tracez      = flag.Bool("trace", false, "after the run, pull the server's /tracez and print stage attribution")
+		idem        = flag.Bool("idem", false, "stamp a stable X-Jord-Idempotency-Key per logical request, so retries replay server-side instead of re-executing")
 		maxP99      = flag.Duration("max-p99", 0, "fail the run if ok-latency p99 exceeds this (0 = off)")
 		minOK       = flag.Uint64("min-ok", 0, "fail the run if fewer requests succeed (0 = off)")
 		baseline    = flag.Float64("baseline-rps", 0, "measured 1-core throughput for the scaling-efficiency summary (0 = skip)")
@@ -172,6 +174,7 @@ func main() {
 	// fire sends one request (with retries); abandonAfter > 0 cancels it
 	// after that delay (the client walks away; the runtime finds out via
 	// the closed connection / expired gateway context).
+	var idemSeq atomic.Uint64
 	fire := func(url, payload string, abandonAfter time.Duration) {
 		defer inflight.Done()
 		ctx := context.Background()
@@ -182,6 +185,12 @@ func main() {
 			stop := time.AfterFunc(abandonAfter, cancel)
 			defer stop.Stop()
 		}
+		// One key for ALL attempts of this logical request: a retry that
+		// races a late completion replays the recorded answer.
+		var idemKey string
+		if *idem {
+			idemKey = fmt.Sprintf("jordload-%d-%d", *seed, idemSeq.Add(1))
+		}
 		t0 := time.Now()
 		for attempt := 0; ; attempt++ {
 			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(payload))
@@ -189,6 +198,9 @@ func main() {
 				log.Fatal(err)
 			}
 			req.Header.Set("Content-Type", "application/octet-stream")
+			if idemKey != "" {
+				req.Header.Set(gateway.IdempotencyKeyHeader, idemKey)
+			}
 			resp, err := client.Do(req)
 			if err != nil {
 				if errors.Is(err, context.Canceled) {

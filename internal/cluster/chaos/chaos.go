@@ -1,0 +1,336 @@
+// Package chaos is a deterministic fault-injection layer for the cluster
+// dispatcher's HTTP transport. It wraps an http.RoundTripper and, per a
+// seeded schedule, synthesizes the hard failures a real cluster sees:
+// connections refused, resets before or after the request is written,
+// resets mid-response-body, latency spikes, and black-hole stalls.
+//
+// Determinism: each target host draws from its own rand.Rand seeded by
+// Seed ^ hash(host), so a given (seed, rule set, request order) replays
+// the same faults — a failing chaos test reproduces.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Fault enumerates the injectable failure modes.
+type Fault int
+
+const (
+	// FaultRefused synthesizes a dial-time "connection refused": the
+	// request never leaves the client. Always safe to retry.
+	FaultRefused Fault = iota
+	// FaultResetBeforeWrite synthesizes a connection reset while writing
+	// the request: the worker never received a complete request, so it
+	// never invoked. Safe to retry.
+	FaultResetBeforeWrite
+	// FaultResetAfterWrite performs the real round-trip (the worker
+	// EXECUTES the function), then discards the response and reports a
+	// read-side reset. Retrying without an idempotency key double-executes.
+	FaultResetAfterWrite
+	// FaultResetMidBody performs the real round-trip but truncates the
+	// response body partway with a reset. The worker executed.
+	FaultResetMidBody
+	// FaultLatency delays the request by the rule's Latency, then forwards
+	// it normally.
+	FaultLatency
+	// FaultStall black-holes the request: it blocks until the request
+	// context is canceled and returns the context error. The worker never
+	// sees the request.
+	FaultStall
+)
+
+var faultNames = map[Fault]string{
+	FaultRefused:          "refused",
+	FaultResetBeforeWrite: "reset-before-write",
+	FaultResetAfterWrite:  "reset-after-write",
+	FaultResetMidBody:     "reset-mid-body",
+	FaultLatency:          "latency",
+	FaultStall:            "stall",
+}
+
+func (f Fault) String() string {
+	if s, ok := faultNames[f]; ok {
+		return s
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// Rule injects one fault class against one worker (or all of them).
+type Rule struct {
+	// Worker selects the target by host:port; "" or "*" matches every
+	// worker.
+	Worker string
+	Fault  Fault
+	// P is the per-request injection probability; 0 means 1.0 (always).
+	P float64
+	// Count caps how many times the rule fires; 0 = unlimited.
+	Count int
+	// Latency is the injected delay for FaultLatency (default 100ms).
+	Latency time.Duration
+	// MidBody is how many response-body bytes to deliver before the reset
+	// for FaultResetMidBody (default 1).
+	MidBody int
+
+	fired atomic.Int64
+}
+
+func (r *Rule) matches(host string) bool {
+	return r.Worker == "" || r.Worker == "*" || r.Worker == host
+}
+
+// Fired reports how many times the rule has injected its fault.
+func (r *Rule) Fired() int64 { return r.fired.Load() }
+
+// Transport wraps a base RoundTripper with the fault schedule.
+type Transport struct {
+	base  http.RoundTripper
+	rules []*Rule
+	seed  int64
+
+	// InvokeOnly restricts injection to /invoke/ requests so health polls
+	// keep reporting the truth. On by default via New.
+	invokeOnly bool
+
+	mu   sync.Mutex
+	rnds map[string]*rand.Rand
+
+	injected atomic.Int64
+}
+
+// New builds a fault-injecting transport over base (nil =
+// http.DefaultTransport). Injection is restricted to /invoke/ paths;
+// use AllPaths to also fault health polls.
+func New(base http.RoundTripper, seed int64, rules ...*Rule) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{
+		base:       base,
+		rules:      rules,
+		seed:       seed,
+		invokeOnly: true,
+		rnds:       make(map[string]*rand.Rand),
+	}
+}
+
+// AllPaths widens injection to every request, including health polls.
+func (t *Transport) AllPaths() *Transport {
+	t.invokeOnly = false
+	return t
+}
+
+// Injected reports the total number of faults injected.
+func (t *Transport) Injected() int64 { return t.injected.Load() }
+
+func (t *Transport) rnd(host string) *rand.Rand {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.rnds[host]
+	if r == nil {
+		h := fnv.New64a()
+		io.WriteString(h, host)
+		r = rand.New(rand.NewSource(t.seed ^ int64(h.Sum64())))
+		t.rnds[host] = r
+	}
+	return r
+}
+
+// pick returns the first matching rule that rolls a hit, consuming one of
+// its Count charges.
+func (t *Transport) pick(req *http.Request) *Rule {
+	host := req.URL.Host
+	for _, r := range t.rules {
+		if !r.matches(host) {
+			continue
+		}
+		p := r.P
+		if p <= 0 {
+			p = 1.0
+		}
+		if p < 1.0 {
+			rnd := t.rnd(host)
+			t.mu.Lock()
+			roll := rnd.Float64()
+			t.mu.Unlock()
+			if roll >= p {
+				continue
+			}
+		}
+		if r.Count > 0 {
+			if n := r.fired.Add(1); n > int64(r.Count) {
+				r.fired.Add(-1)
+				continue
+			}
+		} else {
+			r.fired.Add(1)
+		}
+		return r
+	}
+	return nil
+}
+
+// RoundTrip implements http.RoundTripper. Synthetic transport errors close
+// req.Body first, as the contract requires.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.invokeOnly && !strings.HasPrefix(req.URL.Path, "/invoke/") {
+		return t.base.RoundTrip(req)
+	}
+	r := t.pick(req)
+	if r == nil {
+		return t.base.RoundTrip(req)
+	}
+	t.injected.Add(1)
+	switch r.Fault {
+	case FaultRefused:
+		closeBody(req)
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+	case FaultResetBeforeWrite:
+		closeBody(req)
+		return nil, &net.OpError{Op: "write", Net: "tcp", Err: syscall.ECONNRESET}
+	case FaultResetAfterWrite:
+		// The worker really executes: forward, then lose the response.
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	case FaultResetMidBody:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		n := r.MidBody
+		if n <= 0 {
+			n = 1
+		}
+		resp.Body = &truncatingBody{rc: resp.Body, remain: n}
+		// The advertised length no longer matches what we will deliver;
+		// the reader hits the reset before noticing.
+		return resp, nil
+	case FaultLatency:
+		d := r.Latency
+		if d <= 0 {
+			d = 100 * time.Millisecond
+		}
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			closeBody(req)
+			return nil, req.Context().Err()
+		}
+		return t.base.RoundTrip(req)
+	case FaultStall:
+		closeBody(req)
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	}
+	return t.base.RoundTrip(req)
+}
+
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+// truncatingBody delivers remain bytes, then fails with a read-side reset.
+type truncatingBody struct {
+	rc     io.ReadCloser
+	remain int
+}
+
+func (b *truncatingBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= n
+	if err != nil {
+		return n, err
+	}
+	if b.remain <= 0 {
+		return n, &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	}
+	return n, nil
+}
+
+func (b *truncatingBody) Close() error { return b.rc.Close() }
+
+// ParseSpec parses a comma-separated fault schedule, one rule per clause:
+//
+//	[worker=]fault[:p][xN]
+//
+// fault is one of refused, reset-before-write, reset-after-write,
+// reset-mid-body, latency, stall. p is the injection probability (default
+// 1.0); xN caps the rule at N firings. Examples:
+//
+//	refused:0.1                      10% of requests to any worker refused
+//	127.0.0.1:9011=stall x1          first request to that worker stalls
+//	reset-after-write:0.05,latency:0.2
+//
+// latency rules use defaultLatency (0 = 100ms) as the injected delay.
+func ParseSpec(spec string, defaultLatency time.Duration) ([]*Rule, error) {
+	var rules []*Rule
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		r := &Rule{Latency: defaultLatency}
+		// The worker address may itself contain ':' (host:port), so split
+		// on the LAST '=' for the worker part.
+		if i := strings.LastIndex(clause, "="); i >= 0 {
+			r.Worker = strings.TrimSpace(clause[:i])
+			clause = strings.TrimSpace(clause[i+1:])
+		}
+		// Trailing xN count cap.
+		if i := strings.LastIndex(clause, "x"); i > 0 {
+			if n, err := strconv.Atoi(clause[i+1:]); err == nil {
+				r.Count = n
+				clause = strings.TrimSpace(clause[:i])
+			}
+		}
+		name := clause
+		if i := strings.IndexByte(clause, ':'); i >= 0 {
+			name = clause[:i]
+			p, err := strconv.ParseFloat(clause[i+1:], 64)
+			if err != nil || p <= 0 || p > 1 {
+				return nil, fmt.Errorf("chaos: bad probability %q in %q", clause[i+1:], spec)
+			}
+			r.P = p
+		}
+		found := false
+		for f, s := range faultNames {
+			if s == name {
+				r.Fault = f
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("chaos: unknown fault %q (want one of refused, reset-before-write, reset-after-write, reset-mid-body, latency, stall)", name)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("chaos: empty spec")
+	}
+	return rules, nil
+}

@@ -1,0 +1,255 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/invoke/") {
+			hits.Add(1)
+		}
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte("response-body-0123456789"))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func doInvoke(t *testing.T, client *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest("POST", url+"/invoke/echo", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client.Do(req)
+}
+
+func TestRefusedNeverReachesWorker(t *testing.T) {
+	var hits atomic.Int64
+	srv := testServer(t, &hits)
+	client := &http.Client{Transport: New(nil, 1, &Rule{Fault: FaultRefused})}
+
+	_, err := doInvoke(t, client, srv.URL)
+	var op *net.OpError
+	if !errors.As(err, &op) || op.Op != "dial" || !errors.Is(op.Err, syscall.ECONNREFUSED) {
+		t.Fatalf("want dial ECONNREFUSED OpError, got %v", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("refused request must not reach the worker")
+	}
+}
+
+func TestResetBeforeWriteNeverReachesWorker(t *testing.T) {
+	var hits atomic.Int64
+	srv := testServer(t, &hits)
+	client := &http.Client{Transport: New(nil, 1, &Rule{Fault: FaultResetBeforeWrite})}
+
+	_, err := doInvoke(t, client, srv.URL)
+	var op *net.OpError
+	if !errors.As(err, &op) || op.Op != "write" || !errors.Is(op.Err, syscall.ECONNRESET) {
+		t.Fatalf("want write ECONNRESET OpError, got %v", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("reset-before-write must not reach the worker")
+	}
+}
+
+func TestResetAfterWriteExecutesWorker(t *testing.T) {
+	var hits atomic.Int64
+	srv := testServer(t, &hits)
+	client := &http.Client{Transport: New(nil, 1, &Rule{Fault: FaultResetAfterWrite})}
+
+	_, err := doInvoke(t, client, srv.URL)
+	var op *net.OpError
+	if !errors.As(err, &op) || op.Op != "read" || !errors.Is(op.Err, syscall.ECONNRESET) {
+		t.Fatalf("want read ECONNRESET OpError, got %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("reset-after-write must execute the worker once, hits=%d", hits.Load())
+	}
+}
+
+func TestResetMidBodyTruncates(t *testing.T) {
+	var hits atomic.Int64
+	srv := testServer(t, &hits)
+	client := &http.Client{Transport: New(nil, 1, &Rule{Fault: FaultResetMidBody, MidBody: 5})}
+
+	resp, err := doInvoke(t, client, srv.URL)
+	if err != nil {
+		t.Fatalf("mid-body reset should deliver headers: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("body read should fail with a reset")
+	}
+	var op *net.OpError
+	if !errors.As(err, &op) || op.Op != "read" {
+		t.Fatalf("want read OpError, got %v", err)
+	}
+	if len(body) != 5 {
+		t.Fatalf("delivered %d bytes before reset, want 5", len(body))
+	}
+	if hits.Load() != 1 {
+		t.Fatal("mid-body reset still executes the worker")
+	}
+}
+
+func TestStallBlocksUntilContextCancel(t *testing.T) {
+	var hits atomic.Int64
+	srv := testServer(t, &hits)
+	client := &http.Client{Transport: New(nil, 1, &Rule{Fault: FaultStall})}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "POST", srv.URL+"/invoke/echo", strings.NewReader("p"))
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("stall should fail once the context expires")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("stall returned before the context deadline")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("stalled request must not reach the worker")
+	}
+}
+
+func TestLatencyDelaysThenForwards(t *testing.T) {
+	var hits atomic.Int64
+	srv := testServer(t, &hits)
+	client := &http.Client{Transport: New(nil, 1,
+		&Rule{Fault: FaultLatency, Latency: 60 * time.Millisecond})}
+
+	start := time.Now()
+	resp, err := doInvoke(t, client, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if d := time.Since(start); d < 55*time.Millisecond {
+		t.Fatalf("latency fault returned in %v, want >= 60ms", d)
+	}
+	if hits.Load() != 1 {
+		t.Fatal("latency fault must still execute")
+	}
+}
+
+func TestCountCapAndInvokeOnly(t *testing.T) {
+	var hits atomic.Int64
+	srv := testServer(t, &hits)
+	rule := &Rule{Fault: FaultRefused, Count: 2}
+	tr := New(nil, 1, rule)
+	client := &http.Client{Transport: tr}
+
+	for i := 0; i < 2; i++ {
+		if _, err := doInvoke(t, client, srv.URL); err == nil {
+			t.Fatalf("request %d should be refused", i)
+		}
+	}
+	resp, err := doInvoke(t, client, srv.URL)
+	if err != nil {
+		t.Fatalf("after count cap, requests should pass: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if rule.Fired() != 2 || tr.Injected() != 2 {
+		t.Fatalf("fired=%d injected=%d want 2/2", rule.Fired(), tr.Injected())
+	}
+
+	// Non-invoke paths (health polls) bypass injection entirely.
+	rule2 := &Rule{Fault: FaultRefused}
+	client2 := &http.Client{Transport: New(nil, 1, rule2)}
+	resp, err = client2.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("health poll must bypass chaos: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func TestWorkerTargeting(t *testing.T) {
+	var hitsA, hitsB atomic.Int64
+	srvA := testServer(t, &hitsA)
+	srvB := testServer(t, &hitsB)
+	hostA := strings.TrimPrefix(srvA.URL, "http://")
+	client := &http.Client{Transport: New(nil, 1, &Rule{Worker: hostA, Fault: FaultRefused})}
+
+	if _, err := doInvoke(t, client, srvA.URL); err == nil {
+		t.Fatal("worker A should be refused")
+	}
+	resp, err := doInvoke(t, client, srvB.URL)
+	if err != nil {
+		t.Fatalf("worker B should be untouched: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if hitsA.Load() != 0 || hitsB.Load() != 1 {
+		t.Fatalf("hitsA=%d hitsB=%d want 0/1", hitsA.Load(), hitsB.Load())
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	run := func() int64 {
+		var hits atomic.Int64
+		srv := testServer(t, &hits)
+		rule := &Rule{Fault: FaultRefused, P: 0.5}
+		client := &http.Client{Transport: New(nil, 42, rule)}
+		for i := 0; i < 40; i++ {
+			if resp, err := doInvoke(t, client, srv.URL); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return rule.Fired()
+	}
+	// NOTE: the per-host RNG is seeded by seed^hash(host); two servers on
+	// different ports draw different streams, so we only assert the roll
+	// count is plausible, not byte-identical across runs.
+	fired := run()
+	if fired == 0 || fired == 40 {
+		t.Fatalf("p=0.5 fired %d/40 — roll not applied", fired)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("refused:0.1, 127.0.0.1:9011=stall x1,reset-after-write", 250*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("got %d rules, want 3", len(rules))
+	}
+	if rules[0].Fault != FaultRefused || rules[0].P != 0.1 || rules[0].Worker != "" {
+		t.Fatalf("rule 0: %+v", rules[0])
+	}
+	if rules[1].Fault != FaultStall || rules[1].Worker != "127.0.0.1:9011" || rules[1].Count != 1 {
+		t.Fatalf("rule 1: %+v", rules[1])
+	}
+	if rules[2].Fault != FaultResetAfterWrite || rules[2].Latency != 250*time.Millisecond {
+		t.Fatalf("rule 2: %+v", rules[2])
+	}
+
+	for _, bad := range []string{"", "nosuch", "refused:1.5", "refused:zero"} {
+		if _, err := ParseSpec(bad, 0); err == nil {
+			t.Fatalf("ParseSpec(%q) should fail", bad)
+		}
+	}
+}

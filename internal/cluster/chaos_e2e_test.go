@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jord/internal/server"
+	"jord/internal/server/pool"
+	"jord/internal/server/router"
+)
+
+// TestMain doubles as the chaos worker's entry point: the SIGKILL e2e
+// re-execs the test binary with JORD_CHAOS_WORKER=1 to get real worker
+// PROCESSES it can hard-kill — in-process daemons cannot model a machine
+// death, because Go cannot SIGKILL a goroutine.
+func TestMain(m *testing.M) {
+	if os.Getenv("JORD_CHAOS_WORKER") == "1" {
+		runChaosWorker()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runChaosWorker is a real jordd daemon (idempotency cache on, as
+// everywhere) with a side-effect-counting function: "record" bumps a
+// worker-local counter per payload id, "dump" reports the counts. The
+// counts are the ground truth for duplicate-execution assertions.
+func runChaosWorker() {
+	cfg := server.DefaultConfig()
+	cfg.Pool = pool.Config{Executors: 2, JBSQBound: 4}
+	cfg.AdmitTarget = -1
+	d := server.New(cfg)
+	var mu sync.Mutex
+	seen := map[string]int{}
+	d.MustRegister("record", func(ctx router.Ctx) ([]byte, error) {
+		id := string(ctx.Payload())
+		mu.Lock()
+		seen[id]++
+		mu.Unlock()
+		// Long enough that a SIGKILL lands mid-execution for some
+		// requests, short enough to keep the run quick.
+		time.Sleep(3 * time.Millisecond)
+		return []byte("recorded " + id), nil
+	})
+	d.MustRegister("dump", func(ctx router.Ctx) ([]byte, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return json.Marshal(seen)
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos worker listen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ADDR %s\n", ln.Addr())
+	if err := d.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos worker serve:", err)
+		os.Exit(1)
+	}
+}
+
+// startChaosWorkerProc launches one worker subprocess and reads its
+// listening address off stdout.
+func startChaosWorkerProc(t *testing.T) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "JORD_CHAOS_WORKER=1")
+	cmd.Stderr = io.Discard
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading worker address: %v", err)
+	}
+	addr := strings.TrimSpace(strings.TrimPrefix(line, "ADDR "))
+	if addr == "" {
+		t.Fatalf("bad worker banner %q", line)
+	}
+	return cmd, addr
+}
+
+// TestE2ESIGKILLWorkerMidLoad is the hard-failure headline: one of three
+// worker PROCESSES is SIGKILLed (no drain, no goodbye) under load. The
+// cluster must (a) eject it within two health intervals, (b) keep
+// client-visible failures bounded (idempotent retries re-place every
+// interrupted request), and (c) never duplicate a side effect on the
+// surviving workers.
+func TestE2ESIGKILLWorkerMidLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos e2e")
+	}
+	const (
+		workers        = 3
+		clients        = 8
+		perClient      = 50
+		healthInterval = 250 * time.Millisecond
+	)
+	var (
+		procs []*exec.Cmd
+		addrs []string
+	)
+	for i := 0; i < workers; i++ {
+		cmd, addr := startChaosWorkerProc(t)
+		procs = append(procs, cmd)
+		addrs = append(addrs, addr)
+	}
+
+	d := New(Config{
+		Workers:        addrs,
+		HealthInterval: healthInterval,
+		RequestTimeout: 15 * time.Second,
+	})
+	front := startFront(t, d, workers)
+
+	var (
+		completed atomic.Int64
+		failed    atomic.Int64
+		killOnce  sync.Once
+		killedAt  atomic.Int64 // unix nanos of the SIGKILL
+	)
+	total := int64(clients * perClient)
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				id := fmt.Sprintf("c%d-%d", c, i)
+				resp, err := http.Post(front.URL+"/invoke/record", "text/plain", strings.NewReader(id))
+				if err != nil {
+					failed.Add(1)
+				} else {
+					if resp.StatusCode != http.StatusOK {
+						failed.Add(1)
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				if n := completed.Add(1); n == total/4 {
+					// A quarter of the way in: hard-kill worker 0. No
+					// Shutdown, no drain — the process is simply gone.
+					killOnce.Do(func() {
+						killedAt.Store(time.Now().UnixNano())
+						if err := procs[0].Process.Kill(); err != nil {
+							t.Errorf("SIGKILL: %v", err)
+						}
+					})
+				}
+			}
+		}(c)
+	}
+
+	// Ejection watcher: the dead worker must leave the ready set within
+	// two health intervals of the kill (passive ejection usually beats
+	// the poller by a wide margin — the first broken connection does it).
+	ejectDone := make(chan time.Duration, 1)
+	go func() {
+		for {
+			if at := killedAt.Load(); at != 0 {
+				doc := d.readyzDocNow()
+				if doc.ReadyWorkers <= workers-1 {
+					ejectDone <- time.Since(time.Unix(0, at))
+					return
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case ejectLag := <-ejectDone:
+		if ejectLag > 2*healthInterval {
+			t.Errorf("ejection took %v, want <= two health intervals (%v)", ejectLag, 2*healthInterval)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("killed worker was never ejected")
+	}
+
+	// Bounded client-visible damage: with idempotent retries, requests
+	// interrupted by the kill re-place and succeed; only pathological
+	// timing should surface anything, and never more than a handful.
+	if f := failed.Load(); f > 3 {
+		t.Errorf("%d/%d client-visible failures, want <= 3", f, total)
+	}
+
+	// Zero duplicated side effects across the survivors: every recorded
+	// id ran exactly once per worker and never on two workers.
+	counts := map[string][]int{}
+	for _, addr := range addrs[1:] {
+		resp, err := http.Post("http://"+addr+"/invoke/dump", "text/plain", nil)
+		if err != nil {
+			t.Fatalf("dump from survivor %s: %v", addr, err)
+		}
+		var seen map[string]int
+		if err := json.NewDecoder(resp.Body).Decode(&seen); err != nil {
+			t.Fatalf("decoding dump: %v", err)
+		}
+		resp.Body.Close()
+		for id, n := range seen {
+			counts[id] = append(counts[id], n)
+		}
+	}
+	dups := 0
+	for id, ns := range counts {
+		if len(ns) > 1 {
+			t.Errorf("id %s executed on %d workers", id, len(ns))
+			dups++
+		}
+		for _, n := range ns {
+			if n != 1 {
+				t.Errorf("id %s executed %d times on one worker", id, n)
+				dups++
+			}
+		}
+		if dups > 10 {
+			t.Fatal("too many duplicates, stopping")
+		}
+	}
+	if len(counts) == 0 {
+		t.Fatal("survivors recorded nothing — load never reached them")
+	}
+	t.Logf("SIGKILL e2e: %d requests, %d failed, %d ids on survivors, retries=%d unsafeRetries=%d",
+		total, failed.Load(), len(counts), d.errRetries.Load(), d.unsafeRetries.Load())
+}

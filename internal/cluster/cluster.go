@@ -26,19 +26,14 @@
 package cluster
 
 import (
-	"bytes"
-	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"jord/internal/server/gateway"
 )
 
 // DefaultBound is the per-worker outstanding bound used until the
@@ -76,6 +71,24 @@ type Config struct {
 	// keeps a large idle pool per worker so steady-state forwarding rides
 	// keep-alive connections.
 	Client *http.Client
+
+	// DisableIdempotency stops the dispatcher from stamping a generated
+	// X-Jord-Idempotency-Key on keyless invocations. With keys on (the
+	// default), a post-delivery connection break replays against the same
+	// worker's dedup cache instead of surfacing a 502 or double-executing;
+	// without them such failures are answered 502 and never retried.
+	DisableIdempotency bool
+
+	// Hedge enables tail-latency hedging: when the first placement has
+	// not answered within the function's adaptive hedge delay, a
+	// duplicate is placed on a second worker and the first response wins.
+	// Requires idempotency keys (hedges are never issued without one).
+	Hedge bool
+
+	// HedgeDelay overrides the cold-start hedge delay used until enough
+	// per-function latency samples exist (default 50ms). Once warmed, the
+	// delay is the function's clamped p95.
+	HedgeDelay time.Duration
 }
 
 func (c *Config) normalize() {
@@ -115,6 +128,11 @@ type worker struct {
 	// receive new work (failed /readyz, transport error, drain marker).
 	// The health loop owns re-admission.
 	ejected atomic.Bool
+	// ejectEpoch counts passive ejections. A /readyz poll captures the
+	// epoch before its round-trip and discards a READY verdict when the
+	// epoch moved underneath it — otherwise a poll that raced a passive
+	// ejection would re-admit a worker that just dropped a connection.
+	ejectEpoch atomic.Uint64
 	// draining is the ADMIN verdict (drain/replace workflow): no new
 	// work, never auto-re-admitted. Orthogonal to ejected.
 	draining atomic.Bool
@@ -142,6 +160,15 @@ func (w *worker) boundNow() int64 {
 		return b
 	}
 	return DefaultBound
+}
+
+// eject takes the worker out of placement on a passive signal (transport
+// failure, drain-marked 503, relay break), bumping the epoch so an
+// in-flight health poll cannot immediately re-admit it on stale evidence.
+func (w *worker) eject(err error) {
+	w.ejectEpoch.Add(1)
+	w.ejected.Store(true)
+	w.setErr(err)
 }
 
 func (w *worker) setErr(err error) {
@@ -185,6 +212,22 @@ type Dispatcher struct {
 	lost         atomic.Uint64
 	passthrough  atomic.Uint64 // worker 429/503s forwarded verbatim
 
+	// Fault-tolerance counters. unsafeRetries are same-worker idempotent
+	// replays after a post-delivery break; unsafe502 the keyless ones
+	// surfaced as 502 instead. dedupHits counts responses the winning
+	// worker replayed from its idempotency cache. relay*Errs split
+	// mid-relay failures by which side broke.
+	unsafeRetries   atomic.Uint64
+	unsafe502       atomic.Uint64
+	hedgesIssued    atomic.Uint64
+	hedgesWon       atomic.Uint64
+	hedgesWasted    atomic.Uint64
+	dedupHits       atomic.Uint64
+	relayWorkerErrs atomic.Uint64
+	relayClientErrs atomic.Uint64
+
+	hedge *hedgeTracker
+
 	healthStop chan struct{}
 	healthDone chan struct{}
 }
@@ -193,7 +236,7 @@ type Dispatcher struct {
 // begin health polling, and serve Handler() on a listener.
 func New(cfg Config) *Dispatcher {
 	cfg.normalize()
-	d := &Dispatcher{cfg: cfg, client: cfg.Client, started: time.Now()}
+	d := &Dispatcher{cfg: cfg, client: cfg.Client, started: time.Now(), hedge: newHedgeTracker()}
 	for _, addr := range cfg.Workers {
 		d.workers = append(d.workers, d.newWorker(addr))
 	}
@@ -324,185 +367,6 @@ func (d *Dispatcher) pick(tried map[*worker]bool) (wk *worker, anyReady bool) {
 		best.outstanding.Add(-1) // lost the reservation race
 	}
 	return nil, anyReady
-}
-
-func (d *Dispatcher) handleInvoke(w http.ResponseWriter, r *http.Request) {
-	fn := r.PathValue("fn")
-	if d.draining.Load() {
-		retryAfter(w, 5*time.Second)
-		w.Header().Set(gateway.DrainingHeader, "1")
-		http.Error(w, "dispatcher draining", http.StatusServiceUnavailable)
-		return
-	}
-
-	// Buffer the body up front (bounded): a request is only "in flight"
-	// against a worker once delivery starts, so a worker that dies takes
-	// no request bytes with it — the buffered body is re-sent elsewhere.
-	if r.ContentLength > d.cfg.MaxBodyBytes {
-		http.Error(w, "payload too large", http.StatusRequestEntityTooLarge)
-		return
-	}
-	var (
-		payload []byte
-		pooled  *[]byte
-	)
-	if cl := r.ContentLength; cl >= 0 {
-		pooled = getBody(cl)
-		payload = (*pooled)[:cl]
-		if _, err := io.ReadFull(r.Body, payload); err != nil {
-			bodyPool.Put(pooled)
-			http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-	} else {
-		var err error
-		payload, err = io.ReadAll(io.LimitReader(r.Body, d.cfg.MaxBodyBytes+1))
-		if err != nil {
-			http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		if int64(len(payload)) > d.cfg.MaxBodyBytes {
-			http.Error(w, "payload too large", http.StatusRequestEntityTooLarge)
-			return
-		}
-	}
-	if pooled != nil {
-		defer bodyPool.Put(pooled)
-	}
-
-	ctx := r.Context()
-	if d.cfg.RequestTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, d.cfg.RequestTimeout)
-		defer cancel()
-	}
-
-	contentType := r.Header.Get("Content-Type")
-	tried := make(map[*worker]bool)
-	attempts := 0
-	for {
-		wk, anyReady := d.pick(tried)
-		if wk == nil {
-			switch {
-			case attempts > 0:
-				// At least one worker was tried and failed mid-stream;
-				// the remaining set is exhausted. 503: the CLUSTER could
-				// not serve this, distinct from per-request saturation.
-				d.lost.Add(1)
-				retryAfter(w, time.Second)
-				http.Error(w, "no worker could serve the request", http.StatusServiceUnavailable)
-			case anyReady:
-				// Ready workers exist but all sit at their JBSQ bound:
-				// the cluster is saturated, tell the client to back off.
-				d.rejectedBusy.Add(1)
-				retryAfter(w, time.Second)
-				http.Error(w, "cluster saturated: all workers at bound", http.StatusTooManyRequests)
-			default:
-				d.rejectedDown.Add(1)
-				retryAfter(w, time.Second)
-				http.Error(w, "no ready workers", http.StatusServiceUnavailable)
-			}
-			return
-		}
-		attempts++
-		done, relayErr := d.attempt(ctx, w, wk, fn, contentType, payload, tried)
-		wk.outstanding.Add(-1)
-		if done {
-			if relayErr == nil {
-				d.dispatched.Add(1)
-			}
-			return
-		}
-		if ctx.Err() != nil {
-			// The request deadline expired while re-placing.
-			http.Error(w, "deadline exceeded while dispatching", http.StatusGatewayTimeout)
-			return
-		}
-	}
-}
-
-// attempt forwards the request to one worker. It returns done=false when
-// the request should be re-placed on another worker (transport failure
-// before/while receiving the response head, or a drain-marked 503).
-func (d *Dispatcher) attempt(ctx context.Context, w http.ResponseWriter, wk *worker,
-	fn, contentType string, payload []byte, tried map[*worker]bool) (done bool, relayErr error) {
-
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, wk.base+"/invoke/"+fn, bytes.NewReader(payload))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return true, err
-	}
-	req.ContentLength = int64(len(payload))
-	if contentType != "" {
-		req.Header.Set("Content-Type", contentType)
-	}
-	resp, err := d.client.Do(req)
-	if err != nil {
-		if ctx.Err() != nil {
-			// The client's deadline, not the worker's health: answer 504
-			// without ejecting anyone.
-			http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
-			return true, err
-		}
-		// Transport failure: eject passively (the health loop re-admits
-		// once /readyz answers again) and re-place. Note the at-least-once
-		// caveat: a connection that broke AFTER delivery re-executes the
-		// function on another worker, the same trade every FaaS
-		// reverse-proxy tier makes on worker death.
-		wk.ejected.Store(true)
-		wk.setErr(err)
-		tried[wk] = true
-		d.errRetries.Add(1)
-		return false, nil
-	}
-	defer resp.Body.Close()
-
-	if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get(gateway.DrainingHeader) != "" {
-		// This worker is going away; that is a placement problem, not an
-		// answer. Eject it (its /readyz will hold it out until it either
-		// disappears or comes back ready) and try the rest of the fleet.
-		// Only when NO other worker can take the request does the drain
-		// 503 fall through to the client via the exhaustion path above.
-		ws := d.snapshot()
-		untried := 0
-		for _, other := range ws {
-			if other != wk && other.admittable() && !tried[other] {
-				untried++
-			}
-		}
-		if untried > 0 {
-			io.Copy(io.Discard, resp.Body)
-			wk.ejected.Store(true)
-			wk.setErr(errors.New("draining (marked 503)"))
-			tried[wk] = true
-			d.drainRetries.Add(1)
-			return false, nil
-		}
-	}
-
-	wk.dispatched.Add(1)
-	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
-		d.passthrough.Add(1)
-	}
-	return true, d.relay(w, resp)
-}
-
-// relay copies one worker response to the client verbatim: status,
-// Retry-After and drain markers included — the dispatcher adds no
-// interpretation to worker verdicts it did not re-place.
-func (d *Dispatcher) relay(w http.ResponseWriter, resp *http.Response) error {
-	h := w.Header()
-	for _, k := range []string{"Content-Type", "Retry-After", gateway.DrainingHeader} {
-		if v := resp.Header.Get(k); v != "" {
-			h.Set(k, v)
-		}
-	}
-	if resp.ContentLength >= 0 {
-		h.Set("Content-Length", fmt.Sprintf("%d", resp.ContentLength))
-	}
-	w.WriteHeader(resp.StatusCode)
-	_, err := io.Copy(w, resp.Body)
-	return err
 }
 
 // AddWorker admits a new worker into the JBSQ scan. It starts admittable

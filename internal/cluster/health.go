@@ -4,9 +4,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 )
+
+// maxReadyzBody bounds how much of a worker's /readyz answer the
+// dispatcher will read: a confused (or malicious) worker must not be able
+// to balloon the poller with an unbounded document.
+const maxReadyzBody = 256 << 10
 
 // healthLoop polls every worker's /readyz each HealthInterval. It is the
 // only path that RE-ADMITS a worker: passive ejection (transport errors,
@@ -49,6 +55,10 @@ func (d *Dispatcher) pollAll() {
 // degraded), so a decoded body is authoritative either way; only
 // transport-level failures fall back to "unreachable".
 func (d *Dispatcher) poll(w *worker) {
+	// Captured BEFORE the round-trip: a verdict formed against the worker
+	// as it was when the poll began must not overwrite ejections that
+	// happened while the poll was in flight.
+	epoch := w.ejectEpoch.Load()
 	timeout := d.cfg.HealthInterval
 	if timeout < 100*time.Millisecond {
 		timeout = 100 * time.Millisecond
@@ -57,24 +67,24 @@ func (d *Dispatcher) poll(w *worker) {
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/readyz", nil)
 	if err != nil {
-		d.applyVerdict(w, readyzDoc{}, err)
+		d.applyVerdict(w, readyzDoc{}, err, epoch)
 		return
 	}
 	resp, err := d.client.Do(req)
 	if err != nil {
-		d.applyVerdict(w, readyzDoc{}, err)
+		d.applyVerdict(w, readyzDoc{}, err, epoch)
 		return
 	}
 	defer resp.Body.Close()
 	var doc readyzDoc
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		d.applyVerdict(w, readyzDoc{}, fmt.Errorf("decoding /readyz: %w", err))
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxReadyzBody)).Decode(&doc); err != nil {
+		d.applyVerdict(w, readyzDoc{}, fmt.Errorf("decoding /readyz: %w", err), epoch)
 		return
 	}
-	d.applyVerdict(w, doc, nil)
+	d.applyVerdict(w, doc, nil, epoch)
 }
 
-func (d *Dispatcher) applyVerdict(w *worker, doc readyzDoc, err error) {
+func (d *Dispatcher) applyVerdict(w *worker, doc readyzDoc, err error, epoch uint64) {
 	now := time.Now()
 	if err != nil {
 		w.ejected.Store(true)
@@ -89,6 +99,17 @@ func (d *Dispatcher) applyVerdict(w *worker, doc readyzDoc, err error) {
 	// admission cap. Fixed Config.Bound wins when set.
 	if d.cfg.Bound == 0 && doc.Executors > 0 && doc.JBSQBound > 0 {
 		w.bound.Store(int64(4 * doc.Executors * doc.JBSQBound))
+	}
+	if doc.Ready && w.ejectEpoch.Load() != epoch {
+		// Stale ready verdict: the worker was passively ejected (dropped a
+		// connection, sent a drain marker) AFTER this poll started, so the
+		// "ready" answer predates the failure. Discard the re-admission;
+		// the next round decides with fresh evidence.
+		w.mu.Lock()
+		w.lastErr = "stale ready verdict discarded"
+		w.lastPoll = now
+		w.mu.Unlock()
+		return
 	}
 	w.ejected.Store(!doc.Ready)
 	w.mu.Lock()

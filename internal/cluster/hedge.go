@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Hedging ("The Tail at Scale"): when the first placement has not
+// answered within roughly the function's own p95, a duplicate goes to a
+// second worker and the first response wins. The delay adapts per
+// function so a 2ms echo hedges at milliseconds while a 500ms batch job
+// is left alone.
+const (
+	hedgeColdDelay = 50 * time.Millisecond // until enough samples exist
+	hedgeSampleMin = 16
+	hedgeRingSize  = 64
+	hedgeMinDelay  = 2 * time.Millisecond
+	hedgeMaxDelay  = 2 * time.Second
+)
+
+type latRing struct {
+	mu      sync.Mutex
+	samples [hedgeRingSize]time.Duration
+	n       int // filled entries (caps at hedgeRingSize)
+	idx     int
+}
+
+// hedgeTracker keeps a small ring of recent successful-invoke latencies
+// per function.
+type hedgeTracker struct {
+	mu  sync.RWMutex
+	fns map[string]*latRing
+}
+
+func newHedgeTracker() *hedgeTracker {
+	return &hedgeTracker{fns: make(map[string]*latRing)}
+}
+
+func (t *hedgeTracker) ring(fn string) *latRing {
+	t.mu.RLock()
+	r := t.fns[fn]
+	t.mu.RUnlock()
+	if r != nil {
+		return r
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r = t.fns[fn]; r == nil {
+		r = &latRing{}
+		t.fns[fn] = r
+	}
+	return r
+}
+
+func (t *hedgeTracker) observe(fn string, d time.Duration) {
+	r := t.ring(fn)
+	r.mu.Lock()
+	r.samples[r.idx] = d
+	r.idx = (r.idx + 1) % hedgeRingSize
+	if r.n < hedgeRingSize {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// delay reports how long to wait before hedging fn: the clamped p95 of
+// recent successes, or cold (0 = 50ms) until hedgeSampleMin samples
+// exist.
+func (t *hedgeTracker) delay(fn string, cold time.Duration) time.Duration {
+	if cold <= 0 {
+		cold = hedgeColdDelay
+	}
+	r := t.ring(fn)
+	r.mu.Lock()
+	n := r.n
+	if n < hedgeSampleMin {
+		r.mu.Unlock()
+		return cold
+	}
+	tmp := make([]time.Duration, n)
+	copy(tmp, r.samples[:n])
+	r.mu.Unlock()
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	d := tmp[n*95/100]
+	if d < hedgeMinDelay {
+		d = hedgeMinDelay
+	}
+	if d > hedgeMaxDelay {
+		d = hedgeMaxDelay
+	}
+	return d
+}

@@ -1,0 +1,523 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"context"
+
+	"jord/internal/server/gateway"
+)
+
+// workerResp is one worker response, buffered so it can be (a) discarded
+// and retried when the worker turns out to be draining, and (b) relayed
+// by whichever attempt wins a hedge race without two goroutines writing
+// the client connection.
+type workerResp struct {
+	status int
+	ctype  string
+	retryA string
+	drainM string
+	dedup  string
+	clen   int64 // advertised Content-Length (-1 unknown)
+	body   []byte
+	pooled *[]byte       // bodyPool buffer backing body
+	rest   io.ReadCloser // non-nil: body overflowed the buffer budget, stream the tail
+}
+
+func (r *workerResp) release() {
+	if r.rest != nil {
+		r.rest.Close()
+		r.rest = nil
+	}
+	if r.pooled != nil {
+		bodyPool.Put(r.pooled)
+		r.pooled = nil
+	}
+	r.body = nil
+}
+
+// outcome is one attempt's result, reported to the dispatch loop.
+type outcome struct {
+	wk        *worker
+	resp      *workerResp
+	err       error
+	class     respClass
+	hedge     bool // this attempt was the hedged duplicate
+	sameRetry bool // this attempt was the same-worker idempotent replay
+}
+
+var errDrainMarked = errors.New("draining (marked 503)")
+
+func (d *Dispatcher) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	fn := r.PathValue("fn")
+	if d.draining.Load() {
+		retryAfter(w, 5*time.Second)
+		w.Header().Set(gateway.DrainingHeader, "1")
+		http.Error(w, "dispatcher draining", http.StatusServiceUnavailable)
+		return
+	}
+
+	// Buffer the body up front (bounded): a request is only "in flight"
+	// against a worker once delivery starts, so a worker that dies takes
+	// no request bytes with it — the buffered body is re-sent elsewhere.
+	if r.ContentLength > d.cfg.MaxBodyBytes {
+		http.Error(w, "payload too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	var (
+		payload []byte
+		pooled  *[]byte
+	)
+	if cl := r.ContentLength; cl >= 0 {
+		pooled = getBody(cl)
+		payload = (*pooled)[:cl]
+		if _, err := io.ReadFull(r.Body, payload); err != nil {
+			bodyPool.Put(pooled)
+			http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	} else {
+		// Chunked (unknown-length) bodies ride the same pooled buffers as
+		// framed ones, growing by doubling up to the bound, instead of
+		// handing io.ReadAll a fresh allocation per request.
+		pooled = getBody(32 << 10)
+		buf := (*pooled)[:cap(*pooled)]
+		total := 0
+		for {
+			if total == len(buf) {
+				if int64(len(buf)) > d.cfg.MaxBodyBytes {
+					break // read past the bound; rejected below
+				}
+				grown := len(buf) * 2
+				if int64(grown) > d.cfg.MaxBodyBytes+1 {
+					grown = int(d.cfg.MaxBodyBytes + 1)
+				}
+				nb := make([]byte, grown)
+				copy(nb, buf)
+				*pooled = nb
+				buf = nb
+			}
+			n, err := r.Body.Read(buf[total:])
+			total += n
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				bodyPool.Put(pooled)
+				http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		if int64(total) > d.cfg.MaxBodyBytes {
+			bodyPool.Put(pooled)
+			http.Error(w, "payload too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		payload = buf[:total]
+	}
+
+	ctx := r.Context()
+	if d.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	// Every invocation carries an idempotency key (client-supplied wins)
+	// so post-delivery failures can replay from the worker's dedup cache
+	// instead of double-executing.
+	key := r.Header.Get(gateway.IdempotencyKeyHeader)
+	if key == "" && !d.cfg.DisableIdempotency {
+		key = newIdemKey()
+	}
+	d.dispatch(ctx, w, fn, r.Header.Get("Content-Type"), key, payload, pooled)
+}
+
+// dispatch runs the placement/retry/hedge loop for one buffered request.
+// It owns pooled: the buffer returns to the pool only after every
+// launched attempt has stopped reading payload.
+func (d *Dispatcher) dispatch(ctx context.Context, w http.ResponseWriter,
+	fn, contentType, key string, payload []byte, pooled *[]byte) {
+
+	results := make(chan outcome, 8)
+	var cancels []context.CancelFunc
+	inflight := 0
+	attempts := 0
+	tried := make(map[*worker]bool)       // failed here; do not re-place
+	active := make(map[*worker]bool)      // attempt currently running here
+	sameRetried := make(map[*worker]bool) // idempotent replay already tried here
+	everHedged := false
+
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+		if inflight == 0 {
+			if pooled != nil {
+				bodyPool.Put(pooled)
+			}
+			return
+		}
+		// Losing attempts are still running (hedge losers, canceled
+		// stragglers) and still read payload while their request write
+		// winds down: drain them off-path, then recycle the buffer.
+		n, p := inflight, pooled
+		go func() {
+			for i := 0; i < n; i++ {
+				if o := <-results; o.resp != nil {
+					o.resp.release()
+				}
+			}
+			if p != nil {
+				bodyPool.Put(p)
+			}
+		}()
+	}()
+
+	launch := func(wk *worker, isHedge, sameRetry bool) {
+		attempts++
+		inflight++
+		active[wk] = true
+		actx, cancel := context.WithCancel(ctx)
+		cancels = append(cancels, cancel)
+		go func() {
+			resp, err := d.forward(actx, wk, fn, contentType, key, payload)
+			wk.outstanding.Add(-1)
+			o := outcome{wk: wk, resp: resp, err: err, hedge: isHedge, sameRetry: sameRetry}
+			if err != nil {
+				o.class = classifyTransport(err)
+			}
+			results <- o
+		}()
+	}
+
+	// place reserves the best untried worker and launches an attempt; on
+	// refusal it writes the dispatcher's own verdict and reports false.
+	place := func() bool {
+		wk, anyReady := d.pick(tried)
+		if wk == nil {
+			switch {
+			case attempts > 0:
+				// At least one worker was tried and failed mid-stream;
+				// the remaining set is exhausted. 503: the CLUSTER could
+				// not serve this, distinct from per-request saturation.
+				d.lost.Add(1)
+				retryAfter(w, time.Second)
+				http.Error(w, "no worker could serve the request", http.StatusServiceUnavailable)
+			case anyReady:
+				// Ready workers exist but all sit at their JBSQ bound:
+				// the cluster is saturated, tell the client to back off.
+				d.rejectedBusy.Add(1)
+				retryAfter(w, time.Second)
+				http.Error(w, "cluster saturated: all workers at bound", http.StatusTooManyRequests)
+			default:
+				d.rejectedDown.Add(1)
+				retryAfter(w, time.Second)
+				http.Error(w, "no ready workers", http.StatusServiceUnavailable)
+			}
+			return false
+		}
+		launch(wk, false, false)
+		return true
+	}
+
+	if !place() {
+		return
+	}
+
+	// Hedge only with a key: the duplicate may race a completed primary,
+	// and only the replay cache keeps that from double-executing.
+	var hedgeC <-chan time.Time
+	if d.cfg.Hedge && key != "" {
+		t := time.NewTimer(d.hedge.delay(fn, d.cfg.HedgeDelay))
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			http.Error(w, "deadline exceeded while dispatching", http.StatusGatewayTimeout)
+			return
+
+		case <-hedgeC:
+			hedgeC = nil
+			excl := make(map[*worker]bool, len(tried)+len(active))
+			for wk := range tried {
+				excl[wk] = true
+			}
+			for wk := range active {
+				excl[wk] = true
+			}
+			if hw, _ := d.pick(excl); hw != nil {
+				d.hedgesIssued.Add(1)
+				everHedged = true
+				launch(hw, true, false)
+			}
+
+		case o := <-results:
+			inflight--
+			delete(active, o.wk)
+
+			if o.err == nil {
+				if o.resp.status == http.StatusServiceUnavailable && o.resp.drainM != "" &&
+					d.untriedOthers(o.wk, tried) > 0 {
+					// This worker is going away; that is a placement
+					// problem, not an answer. Eject it and try the rest of
+					// the fleet. Only when NO other worker can take the
+					// request does the drain 503 fall through to the client.
+					o.resp.release()
+					o.wk.eject(errDrainMarked)
+					tried[o.wk] = true
+					d.drainRetries.Add(1)
+					if inflight == 0 && !place() {
+						return
+					}
+					continue
+				}
+				// First clean response wins; everything else is canceled by
+				// the deferred cancels on return.
+				d.finish(w, o, everHedged)
+				return
+			}
+
+			switch o.class {
+			case classCtx:
+				if ctx.Err() != nil {
+					if inflight > 0 {
+						continue
+					}
+					http.Error(w, "deadline exceeded while dispatching", http.StatusGatewayTimeout)
+					return
+				}
+				// A per-attempt cancellation without the request deadline
+				// firing: treat like a safe transport failure.
+				fallthrough
+
+			case classSafe:
+				// The request never reached the worker: eject passively
+				// (the health loop re-admits once /readyz answers again)
+				// and re-place anywhere.
+				o.wk.eject(o.err)
+				tried[o.wk] = true
+				d.errRetries.Add(1)
+				if inflight == 0 && !place() {
+					return
+				}
+
+			case classUnsafe:
+				o.wk.eject(o.err)
+				if key != "" && !sameRetried[o.wk] {
+					// Delivered (or possibly delivered): the only retry that
+					// cannot double-execute targets the SAME worker, whose
+					// idempotency cache replays the completed response.
+					sameRetried[o.wk] = true
+					d.unsafeRetries.Add(1)
+					o.wk.outstanding.Add(1)
+					launch(o.wk, o.hedge, true)
+					continue
+				}
+				if key != "" {
+					// The same-worker replay failed too: the worker is gone
+					// and its replay cache died with it. Re-place elsewhere;
+					// if the dead worker completed the call in its final
+					// moment this is the documented at-least-once residue.
+					tried[o.wk] = true
+					d.errRetries.Add(1)
+					if inflight == 0 && !place() {
+						return
+					}
+					continue
+				}
+				// No idempotency key: a post-delivery failure is not safely
+				// retryable — the worker may have executed. Surface it.
+				d.unsafe502.Add(1)
+				http.Error(w, "upstream connection failed after request delivery; no idempotency key, not retried", http.StatusBadGateway)
+				return
+			}
+		}
+	}
+}
+
+// untriedOthers counts admittable workers (other than wk) this request
+// has not failed against yet.
+func (d *Dispatcher) untriedOthers(wk *worker, tried map[*worker]bool) int {
+	n := 0
+	for _, other := range d.snapshot() {
+		if other != wk && other.admittable() && !tried[other] {
+			n++
+		}
+	}
+	return n
+}
+
+// forward sends one attempt and buffers the response (bounded). A body
+// that overflows MaxBodyBytes keeps rest open for streaming — an
+// overflowing response cannot be retried mid-stream anyway.
+func (d *Dispatcher) forward(ctx context.Context, wk *worker,
+	fn, contentType, key string, payload []byte) (*workerResp, error) {
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, wk.base+"/invoke/"+fn, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.ContentLength = int64(len(payload))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if key != "" {
+		req.Header.Set(gateway.IdempotencyKeyHeader, key)
+	}
+	start := time.Now()
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	wr := &workerResp{
+		status: resp.StatusCode,
+		ctype:  resp.Header.Get("Content-Type"),
+		retryA: resp.Header.Get("Retry-After"),
+		drainM: resp.Header.Get(gateway.DrainingHeader),
+		dedup:  resp.Header.Get(gateway.DedupHeader),
+		clen:   resp.ContentLength,
+	}
+	max := d.cfg.MaxBodyBytes
+	if cl := resp.ContentLength; cl >= 0 && cl <= max {
+		wr.pooled = getBody(cl)
+		wr.body = (*wr.pooled)[:cl]
+		if _, err := io.ReadFull(resp.Body, wr.body); err != nil {
+			resp.Body.Close()
+			wr.release()
+			// The head arrived but the body broke off (reset mid-body).
+			// Nothing has reached the client, so the dispatch loop can
+			// still retry this — classified unsafe, like any
+			// post-delivery break.
+			return nil, err
+		}
+		resp.Body.Close()
+	} else {
+		wr.pooled = getBody(32 << 10)
+		buf := (*wr.pooled)[:cap(*wr.pooled)]
+		total := 0
+	read:
+		for {
+			if total == len(buf) {
+				if int64(len(buf)) > max {
+					wr.body = buf[:total]
+					wr.rest = resp.Body
+					return wr, nil
+				}
+				grown := len(buf) * 2
+				if int64(grown) > max+1 {
+					grown = int(max + 1)
+				}
+				nb := make([]byte, grown)
+				copy(nb, buf)
+				*wr.pooled = nb
+				buf = nb
+			}
+			n, rerr := resp.Body.Read(buf[total:])
+			total += n
+			switch {
+			case rerr == io.EOF:
+				break read
+			case rerr != nil:
+				resp.Body.Close()
+				wr.release()
+				return nil, rerr
+			}
+		}
+		wr.body = buf[:total]
+		resp.Body.Close()
+	}
+	if wr.status == http.StatusOK && d.cfg.Hedge {
+		d.hedge.observe(fn, time.Since(start))
+	}
+	return wr, nil
+}
+
+// finish relays the winning response and settles the counters.
+func (d *Dispatcher) finish(w http.ResponseWriter, o outcome, everHedged bool) {
+	if o.hedge {
+		d.hedgesWon.Add(1)
+	} else if everHedged {
+		d.hedgesWasted.Add(1)
+	}
+	resp := o.resp
+	if resp.dedup != "" {
+		d.dedupHits.Add(1)
+	}
+	o.wk.dispatched.Add(1)
+	if resp.status == http.StatusTooManyRequests || resp.status == http.StatusServiceUnavailable {
+		d.passthrough.Add(1)
+	}
+	clientErr, workerErr := d.writeResp(w, resp)
+	resp.release()
+	switch {
+	case workerErr != nil:
+		// The worker died mid-relay after the head was committed: the
+		// client sees a truncated body and nothing can be retried. Count
+		// it and keep the worker out until health clears it.
+		d.relayWorkerErrs.Add(1)
+		o.wk.eject(workerErr)
+	case clientErr != nil:
+		d.relayClientErrs.Add(1)
+	default:
+		d.dispatched.Add(1)
+	}
+}
+
+// writeResp copies one worker response to the client verbatim: status,
+// Retry-After, drain and replay markers included — the dispatcher adds
+// no interpretation to worker verdicts it did not re-place.
+func (d *Dispatcher) writeResp(w http.ResponseWriter, r *workerResp) (clientErr, workerErr error) {
+	h := w.Header()
+	if r.ctype != "" {
+		h.Set("Content-Type", r.ctype)
+	}
+	if r.retryA != "" {
+		h.Set("Retry-After", r.retryA)
+	}
+	if r.drainM != "" {
+		h.Set(gateway.DrainingHeader, r.drainM)
+	}
+	if r.dedup != "" {
+		h.Set(gateway.DedupHeader, r.dedup)
+	}
+	if r.rest == nil {
+		h.Set("Content-Length", strconv.Itoa(len(r.body)))
+	} else if r.clen >= 0 {
+		h.Set("Content-Length", strconv.FormatInt(r.clen, 10))
+	}
+	w.WriteHeader(r.status)
+	if len(r.body) > 0 {
+		if _, err := w.Write(r.body); err != nil {
+			return err, nil
+		}
+	}
+	if r.rest == nil {
+		return nil, nil
+	}
+	bp := getBody(32 << 10)
+	defer bodyPool.Put(bp)
+	buf := (*bp)[:cap(*bp)]
+	for {
+		n, rerr := r.rest.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return werr, nil
+			}
+		}
+		if rerr == io.EOF {
+			return nil, nil
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+	}
+}

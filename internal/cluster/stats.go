@@ -151,6 +151,16 @@ type Statsz struct {
 	Passthrough       uint64 `json:"passthrough_sheds"`
 	Outstanding       int64  `json:"outstanding"`
 
+	// Fault-tolerance counters (see the retry policy in invoke.go).
+	UnsafeRetries   uint64 `json:"unsafe_retries"`     // same-worker idempotent replays
+	Unsafe502       uint64 `json:"unsafe_bad_gateway"` // keyless post-delivery failures
+	HedgesIssued    uint64 `json:"hedges_issued"`
+	HedgesWon       uint64 `json:"hedges_won"`
+	HedgesWasted    uint64 `json:"hedges_wasted"`
+	DedupHits       uint64 `json:"dedup_hits"` // responses replayed from a worker cache
+	RelayErrsWorker uint64 `json:"relay_errors_worker"`
+	RelayErrsClient uint64 `json:"relay_errors_client"`
+
 	// Totals aggregates pool counters over workers that answered /statsz.
 	Totals struct {
 		PoolDispatched uint64 `json:"pool_dispatched"`
@@ -198,6 +208,14 @@ func (d *Dispatcher) aggregateStatsz() Statsz {
 		DrainRetries:      d.drainRetries.Load(),
 		Exhausted:         d.lost.Load(),
 		Passthrough:       d.passthrough.Load(),
+		UnsafeRetries:     d.unsafeRetries.Load(),
+		Unsafe502:         d.unsafe502.Load(),
+		HedgesIssued:      d.hedgesIssued.Load(),
+		HedgesWon:         d.hedgesWon.Load(),
+		HedgesWasted:      d.hedgesWasted.Load(),
+		DedupHits:         d.dedupHits.Load(),
+		RelayErrsWorker:   d.relayWorkerErrs.Load(),
+		RelayErrsClient:   d.relayClientErrs.Load(),
 		WorkerState:       d.workerStatuses(),
 	}
 	doc.Workers = len(doc.WorkerState)
@@ -336,11 +354,23 @@ func (d *Dispatcher) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "jord_dispatcher_rejected_total{reason=\"saturated\"} %d\n", doc.RejectedSaturated)
 	fmt.Fprintf(&b, "jord_dispatcher_rejected_total{reason=\"no_workers\"} %d\n", doc.RejectedNoWorkers)
 	fmt.Fprintf(&b, "jord_dispatcher_rejected_total{reason=\"exhausted\"} %d\n", doc.Exhausted)
-	metric("jord_dispatcher_retries_total", "Re-placements on another worker, by cause.", "counter")
+	metric("jord_dispatcher_retries_total", "Re-placements after a failure, by cause.", "counter")
 	fmt.Fprintf(&b, "jord_dispatcher_retries_total{cause=\"transport\"} %d\n", doc.ErrRetries)
 	fmt.Fprintf(&b, "jord_dispatcher_retries_total{cause=\"drain\"} %d\n", doc.DrainRetries)
+	fmt.Fprintf(&b, "jord_dispatcher_retries_total{cause=\"unsafe_same_worker\"} %d\n", doc.UnsafeRetries)
 	metric("jord_dispatcher_passthrough_sheds_total", "Worker 429/503s forwarded verbatim.", "counter")
 	fmt.Fprintf(&b, "jord_dispatcher_passthrough_sheds_total %d\n", doc.Passthrough)
+	metric("jord_dispatcher_hedges_total", "Hedged (duplicate) placements, by result.", "counter")
+	fmt.Fprintf(&b, "jord_dispatcher_hedges_total{result=\"issued\"} %d\n", doc.HedgesIssued)
+	fmt.Fprintf(&b, "jord_dispatcher_hedges_total{result=\"won\"} %d\n", doc.HedgesWon)
+	fmt.Fprintf(&b, "jord_dispatcher_hedges_total{result=\"wasted\"} %d\n", doc.HedgesWasted)
+	metric("jord_dispatcher_dedup_hits_total", "Responses replayed from a worker idempotency cache.", "counter")
+	fmt.Fprintf(&b, "jord_dispatcher_dedup_hits_total %d\n", doc.DedupHits)
+	metric("jord_dispatcher_unsafe_bad_gateway_total", "Keyless post-delivery failures surfaced as 502.", "counter")
+	fmt.Fprintf(&b, "jord_dispatcher_unsafe_bad_gateway_total %d\n", doc.Unsafe502)
+	metric("jord_dispatcher_relay_errors_total", "Relay failures after the response head, by failing side.", "counter")
+	fmt.Fprintf(&b, "jord_dispatcher_relay_errors_total{side=\"worker\"} %d\n", doc.RelayErrsWorker)
+	fmt.Fprintf(&b, "jord_dispatcher_relay_errors_total{side=\"client\"} %d\n", doc.RelayErrsClient)
 
 	metric("jord_dispatcher_worker_outstanding", "Outstanding requests per worker (JBSQ queue).", "gauge")
 	for _, ws := range doc.WorkerState {

@@ -1,0 +1,260 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"context"
+
+	"jord/internal/server/admission"
+	"jord/internal/server/breaker"
+	"jord/internal/server/pool"
+	"jord/internal/server/router"
+)
+
+// newDedupRig builds a live gateway with the idempotency cache enabled, a
+// counting function, and both serving paths: a net/http mux server and the
+// zero-alloc edge on a loopback listener.
+func newDedupRig(t *testing.T) (muxURL, edgeAddr string, calls *atomic.Int64, g *Gateway, stop func()) {
+	t.Helper()
+	calls = &atomic.Int64{}
+	reg := router.New()
+	reg.MustRegister("count", func(ctx router.Ctx) ([]byte, error) {
+		n := calls.Add(1)
+		return []byte(fmt.Sprintf("call-%d:%s", n, ctx.Payload())), nil
+	})
+	reg.MustRegister("fail", func(ctx router.Ctx) ([]byte, error) {
+		calls.Add(1)
+		return nil, fmt.Errorf("intentional")
+	})
+	p := pool.New(pool.Config{Executors: 2, Orchestrators: 1, NumPDs: 64}, reg)
+	p.Start()
+	g = &Gateway{
+		Reg:            reg,
+		Pool:           p,
+		Adm:            admission.New(1024),
+		Breakers:       breaker.NewSet(breaker.Config{}, reg.Names()),
+		RequestTimeout: 5 * time.Second,
+		MaxBodyBytes:   1 << 20,
+		Dedup:          NewDedupCache(64),
+	}
+	srv := httptest.NewServer(g.Handler())
+	e := NewEdge(g)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- e.Serve(ln) }()
+	stop = func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := e.Shutdown(ctx); err != nil {
+			t.Errorf("edge shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("edge serve: %v", err)
+		}
+		if err := p.Drain(ctx); err != nil {
+			t.Errorf("pool drain: %v", err)
+		}
+	}
+	return srv.URL, ln.Addr().String(), calls, g, stop
+}
+
+func keyedInvoke(t *testing.T, base, fn, key, payload string) (status int, dedup bool, body string) {
+	t.Helper()
+	req, err := http.NewRequest("POST", base+"/invoke/"+fn, strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if key != "" {
+		req.Header.Set(IdempotencyKeyHeader, key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get(DedupHeader) == "1", string(b)
+}
+
+// TestDedupReplayBothPaths: the same idempotency key executes once and
+// replays byte-identically, whether the retry arrives over the net/http
+// mux or the hand-rolled edge.
+func TestDedupReplayBothPaths(t *testing.T) {
+	muxURL, edgeAddr, calls, _, stop := newDedupRig(t)
+	defer stop()
+	edgeURL := "http://" + edgeAddr
+
+	status, dedup, first := keyedInvoke(t, muxURL, "count", "k1", "hello")
+	if status != 200 || dedup {
+		t.Fatalf("first: status=%d dedup=%v", status, dedup)
+	}
+	// Replay over the mux, then over the edge: identical body, marked
+	// replay, no second execution.
+	for i, base := range []string{muxURL, edgeURL} {
+		status, dedup, body := keyedInvoke(t, base, "count", "k1", "hello")
+		if status != 200 || !dedup || body != first {
+			t.Fatalf("replay %d: status=%d dedup=%v body=%q want %q", i, status, dedup, body, first)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("function executed %d times, want 1", n)
+	}
+
+	// Keyless requests on the edge keep the fast path: fresh execution.
+	status, dedup, _ = keyedInvoke(t, edgeURL, "count", "", "hello")
+	if status != 200 || dedup {
+		t.Fatalf("keyless: status=%d dedup=%v", status, dedup)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("keyless should execute, calls=%d want 2", n)
+	}
+}
+
+// TestDedupCachesFunctionError: a function-level failure is a completed
+// execution — the 500 replays rather than re-running the function.
+func TestDedupCachesFunctionError(t *testing.T) {
+	muxURL, _, calls, _, stop := newDedupRig(t)
+	defer stop()
+
+	status, _, body := keyedInvoke(t, muxURL, "fail", "ek", "x")
+	if status != 500 || !strings.Contains(body, "intentional") {
+		t.Fatalf("first: status=%d body=%q", status, body)
+	}
+	status, dedup, _ := keyedInvoke(t, muxURL, "fail", "ek", "x")
+	if status != 500 || !dedup {
+		t.Fatalf("replay: status=%d dedup=%v", status, dedup)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fail executed %d times, want 1", n)
+	}
+}
+
+// TestDedupSingleFlight: concurrent arrivals of one key execute the
+// function once; every caller gets the same completed response.
+func TestDedupSingleFlight(t *testing.T) {
+	muxURL, _, calls, _, stop := newDedupRig(t)
+	defer stop()
+
+	const clients = 8
+	bodies := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, _, body := keyedInvoke(t, muxURL, "count", "sf", "p")
+			if status != 200 {
+				t.Errorf("client %d: status=%d", i, status)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("function executed %d times, want 1", n)
+	}
+	for i := 1; i < clients; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("client %d saw %q, client 0 saw %q", i, bodies[i], bodies[0])
+		}
+	}
+}
+
+// TestDedupAbortReRace: when the leader aborts (request not completed),
+// a waiter wakes with ok=false and can claim leadership itself.
+func TestDedupAbortReRace(t *testing.T) {
+	c := NewDedupCache(8)
+	e1, leader := c.Begin("k")
+	if !leader {
+		t.Fatal("first Begin should lead")
+	}
+	e2, leader := c.Begin("k")
+	if leader {
+		t.Fatal("second Begin should follow")
+	}
+	c.Abort(e1)
+	<-e2.Done()
+	if _, _, _, ok := e2.Result(); ok {
+		t.Fatal("aborted entry should report ok=false")
+	}
+	if _, leader := c.Begin("k"); !leader {
+		t.Fatal("post-abort Begin should lead again")
+	}
+	if c.Hits() != 1 {
+		t.Fatalf("hits=%d want 1", c.Hits())
+	}
+}
+
+// TestDedupLRUEviction: the entry-count budget evicts oldest-first, and
+// oversized bodies degrade to an abort rather than pinning memory.
+func TestDedupLRUEviction(t *testing.T) {
+	c := NewDedupCache(4)
+	for i := 0; i < 6; i++ {
+		e, leader := c.Begin(fmt.Sprintf("k%d", i))
+		if !leader {
+			t.Fatalf("k%d: not leader", i)
+		}
+		c.Commit(e, 200, "text/plain", []byte("r"))
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len=%d want 4", c.Len())
+	}
+	if c.Evictions() != 2 {
+		t.Fatalf("evictions=%d want 2", c.Evictions())
+	}
+	// k0, k1 evicted; k5 still present.
+	if _, leader := c.Begin("k0"); !leader {
+		t.Fatal("evicted key should lead again")
+	}
+	e, leader := c.Begin("k5")
+	if leader {
+		t.Fatal("k5 should still be cached")
+	}
+	if status, _, body, ok := e.Result(); !ok || status != 200 || string(body) != "r" {
+		t.Fatalf("k5 result: ok=%v status=%d body=%q", ok, status, body)
+	}
+
+	// Oversized commit: not cached, key free for re-execution.
+	big, leader := c.Begin("big")
+	if !leader {
+		t.Fatal("big: not leader")
+	}
+	c.Commit(big, 200, "text/plain", make([]byte, maxDedupBody+1))
+	if _, leader := c.Begin("big"); !leader {
+		t.Fatal("oversized body must not be cached")
+	}
+}
+
+// TestDedupByteBudget: the total-body-bytes budget evicts even when the
+// entry count is within bounds.
+func TestDedupByteBudget(t *testing.T) {
+	c := NewDedupCache(8)
+	c.maxBytes = 100
+	for i := 0; i < 4; i++ {
+		e, _ := c.Begin(fmt.Sprintf("b%d", i))
+		c.Commit(e, 200, "", make([]byte, 40))
+	}
+	if c.bytes > 100 {
+		t.Fatalf("bytes=%d exceeds budget 100", c.bytes)
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("byte budget should have evicted")
+	}
+}

@@ -69,6 +69,7 @@ type connState struct {
 	body  []byte // request body; becomes the ArgBuf payload zero-copy
 	fname []byte // function name, copied out of the volatile read buffer
 	host  []byte // Host header, copied out of the volatile read buffer
+	ikey  []byte // idempotency key header, copied out of the read buffer
 
 	// nb is the writev pair (head + VMA-backed response). WriteTo CONSUMES
 	// a net.Buffers, so nb is rebuilt each response from the persistent
@@ -98,6 +99,7 @@ var csPool = sync.Pool{New: func() any {
 		wbuf:  make([]byte, 0, 256),
 		fname: make([]byte, 0, 64),
 		host:  make([]byte, 0, 64),
+		ikey:  make([]byte, 0, 64),
 	}
 }}
 
@@ -185,6 +187,7 @@ var (
 	hdrExpect           = []byte("Expect")
 	hdrTransferEncoding = []byte("Transfer-Encoding")
 	hdrHost             = []byte("Host")
+	hdrIdemKey          = []byte(IdempotencyKeyHeader)
 	valClose            = []byte("close")
 	val100Continue      = []byte("100-continue")
 	pathInvoke          = []byte("/invoke/")
@@ -300,6 +303,16 @@ func (e *Edge) serveOne(cs *connState) (keepAlive bool, err error) {
 		t := rec.Now()
 		cs.span.Stages[trace.StageParse] += t - tMark
 		tMark = t
+	}
+
+	// Keyed requests leave the zero-alloc path: idempotent replay rides
+	// the dedup cache shared with the net/http handler, so the edge
+	// PARSES the header without allocating (readHead) and FORWARDS the
+	// request through the cold-path delegate, key intact. Allocating here
+	// is fine — keys ride only on dispatcher retries and chaos drills,
+	// never the steady state, and the keyless fast path is untouched.
+	if len(cs.ikey) > 0 && e.g.Dedup != nil {
+		return e.serveCold(cs, "POST", "/invoke/"+string(cs.fname), http11, &h)
 	}
 
 	// Header-derived refusals, before any body byte moves:
@@ -513,6 +526,7 @@ var errRefused = errors.New("edge: refusal already written")
 func (e *Edge) readHead(cs *connState, h *reqHead) error {
 	h.contentLen = -1
 	cs.host = cs.host[:0]
+	cs.ikey = cs.ikey[:0]
 	for {
 		line, err := cs.br.ReadSlice('\n')
 		if err != nil {
@@ -557,6 +571,8 @@ func (e *Edge) readHead(cs *connState, h *reqHead) error {
 			// Copied into connection scratch: the value's bytes live in
 			// the volatile read buffer, invalidated by the next ReadSlice.
 			cs.host = append(cs.host[:0], val...)
+		case bytes.EqualFold(key, hdrIdemKey):
+			cs.ikey = append(cs.ikey[:0], val...)
 		}
 	}
 }
@@ -622,6 +638,9 @@ func (e *Edge) serveCold(cs *connState, method, path string, http11 bool, h *req
 	}
 	if len(cs.host) > 0 {
 		req.Host = string(cs.host)
+	}
+	if len(cs.ikey) > 0 {
+		req.Header.Set(IdempotencyKeyHeader, string(cs.ikey))
 	}
 	cw := &coldWriter{h: make(http.Header), status: http.StatusOK}
 	e.mux.ServeHTTP(cw, req)

@@ -42,6 +42,12 @@ type Gateway struct {
 	// touching the pool. nil disables breakers entirely.
 	Breakers *breaker.Set
 
+	// Dedup is the idempotent-replay cache: a request carrying an
+	// IdempotencyKeyHeader whose key already completed here is answered
+	// from the recorded response without executing again (see dedup.go).
+	// nil disables replay — keyed requests then execute normally.
+	Dedup *DedupCache
+
 	// RequestTimeout is the per-request deadline applied to every
 	// invocation (0 = none). Requests that exceed it — queued or running —
 	// answer 504.
@@ -156,6 +162,23 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Idempotent replay before any resource is spent: a re-sent
+	// invocation (a dispatcher retrying across a broken connection) whose
+	// key already completed is answered from the cache — no admission
+	// slot, no pool work, no duplicated side effects.
+	ded, served := g.dedupBegin(w, r)
+	if served {
+		return
+	}
+	committed := false
+	if ded != nil {
+		defer func() {
+			if !committed {
+				g.Dedup.Abort(ded)
+			}
+		}()
+	}
+
 	// Circuit breaker first: a quarantined function is refused before it
 	// can consume an admission slot or pool resources.
 	var (
@@ -245,8 +268,23 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		if pooled != nil && bodyRecyclable(err) {
 			bodyPool.Put(pooled)
 		}
+		// A function-level failure is still a COMPLETED execution: record
+		// it so a retry replays the verdict instead of running the body a
+		// second time. Refusals and ambiguous outcomes abort instead (see
+		// invokeExecuted) and the retry re-executes.
+		if ded != nil && invokeExecuted(err) {
+			g.Dedup.Commit(ded, http.StatusInternalServerError, "text/plain; charset=utf-8", []byte(err.Error()+"\n"))
+			committed = true
+		}
 		g.writeInvokeError(w, err)
 		return
+	}
+	// Commit BEFORE writing to the client: the reason a retry exists is
+	// that this very write can fail mid-flight, and the replay must
+	// already be visible when the re-sent request races in.
+	if ded != nil {
+		g.Dedup.Commit(ded, http.StatusOK, "application/octet-stream", resp)
+		committed = true
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.WriteHeader(http.StatusOK)
@@ -256,6 +294,63 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	if pooled != nil {
 		bodyPool.Put(pooled)
 	}
+}
+
+// dedupBegin resolves a keyed request against the replay cache: it
+// either claims leadership (the caller executes and must Commit/Abort
+// the returned entry), replays a completed response (served=true), or
+// answers the client-gone error while waiting on a concurrent leader.
+// Unkeyed requests (or a nil cache) pass straight through.
+func (g *Gateway) dedupBegin(w http.ResponseWriter, r *http.Request) (e *dedupEntry, served bool) {
+	if g.Dedup == nil {
+		return nil, false
+	}
+	key := r.Header.Get(IdempotencyKeyHeader)
+	if key == "" {
+		return nil, false
+	}
+	for {
+		e, leader := g.Dedup.Begin(key)
+		if leader {
+			return e, false
+		}
+		// Single-flight: a concurrent request holds the key. Wait for its
+		// outcome rather than executing the same invocation twice.
+		select {
+		case <-e.Done():
+		case <-r.Context().Done():
+			g.writeInvokeError(w, r.Context().Err())
+			return nil, true
+		}
+		if status, ctype, body, ok := e.Result(); ok {
+			h := w.Header()
+			if ctype != "" {
+				h.Set("Content-Type", ctype)
+			}
+			h.Set(DedupHeader, "1")
+			w.WriteHeader(status)
+			_, _ = w.Write(body)
+			return nil, true
+		}
+		// The leader aborted without completing (refusal, cancellation):
+		// loop and race to become the next leader ourselves.
+	}
+}
+
+// invokeExecuted reports whether an Invoke error implies the function
+// body ran to completion — only those outcomes are recorded for replay.
+// Backpressure refusals say nothing about the invocation (a retry should
+// execute), and deadline/cancel outcomes are ambiguous: the invocation
+// may still be running, so recording a verdict could contradict a side
+// effect that lands later. Those paths keep at-least-once semantics.
+func invokeExecuted(err error) bool {
+	switch {
+	case errors.Is(err, pool.ErrSaturated), errors.Is(err, pool.ErrDegraded),
+		errors.Is(err, pool.ErrDraining), errors.Is(err, pool.ErrUnknownFunction),
+		errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return false
+	}
+	return true
 }
 
 // recordOutcome classifies one invocation result for the function's

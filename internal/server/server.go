@@ -96,6 +96,13 @@ type Config struct {
 	// MaxBodyBytes bounds /invoke payloads (default 1 MiB).
 	MaxBodyBytes int64
 
+	// DedupCache sizes the idempotent-replay cache: completed /invoke
+	// responses are remembered by X-Jord-Idempotency-Key, so a re-sent
+	// invocation (a dispatcher retrying across a broken connection)
+	// replays the recorded response instead of executing twice. 0
+	// defaults to 4096 entries; < 0 disables replay.
+	DedupCache int
+
 	// Edge serves HTTP through the zero-allocation edge front end
 	// (gateway.Edge) instead of net/http: the POST /invoke fast path runs
 	// from socket to function and back without per-request heap
@@ -273,12 +280,17 @@ func (d *Daemon) start() error {
 	}
 
 	d.pool.Start()
+	var dedup *gateway.DedupCache
+	if d.Cfg.DedupCache >= 0 {
+		dedup = gateway.NewDedupCache(d.Cfg.DedupCache)
+	}
 	d.gw = &gateway.Gateway{
 		Reg:            d.Reg,
 		Pool:           d.pool,
 		Store:          d.state,
 		Adm:            adm,
 		Breakers:       breakers,
+		Dedup:          dedup,
 		RequestTimeout: d.Cfg.RequestTimeout,
 		MaxBodyBytes:   d.Cfg.MaxBodyBytes,
 	}
